@@ -1,0 +1,90 @@
+// Shared configuration for the paper-reproduction bench binaries.
+//
+// The paper's testbed runs 16 GiB VMs with 4 vCPUs on a 36-core dual-socket
+// host; this simulation runs on one core, so every bench uses a scaled-down
+// geometry that preserves the paper's *ratios*: FMEM:total = 1:5, footprint
+// close to VM capacity, hot-set fractions, and epoch:run-length proportions.
+// Pass --full to any bench for a larger (slower) configuration.
+
+#ifndef DEMETER_BENCH_COMMON_H_
+#define DEMETER_BENCH_COMMON_H_
+
+#include <cstring>
+#include <string>
+
+#include "src/harness/machine.h"
+
+namespace demeter {
+
+struct BenchScale {
+  uint64_t vm_bytes = 32 * kMiB;
+  double footprint_ratio = 0.75;  // Footprint relative to VM memory.
+  uint64_t transactions = 800000;
+  int vcpus = 2;
+  Nanos demeter_epoch = 10 * kMillisecond;
+  uint64_t demeter_sample_period = 97;
+  // Scaled split threshold: keeps the paper's ratio of split margin
+  // (alpha * tau_split * vcpus) to samples-per-epoch (~2.5%) at this
+  // simulation's sample rate.
+  double demeter_split_threshold = 4.0;
+  Nanos policy_period = 15 * kMillisecond;
+  Nanos timeline_bucket = 25 * kMillisecond;
+  // Concurrent VMs for the multi-VM experiments (the paper runs nine).
+  int concurrent_vms = 3;
+
+  static BenchScale FromArgs(int argc, char** argv) {
+    BenchScale scale;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        scale.vm_bytes = 128 * kMiB;
+        scale.transactions = 2000000;
+        scale.vcpus = 4;
+        scale.concurrent_vms = 9;
+      }
+    }
+    return scale;
+  }
+
+  uint64_t footprint() const {
+    return PageFloor(static_cast<uint64_t>(footprint_ratio * static_cast<double>(vm_bytes)));
+  }
+};
+
+enum class SmemKind { kPmem, kCxl };
+
+inline MachineConfig HostFor(const BenchScale& scale, int num_vms,
+                             SmemKind smem = SmemKind::kPmem) {
+  MachineConfig config;
+  const uint64_t n = static_cast<uint64_t>(num_vms);
+  // Host DRAM is sized like the paper's testbed: each VM's 1:5 FMEM share
+  // plus 25% headroom (the slack §5.4 grants hypervisor-based TPP-H).
+  // SMEM is ample so ballooned-up configurations also fit.
+  const uint64_t fmem =
+      PageCeil(static_cast<uint64_t>(static_cast<double>(scale.vm_bytes * n) * 0.2 * 1.25));
+  const uint64_t smem_bytes = scale.vm_bytes * n * 2;
+  config.tiers = {TierSpec::LocalDram(fmem), smem == SmemKind::kPmem
+                                                 ? TierSpec::Pmem(smem_bytes)
+                                                 : TierSpec::RemoteDram(smem_bytes)};
+  return config;
+}
+
+inline VmSetup SetupFor(const BenchScale& scale, const std::string& workload, PolicyKind policy) {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = scale.vm_bytes;
+  setup.vm.fmem_ratio = 0.2;  // The paper's default 1:5.
+  setup.vm.num_vcpus = scale.vcpus;
+  setup.workload = workload;
+  setup.footprint_bytes = scale.footprint();
+  setup.target_transactions = scale.transactions;
+  setup.policy = policy;
+  setup.policy_period = scale.policy_period;
+  setup.demeter.range.epoch_length = scale.demeter_epoch;
+  setup.demeter.sample_period = scale.demeter_sample_period;
+  setup.demeter.range.split_threshold = scale.demeter_split_threshold;
+  setup.timeline_bucket = scale.timeline_bucket;
+  return setup;
+}
+
+}  // namespace demeter
+
+#endif  // DEMETER_BENCH_COMMON_H_

@@ -1,0 +1,141 @@
+// Google-benchmark micro-benchmarks for the core data structures: range
+// tree operations, TLB, 2D page walks, the MPSC sample channel, PEBS
+// sampling, and the latency histogram. These bound the real CPU cost of the
+// structures that the simulation charges virtual time for.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/histogram.h"
+#include "src/base/rng.h"
+#include "src/core/range_tree.h"
+#include "src/guest/mpsc_channel.h"
+#include "src/mmu/page_table.h"
+#include "src/mmu/tlb.h"
+#include "src/mmu/walker.h"
+#include "src/pebs/pebs.h"
+
+namespace demeter {
+namespace {
+
+void BM_RangeTreeRecordSample(benchmark::State& state) {
+  RangeTree tree;
+  tree.AddRegion(0, 4 * kGiB);
+  // Pre-split into a realistic leaf population.
+  Rng rng(1);
+  for (int e = 0; e < 30; ++e) {
+    for (int i = 0; i < 2000; ++i) {
+      tree.RecordSample(kGiB + rng.NextBelow(8 * kMiB));
+    }
+    tree.EndEpoch(4);
+  }
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    tree.RecordSample(kGiB + (addr & (8 * kMiB - 1)));
+    addr += 4093;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeTreeRecordSample);
+
+void BM_RangeTreeEndEpoch(benchmark::State& state) {
+  RangeTree tree;
+  tree.AddRegion(0, 4 * kGiB);
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 500; ++i) {
+      tree.RecordSample(rng.NextZipf(4 * kGiB / 64, 0.9) * 64);
+    }
+    tree.EndEpoch(4);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeTreeEndEpoch);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  Tlb tlb;
+  for (PageNum p = 0; p < 1024; ++p) {
+    tlb.Insert(p, p);
+  }
+  PageNum p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.Lookup(p & 1023));
+    ++p;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_Translate2dMiss(benchmark::State& state) {
+  Tlb tlb(2, 2);  // Tiny TLB: force misses.
+  PageTable gpt;
+  PageTable ept;
+  MmuCosts costs;
+  for (PageNum p = 0; p < 4096; ++p) {
+    gpt.Map(p, p, true);
+    ept.Map(p, p, true);
+  }
+  PageNum p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Translate2D(tlb, gpt, ept, p & 4095, false, costs));
+    p += 7;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Translate2dMiss);
+
+void BM_PageTableScanAndClear(benchmark::State& state) {
+  PageTable pt;
+  const PageNum pages = static_cast<PageNum>(state.range(0));
+  for (PageNum p = 0; p < pages; ++p) {
+    pt.Map(p, p, true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pt.ScanAndClearAccessed(0, pages, [](PageNum, uint64_t, bool, bool) {}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pages));
+}
+BENCHMARK(BM_PageTableScanAndClear)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_MpscChannelPush(benchmark::State& state) {
+  MpscChannel<uint64_t> channel(1 << 16);
+  uint64_t v = 0;
+  std::vector<uint64_t> sink;
+  for (auto _ : state) {
+    if (!channel.Push(v++)) {
+      sink.clear();
+      channel.PopBatch(&sink, 1 << 16);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpscChannelPush);
+
+void BM_PebsOnAccess(benchmark::State& state) {
+  PebsConfig config;
+  config.sample_period = 4093;
+  PebsUnit unit(config);
+  unit.set_enabled(true);
+  unit.set_pmi_handler([](std::vector<PebsRecord>&&, Nanos) {});
+  uint64_t gva = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.OnAccess(gva += 64, 176.6, false, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PebsOnAccess);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(3);
+  for (auto _ : state) {
+    histogram.Record(rng.NextBelow(1000000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+}  // namespace demeter
+
+BENCHMARK_MAIN();

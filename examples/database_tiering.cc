@@ -1,0 +1,65 @@
+// Database tiering: an OLTP engine (Silo running a YCSB-like mix) on tiered
+// memory, comparing tail latency under guest-delegated designs.
+//
+// Interactive services care about p99, not averages: this example shows how
+// Demeter's balanced relocation (no reclaim storms, no fault-driven
+// promotion on the critical path) keeps the tail short while the hotspot
+// drifts through the keyspace.
+//
+// Build & run:  ./build/examples/database_tiering
+
+#include <cstdio>
+
+#include "src/base/histogram.h"
+#include "src/harness/machine.h"
+
+namespace demeter {
+namespace {
+
+VmSetup DatabaseVm(PolicyKind policy) {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = 32 * kMiB;
+  setup.vm.fmem_ratio = 0.2;
+  setup.vm.num_vcpus = 2;
+  setup.workload = "silo";
+  setup.footprint_bytes = 24 * kMiB;
+  setup.target_transactions = 150000;
+  setup.policy = policy;
+  setup.policy_period = 15 * kMillisecond;
+  setup.demeter.range.epoch_length = 10 * kMillisecond;
+  setup.demeter.range.split_threshold = 4.0;
+  setup.demeter.sample_period = 97;
+  return setup;
+}
+
+int Run() {
+  std::printf("== OLTP on tiered memory: Silo/YCSB transaction latency ==\n\n");
+  std::printf("%-10s %10s %10s %10s %10s %12s\n", "policy", "p50(us)", "p95(us)", "p99(us)",
+              "mean(us)", "txn/s");
+
+  for (PolicyKind policy :
+       {PolicyKind::kStatic, PolicyKind::kTpp, PolicyKind::kMemtis, PolicyKind::kDemeter}) {
+    MachineConfig host;
+    host.tiers = {TierSpec::LocalDram(10 * kMiB), TierSpec::Pmem(64 * kMiB)};
+    Machine machine(host);
+    machine.AddVm(DatabaseVm(policy));
+    machine.Run();
+    const VmRunResult& result = machine.result(0);
+    const Histogram& lat = result.txn_latency_ns;
+    std::printf("%-10s %10.2f %10.2f %10.2f %10.2f %12.0f\n", result.policy.c_str(),
+                static_cast<double>(lat.Percentile(50)) / 1000.0,
+                static_cast<double>(lat.Percentile(95)) / 1000.0,
+                static_cast<double>(lat.Percentile(99)) / 1000.0, lat.Mean() / 1000.0,
+                result.ThroughputTps());
+  }
+
+  std::printf(
+      "\nThe drifting YCSB hotspot forces continuous re-classification; designs\n"
+      "that migrate through page faults or reclaim inflate p99 the most.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace demeter
+
+int main() { return demeter::Run(); }

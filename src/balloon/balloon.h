@@ -1,0 +1,173 @@
+// Tiered memory provisioning (TMP) mechanisms.
+//
+// Three provisioners are modelled:
+//
+//  * VirtioBalloon — the classic tier-unaware balloon. Inflation allocates
+//    guest pages wherever the guest allocator prefers (fast node first),
+//    so a request intended to trim SMEM ends up reserving FMEM: the
+//    under-provisioning pathology Figure 6 quantifies.
+//
+//  * DemeterBalloon — the paper's double balloon (§3.3): one balloon per
+//    guest NUMA node, page-granular, fully asynchronous over VirtIO queues
+//    (request queue -> guest workqueue -> completion queue -> host epoll),
+//    plus a statistics queue exposing guest telemetry for QoS policies.
+//    Inflating a node that has no free pages first demotes victims to the
+//    other node, preserving tier intent.
+//
+//  * HotplugProvisioner — virtio-mem-style memory hot(un)plug, which can
+//    only resize a node in coarse block multiples (128 MiB on x86-64);
+//    included as the granularity baseline the paper contrasts against.
+//
+// All host-frame bookkeeping is exact: inflated pages are unbacked from the
+// EPT (frames returned to the host tier); deflated pages are backed lazily
+// on next touch.
+
+#ifndef DEMETER_SRC_BALLOON_BALLOON_H_
+#define DEMETER_SRC_BALLOON_BALLOON_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hyper/hypervisor.h"
+#include "src/hyper/vm.h"
+#include "src/virtio/virtqueue.h"
+
+namespace demeter {
+
+struct BalloonCosts {
+  double driver_work_per_page_ns = 120.0;  // Guest workqueue per-page work.
+  double host_work_per_page_ns = 60.0;     // EPT unmap / free per page.
+  VirtqueueCosts queue;
+};
+
+struct BalloonRequest {
+  uint64_t request_id = 0;
+  int node = 0;            // Ignored by the tier-unaware balloon.
+  int64_t delta_pages = 0; // >0: inflate (take from guest); <0: deflate.
+};
+
+struct BalloonCompletion {
+  uint64_t request_id = 0;
+  int node = 0;
+  bool inflate = false;
+  std::vector<PageNum> pages;  // Taken (inflate) or restored (deflate).
+};
+
+// Guest telemetry snapshot carried on the statistics queue (§3.3 "QoS
+// Policy Support").
+struct GuestMemStats {
+  Nanos timestamp = 0;
+  uint64_t node_present[2] = {0, 0};
+  uint64_t node_free[2] = {0, 0};
+  uint64_t pages_promoted = 0;
+  uint64_t pages_demoted = 0;
+  uint64_t guest_faults = 0;
+  bool under_pressure = false;
+};
+
+struct BalloonStats {
+  uint64_t requests = 0;
+  uint64_t completions = 0;
+  uint64_t pages_inflated = 0;
+  uint64_t pages_deflated = 0;
+  uint64_t pages_short = 0;  // Requested but not obtainable (partial fill).
+  uint64_t demotions_for_inflate = 0;
+};
+
+// ---- Demeter double balloon -------------------------------------------------
+
+class DemeterBalloon {
+ public:
+  using CompletionCallback = std::function<void(const BalloonCompletion&, Nanos now)>;
+
+  DemeterBalloon(Vm* vm, BalloonCosts costs = BalloonCosts{});
+
+  // Host side: ask the guest to remove (delta>0) or restore (delta<0)
+  // |delta| pages of node `node`. Asynchronous; optional callback fires on
+  // completion.
+  void RequestDelta(int node, int64_t delta_pages, Nanos now,
+                    CompletionCallback callback = nullptr);
+
+  // Host side: resize node to an absolute present-page target.
+  void RequestResizeTo(int node, uint64_t target_present_pages, Nanos now,
+                       CompletionCallback callback = nullptr);
+
+  // Host side: asynchronous telemetry query over the stats queue.
+  using StatsCallback = std::function<void(const GuestMemStats&, Nanos now)>;
+  void QueryStats(Nanos now, StatsCallback callback);
+
+  uint64_t inflight() const { return inflight_; }
+  const BalloonStats& stats() const { return stats_; }
+
+ private:
+  void HandleRequest(BalloonRequest request, Nanos now);
+  void HandleCompletion(BalloonCompletion completion, Nanos now);
+  // Guest-side: demote one page out of `node` to make a free page.
+  bool DemoteOnePage(int node, Nanos now);
+
+  Vm* vm_;
+  BalloonCosts costs_;
+  Virtqueue<BalloonRequest> request_queue_;
+  Virtqueue<BalloonCompletion> completion_queue_;
+  Virtqueue<GuestMemStats> stats_queue_;
+  uint64_t next_request_id_ = 1;
+  uint64_t inflight_ = 0;
+  std::vector<PageNum> held_pages_[2];  // Driver-side balloon contents per node.
+  std::vector<std::pair<uint64_t, CompletionCallback>> pending_callbacks_;
+  std::vector<StatsCallback> pending_stats_;
+  BalloonStats stats_;
+};
+
+// ---- Classic (tier-unaware) VirtIO balloon -----------------------------------
+
+class VirtioBalloon {
+ public:
+  explicit VirtioBalloon(Vm* vm, BalloonCosts costs = BalloonCosts{});
+
+  // Host side: grow/shrink the balloon by |delta| pages of *some* guest
+  // memory — the device has no tier notion. delta>0 inflates.
+  void RequestDelta(int64_t delta_pages, Nanos now);
+
+  uint64_t balloon_pages() const { return held_.size(); }
+  const BalloonStats& stats() const { return stats_; }
+
+ private:
+  void HandleRequest(BalloonRequest request, Nanos now);
+  void HandleCompletion(BalloonCompletion completion, Nanos now);
+
+  Vm* vm_;
+  BalloonCosts costs_;
+  Virtqueue<BalloonRequest> request_queue_;
+  Virtqueue<BalloonCompletion> completion_queue_;
+  uint64_t next_request_id_ = 1;
+  std::vector<PageNum> held_;  // Pages currently inside the balloon (LIFO).
+  BalloonStats stats_;
+};
+
+// ---- virtio-mem-style hotplug -------------------------------------------------
+
+class HotplugProvisioner {
+ public:
+  // Paper: 128 MiB blocks on x86-64. Scaled-down simulations pass smaller
+  // blocks keeping the coarseness ratio.
+  HotplugProvisioner(Vm* vm, uint64_t block_bytes = 128 * kMiB);
+
+  // Resizes node toward `target_present_pages`, rounded DOWN to whole
+  // blocks for growth and UP for shrink (the device cannot split a block).
+  // Returns the achieved present size.
+  uint64_t ResizeTo(int node, uint64_t target_present_pages, Nanos now);
+
+  uint64_t block_pages() const { return block_pages_; }
+
+ private:
+  Vm* vm_;
+  uint64_t block_pages_;
+  // Pages unplugged per node, in block-sized batches (LIFO).
+  std::vector<std::vector<PageNum>> unplugged_[2];
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_BALLOON_BALLOON_H_

@@ -1,0 +1,97 @@
+#include "src/base/histogram.h"
+
+#include <bit>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+namespace {
+// 64 powers of two, kSubBuckets sub-buckets each.
+constexpr int kMaxBuckets = 64 * Histogram::kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int log2 = 63 - std::countl_zero(value);
+  // Position within the power-of-two range, scaled to kSubBuckets slots.
+  const int sub = static_cast<int>((value >> (log2 - 4)) & (kSubBuckets - 1));
+  const int index = log2 * kSubBuckets + sub;
+  return index < kMaxBuckets ? index : kMaxBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperEdge(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int log2 = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return (1ULL << log2) + (static_cast<uint64_t>(sub + 1) << (log2 - 4)) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
+  count_ += count;
+  sum_ += value * count;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  DEMETER_CHECK_GE(p, 0.0);
+  DEMETER_CHECK_LE(p, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (static_cast<double>(seen) >= target && seen > 0) {
+      const uint64_t edge = BucketUpperEdge(i);
+      return edge > max_ ? max_ : edge;
+    }
+  }
+  return max_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0 && other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
+}  // namespace demeter

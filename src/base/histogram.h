@@ -1,0 +1,55 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Used for per-transaction latency tracking (Figure 12) and for internal
+// distributions (walk costs, migration batch sizes). Buckets grow
+// geometrically so the histogram covers nanoseconds to seconds in ~90 buckets
+// with bounded relative error.
+
+#ifndef DEMETER_SRC_BASE_HISTOGRAM_H_
+#define DEMETER_SRC_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace demeter {
+
+class Histogram {
+ public:
+  // Sub-bucket resolution: each power of two is divided into kSubBuckets
+  // linear sub-buckets, bounding relative error to 1/kSubBuckets.
+  static constexpr int kSubBuckets = 16;
+
+  Histogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Value at percentile p in [0, 100]. Returns the upper edge of the bucket
+  // containing the p-th sample; 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  void Clear();
+
+  // Merge another histogram into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperEdge(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_BASE_HISTOGRAM_H_

@@ -1,0 +1,76 @@
+// Minimal logging and invariant-checking support.
+//
+// DEMETER_CHECK(cond) aborts on violation in every build type: simulation
+// invariants (page accounting, tree structure) must never be silently wrong,
+// since every experiment result depends on them.
+
+#ifndef DEMETER_SRC_BASE_LOGGING_H_
+#define DEMETER_SRC_BASE_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace demeter {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global log threshold; messages below it are discarded. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: stream-collecting message sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Discards everything streamed into it; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace demeter
+
+#define DEMETER_LOG(level)                                                          \
+  if (static_cast<int>(::demeter::LogLevel::k##level) <                             \
+      static_cast<int>(::demeter::GetLogLevel())) {                                 \
+  } else                                                                            \
+    ::demeter::LogMessage(::demeter::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define DEMETER_CHECK(cond)                                                         \
+  if (cond) {                                                                       \
+  } else                                                                            \
+    ::demeter::LogMessage(::demeter::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#define DEMETER_CHECK_EQ(a, b) DEMETER_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEMETER_CHECK_NE(a, b) DEMETER_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEMETER_CHECK_LE(a, b) DEMETER_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEMETER_CHECK_LT(a, b) DEMETER_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEMETER_CHECK_GE(a, b) DEMETER_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DEMETER_CHECK_GT(a, b) DEMETER_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DEMETER_SRC_BASE_LOGGING_H_

@@ -1,0 +1,42 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+
+namespace demeter {
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996). theta != 1 is
+  // assumed for the closed-form H; theta == 1 is nudged slightly.
+  if (n <= 1) {
+    return 0;
+  }
+  double q = theta;
+  if (q == 1.0) {
+    q = 1.0 + 1e-9;
+  }
+  const double one_minus_q = 1.0 - q;
+  const double one_minus_q_inv = 1.0 / one_minus_q;
+  auto h = [&](double x) { return std::pow(x, one_minus_q) * one_minus_q_inv; };
+  auto h_inv = [&](double x) { return std::pow(one_minus_q * x, 1.0 / one_minus_q); };
+
+  const double h_x1 = h(1.5) - 1.0;
+  const double h_n = h(static_cast<double>(n) + 0.5);
+  const double s = 2.0 - h_inv(h(2.5) - std::pow(2.0, -q));
+
+  for (;;) {
+    const double u = h_n + NextDouble() * (h_x1 - h_n);
+    const double x = h_inv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n) {
+      k = n;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s || u >= h(kd + 0.5) - std::pow(kd, -q)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace demeter

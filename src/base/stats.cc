@@ -1,0 +1,43 @@
+#include "src/base/stats.h"
+
+#include <cmath>
+
+namespace demeter {
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::vector<double> LoessSmooth(const std::vector<double>& series, int half_window) {
+  const int n = static_cast<int>(series.size());
+  std::vector<double> out(series.size(), 0.0);
+  if (half_window <= 0) {
+    return series;
+  }
+  for (int i = 0; i < n; ++i) {
+    double weight_sum = 0.0;
+    double value_sum = 0.0;
+    const int lo = i - half_window < 0 ? 0 : i - half_window;
+    const int hi = i + half_window >= n ? n - 1 : i + half_window;
+    for (int j = lo; j <= hi; ++j) {
+      const double d = static_cast<double>(j - i) / static_cast<double>(half_window + 1);
+      const double a = 1.0 - std::abs(d) * std::abs(d) * std::abs(d);
+      const double w = a * a * a;  // Tricube kernel.
+      weight_sum += w;
+      value_sum += w * series[static_cast<size_t>(j)];
+    }
+    out[static_cast<size_t>(i)] = weight_sum > 0.0 ? value_sum / weight_sum : series[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace demeter

@@ -1,0 +1,44 @@
+// Small statistics helpers: streaming mean/variance, geometric mean, and the
+// locally-weighted smoothing used when reporting throughput timelines
+// (Figure 8 uses "locally estimated smoothing").
+
+#ifndef DEMETER_SRC_BASE_STATS_H_
+#define DEMETER_SRC_BASE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace demeter {
+
+// Welford's online mean and variance.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double StdDev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Geometric mean of strictly positive values; returns 0 for an empty input.
+double GeometricMean(const std::vector<double>& values);
+
+// Tricube-weighted local smoothing of a series (a light-weight LOESS):
+// each output point is the weighted average of inputs within `half_window`
+// positions. Returns a series of the same length.
+std::vector<double> LoessSmooth(const std::vector<double>& series, int half_window);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_BASE_STATS_H_

@@ -1,0 +1,48 @@
+// Size and time units used throughout Demeter.
+//
+// All simulated time is expressed in virtual nanoseconds (Nanos, uint64_t).
+// All memory sizes are byte counts (uint64_t); page-granular quantities use
+// PageNum (an index of a 4 KiB page within some address space).
+
+#ifndef DEMETER_SRC_BASE_UNITS_H_
+#define DEMETER_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace demeter {
+
+using Nanos = uint64_t;   // Virtual nanoseconds.
+using PageNum = uint64_t; // Index of a 4 KiB page.
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+inline constexpr uint64_t kPageShift = 12;
+
+// Range-split granularity floor (the paper's 2 MiB hugepage-aligned floor).
+inline constexpr uint64_t kHugePageSize = 2 * kMiB;
+inline constexpr uint64_t kPagesPerHugePage = kHugePageSize / kPageSize;
+
+inline constexpr Nanos kMicrosecond = 1000;
+inline constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanos kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t PagesForBytes(uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+constexpr uint64_t PageFloor(uint64_t addr) { return addr & ~(kPageSize - 1); }
+constexpr uint64_t PageCeil(uint64_t addr) {
+  return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+constexpr PageNum PageOf(uint64_t addr) { return addr >> kPageShift; }
+constexpr uint64_t AddrOfPage(PageNum page) { return page << kPageShift; }
+
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / 1e9; }
+constexpr double ToMillis(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_BASE_UNITS_H_

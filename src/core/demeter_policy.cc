@@ -1,0 +1,255 @@
+#include "src/core/demeter_policy.h"
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/hyper/hypervisor.h"
+
+namespace demeter {
+
+DemeterPolicy::DemeterPolicy(DemeterConfig config)
+    : config_(config), relocator_(config.relocator) {}
+
+void DemeterPolicy::Attach(Vm& vm, GuestProcess& process, Nanos start) {
+  DEMETER_CHECK(vm_ == nullptr) << "policy already attached";
+  vm_ = &vm;
+  process_ = &process;
+  tree_ = std::make_unique<RangeTree>(config_.range);
+  samples_ = std::make_unique<MpscChannel<uint64_t>>(1 << 16);
+
+  // EPT-friendly PEBS on every vCPU: small constant frequency, load-latency
+  // event, threshold between L2-hit and DRAM latency.
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    PebsConfig pebs = vm.config().pebs;
+    pebs.sample_period = config_.sample_period;
+    pebs.latency_threshold_ns = config_.latency_threshold_ns;
+    DEMETER_CHECK(PebsUnit(pebs).UsableInGuest(vm.config().lazily_backed))
+        << "guest PEBS requires an EPT-friendly PMU under lazy backing";
+    vm.vcpu(i).pebs = std::make_unique<PebsUnit>(pebs);
+    vm.vcpu(i).pebs->set_enabled(true);
+    // PMIs are rare at this frequency, but when one fires its buffer goes
+    // into the same channel (the PMI cost is charged at the access site).
+    vm.vcpu(i).pebs->set_pmi_handler(
+        [this, alive = alive_](std::vector<PebsRecord>&& records, Nanos) {
+          if (!*alive) {
+            return;
+          }
+          for (const PebsRecord& r : records) {
+            samples_->Push(r.gva);
+          }
+        });
+  }
+
+  if (config_.drain_on_context_switch) {
+    // Context-switch drain: no dedicated collection thread (§3.2.2).
+    vm.kernel().RegisterContextSwitchHook([this, alive = alive_, &vm](int vcpu_id, Nanos) {
+      if (!*alive) {
+        return 0.0;
+      }
+      auto records = vm.vcpu(vcpu_id).pebs->Drain();
+      for (const PebsRecord& r : records) {
+        samples_->Push(r.gva);
+      }
+      const double cost = config_.drain_ns_per_record * static_cast<double>(records.size());
+      vm.mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(cost));
+      return cost;
+    });
+  } else {
+    // Ablation: HeMem/Memtis-style dedicated polling kthread.
+    vm.host().events().Schedule(start + config_.poll_period,
+                                [this, alive = alive_](Nanos fire) {
+                                  if (*alive) {
+                                    RunPoll(fire);
+                                  }
+                                });
+  }
+
+  if (config_.classify_virtual) {
+    SyncRegions();
+  } else {
+    SyncPhysicalRegions();
+  }
+  ScheduleNext(start);
+}
+
+void DemeterPolicy::RunPoll(Nanos now) {
+  if (stopped_) {
+    return;
+  }
+  double cost = config_.poll_fixed_ns;
+  for (int i = 0; i < vm_->num_vcpus(); ++i) {
+    auto records = vm_->vcpu(i).pebs->Drain();
+    cost += config_.drain_ns_per_record * static_cast<double>(records.size());
+    for (const PebsRecord& r : records) {
+      samples_->Push(r.gva);
+    }
+  }
+  vm_->vcpu(0).clock_ns += cost;
+  vm_->mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(cost));
+  vm_->host().events().Schedule(now + config_.poll_period, [this, alive = alive_](Nanos fire) {
+    if (*alive) {
+      RunPoll(fire);
+    }
+  });
+}
+
+void DemeterPolicy::SyncRegions() {
+  const AddressSpace& space = process_->space();
+  // Heap growth.
+  const uint64_t brk = space.brk();
+  if (brk > AddressSpace::kStartBrk) {
+    if (heap_synced_end_ == 0) {
+      tree_->AddRegion(AddressSpace::kStartBrk, brk);
+    } else if (brk > heap_synced_end_) {
+      tree_->ExtendRegion(AddressSpace::kStartBrk, brk);
+    }
+    heap_synced_end_ = brk;
+  }
+  // New mmap VMAs.
+  const auto& vmas = space.vmas();
+  for (; vmas_synced_ < vmas.size(); ++vmas_synced_) {
+    const Vma& vma = vmas[vmas_synced_];
+    if (vma.tracked && vma.kind == VmaKind::kMmap && vma.size() > 0) {
+      tree_->AddRegion(vma.start, vma.end);
+    }
+  }
+}
+
+void DemeterPolicy::SyncPhysicalRegions() {
+  if (heap_synced_end_ != 0) {
+    return;  // Physical node spans never grow.
+  }
+  for (int n = 0; n < vm_->kernel().num_nodes(); ++n) {
+    const NumaNode& node = vm_->kernel().node(n);
+    tree_->AddRegion(AddrOfPage(node.gpa_base()), AddrOfPage(node.gpa_end()));
+  }
+  heap_synced_end_ = 1;  // Marker: physical regions registered.
+}
+
+RelocationResult DemeterPolicy::RelocatePhysical(const std::vector<HotRange>& ranked,
+                                                 size_t hot_prefix, Nanos now) {
+  RelocationResult result;
+  GuestKernel& kernel = vm_->kernel();
+  const double scan_ns = vm_->config().mmu_costs.pte_scan_ns;
+
+  struct Candidate {
+    PageNum vpn;
+    int pid;
+    double freq;
+  };
+  auto collect = [&](const HotRange& range, int want_node, size_t cap,
+                     std::vector<Candidate>* out) {
+    const double freq = range.Frequency();
+    for (PageNum gpa = PageOf(range.start); gpa < PageOf(range.end) && out->size() < cap;
+         ++gpa) {
+      ++result.ptes_scanned;
+      const RmapEntry* rmap = kernel.Rmap(gpa);
+      if (rmap != nullptr && kernel.NodeOfGpa(gpa) == want_node) {
+        out->push_back(Candidate{rmap->vpn, rmap->pid, freq});
+      }
+    }
+  };
+
+  std::vector<Candidate> promote;
+  for (size_t f = 0; f < hot_prefix && promote.size() < config_.relocator.max_batch_pages; ++f) {
+    if (ranked[f].Frequency() <= 0.0) {
+      break;
+    }
+    collect(ranked[f], /*want_node=*/1, config_.relocator.max_batch_pages, &promote);
+  }
+  std::vector<Candidate> demote;
+  for (size_t r = ranked.size(); r-- > hot_prefix && demote.size() < promote.size();) {
+    collect(ranked[r], /*want_node=*/0, promote.size(), &demote);
+  }
+  const size_t pairs = std::min(promote.size(), demote.size());
+  for (size_t i = 0; i < pairs; ++i) {
+    const Candidate& p = promote[i];
+    const Candidate& d = demote[i];
+    if (p.freq < config_.relocator.demote_margin * d.freq) {
+      break;
+    }
+    GuestProcess* proc_p = kernel.process(p.pid);
+    GuestProcess* proc_d = kernel.process(d.pid);
+    if (proc_p != nullptr && proc_d != nullptr &&
+        vm_->SwapPages(*proc_p, p.vpn, *proc_d, d.vpn, now, &result.cost_ns)) {
+      ++result.swaps;
+      ++result.promoted;
+      ++result.demoted;
+    }
+  }
+  result.cost_ns += static_cast<double>(result.ptes_scanned) * scan_ns;
+  return result;
+}
+
+void DemeterPolicy::RunEpoch(Nanos now) {
+  if (stopped_) {
+    return;
+  }
+  double tracking_ns = 0.0;
+  double classify_ns = 0.0;
+  double migrate_ns = 0.0;
+
+  // Consume the sample channel. In the default (virtual) mode, gVAs feed
+  // the classifier directly — no address translation per sample (the
+  // Memtis/HeMem cost we avoid). The physical ablation pays a software
+  // walk per sample and loses the gVA locality.
+  std::vector<uint64_t> drained;
+  samples_->PopBatch(&drained, 1 << 16);
+  tracking_ns += config_.classify_ns_per_sample * static_cast<double>(drained.size());
+
+  if (config_.classify_virtual) {
+    SyncRegions();
+    for (uint64_t gva : drained) {
+      tree_->RecordSample(gva);
+    }
+  } else {
+    SyncPhysicalRegions();
+    tracking_ns += config_.translate_ns_per_sample * static_cast<double>(drained.size());
+    for (uint64_t gva : drained) {
+      const auto walk = process_->gpt().Lookup(PageOf(gva));
+      if (walk.present) {
+        tree_->RecordSample(AddrOfPage(walk.target) + (gva & (kPageSize - 1)));
+      }
+    }
+  }
+  tree_->EndEpoch(vm_->num_vcpus());
+  const std::vector<HotRange> ranked = tree_->Ranked();
+  classify_ns += config_.classify_ns_per_range * static_cast<double>(ranked.size());
+
+  const uint64_t fmem_budget = vm_->kernel().node(0).present_pages();
+  const size_t hot_prefix = RangeTree::HotPrefix(ranked, fmem_budget);
+  if (config_.classify_virtual) {
+    last_relocation_ = relocator_.Relocate(*vm_, *process_, ranked, hot_prefix, now);
+    migrate_ns += last_relocation_.cost_ns +
+                  static_cast<double>(last_relocation_.ptes_scanned) *
+                      vm_->config().mmu_costs.pte_scan_ns;
+  } else {
+    last_relocation_ = RelocatePhysical(ranked, hot_prefix, now);
+    migrate_ns += last_relocation_.cost_ns;
+  }
+  total_promoted_ += last_relocation_.promoted;
+  total_demoted_ += last_relocation_.demoted;
+  ++epochs_run_;
+
+  // Engine work runs on a guest kernel thread: steal vCPU 0 time.
+  vm_->vcpu(0).clock_ns += tracking_ns + classify_ns + migrate_ns;
+  vm_->mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(tracking_ns));
+  vm_->mgmt_account().Charge(TmmStage::kClassification, static_cast<Nanos>(classify_ns));
+  vm_->mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(migrate_ns));
+
+  ScheduleNext(now);
+}
+
+void DemeterPolicy::ScheduleNext(Nanos now) {
+  if (stopped_) {
+    return;
+  }
+  vm_->host().events().Schedule(now + config_.range.epoch_length,
+                                [this, alive = alive_](Nanos fire) {
+                                  if (*alive) {
+                                    RunEpoch(fire);
+                                  }
+                                });
+}
+
+}  // namespace demeter

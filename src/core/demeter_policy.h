@@ -1,0 +1,96 @@
+// The Demeter guest-delegated TMM engine (§3.2).
+//
+// Wiring, per attached VM:
+//   * every vCPU's PEBS unit is enabled with the load-latency event at a
+//     small constant sample period (default 1/4093) and a 64 ns latency
+//     threshold;
+//   * samples drain at context switches (no dedicated polling thread) into
+//     a lock-free MPSC channel; PMIs also drain (they are rare by design);
+//   * every epoch (t_split = 500 ms) the classifier consumes the channel —
+//     gVA samples feed the range tree directly, with NO per-sample address
+//     translation — then splits/decays/merges, ranks ranges, and runs
+//     balanced relocation against the current FMEM budget (balloon-aware:
+//     the budget is node 0's present size).
+//
+// All engine work is charged to vCPU 0's clock (a kernel thread stealing
+// guest time) and recorded per stage in the VM's management account.
+
+#ifndef DEMETER_SRC_CORE_DEMETER_POLICY_H_
+#define DEMETER_SRC_CORE_DEMETER_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/base/units.h"
+#include "src/core/policy.h"
+#include "src/core/range_tree.h"
+#include "src/core/relocator.h"
+#include "src/guest/mpsc_channel.h"
+#include "src/pebs/pebs.h"
+
+namespace demeter {
+
+struct DemeterConfig {
+  RangeTreeConfig range;
+  RelocatorConfig relocator;
+  // PEBS parameters applied to every vCPU at attach (overriding VmConfig).
+  uint64_t sample_period = 4093;
+  double latency_threshold_ns = 64.0;
+  // Cost constants for engine work.
+  double drain_ns_per_record = 15.0;       // Context-switch buffer drain.
+  double classify_ns_per_sample = 25.0;    // Channel pop + tree update.
+  double classify_ns_per_range = 40.0;     // Split/merge/rank per leaf.
+
+  // ---- Ablation switches (each disables one Demeter design decision) ----
+  // false: a dedicated polling kthread drains PEBS buffers on a short
+  // period instead of the context-switch hook (HeMem/Memtis style).
+  bool drain_on_context_switch = true;
+  Nanos poll_period = 1 * kMillisecond;  // Used when polling.
+  double poll_fixed_ns = 2000.0;
+  // false: classify in guest-PHYSICAL address space — every sample pays a
+  // software translation, and (with a fragmented allocator) gPA ranges
+  // carry no locality, so refinement stalls (the Figure 4 insight).
+  bool classify_virtual = true;
+  double translate_ns_per_sample = 170.0;
+};
+
+class DemeterPolicy : public TmmPolicy {
+ public:
+  explicit DemeterPolicy(DemeterConfig config = DemeterConfig{});
+
+  const char* name() const override { return "demeter"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
+
+  const RangeTree& tree() const { return *tree_; }
+  const RelocationResult& last_relocation() const { return last_relocation_; }
+  uint64_t total_promoted() const { return total_promoted_; }
+  uint64_t total_demoted() const { return total_demoted_; }
+  uint64_t epochs_run() const { return epochs_run_; }
+
+ private:
+  void SyncRegions();
+  void SyncPhysicalRegions();
+  void RunEpoch(Nanos now);
+  void RunPoll(Nanos now);
+  void ScheduleNext(Nanos now);
+  // Relocation driven by gPA ranges (classify_virtual == false).
+  RelocationResult RelocatePhysical(const std::vector<HotRange>& ranked, size_t hot_prefix,
+                                    Nanos now);
+
+  DemeterConfig config_;
+  Vm* vm_ = nullptr;
+  GuestProcess* process_ = nullptr;
+  std::unique_ptr<RangeTree> tree_;
+  BalancedRelocator relocator_;
+  std::unique_ptr<MpscChannel<uint64_t>> samples_;
+  RelocationResult last_relocation_;
+  uint64_t total_promoted_ = 0;
+  uint64_t total_demoted_ = 0;
+  uint64_t epochs_run_ = 0;
+  uint64_t heap_synced_end_ = 0;
+  size_t vmas_synced_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_CORE_DEMETER_POLICY_H_

@@ -1,0 +1,46 @@
+// Tiered memory management policy interface.
+//
+// A policy attaches to a VM (and the guest process whose memory it manages),
+// registers its hooks (PEBS handlers, context-switch drains, epoch timers on
+// the hypervisor event queue), and from then on steals the CPU time its
+// bookkeeping costs: in-guest policies add their work to vCPU clocks
+// (reducing workload throughput), hypervisor-side policies burn host cores.
+// Either way the work is recorded in the VM's management CpuAccount, which
+// Figure 2 ("cores wasted") and Figure 7 (per-stage breakdown) report.
+
+#ifndef DEMETER_SRC_CORE_POLICY_H_
+#define DEMETER_SRC_CORE_POLICY_H_
+
+#include <memory>
+
+#include "src/base/units.h"
+#include "src/guest/process.h"
+#include "src/hyper/vm.h"
+
+namespace demeter {
+
+class TmmPolicy {
+ public:
+  virtual ~TmmPolicy() { *alive_ = false; }
+
+  virtual const char* name() const = 0;
+
+  // Attaches to `vm`, managing `process`. Periodic work begins at `start`.
+  virtual void Attach(Vm& vm, GuestProcess& process, Nanos start) = 0;
+
+  // Stops periodic work (the attached VM's workload finished).
+  virtual void Stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+ protected:
+  // Deferred callbacks (event-queue timers, PMI handlers, context-switch
+  // hooks) can outlive the policy object; every callback must capture
+  // `alive_` by value and bail out once it reads false.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bool stopped_ = false;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_CORE_POLICY_H_

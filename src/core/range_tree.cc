@@ -1,0 +1,240 @@
+#include "src/core/range_tree.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+RangeTree::RangeTree(RangeTreeConfig config) : config_(config) {
+  DEMETER_CHECK_GE(config.min_range_bytes, kPageSize);
+}
+
+void RangeTree::AddRegion(uint64_t start, uint64_t end) {
+  DEMETER_CHECK_EQ(start % kPageSize, 0u);
+  DEMETER_CHECK_EQ(end % kPageSize, 0u);
+  DEMETER_CHECK_LT(start, end);
+  for (const Region& r : regions_) {
+    DEMETER_CHECK(end <= r.start || start >= r.end) << "overlapping region";
+  }
+  regions_.push_back(Region{start, end});
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.start < b.start; });
+
+  HotRange leaf;
+  leaf.start = start;
+  leaf.end = end;
+  leaf.created_epoch = epoch_;
+  leaf.last_active_epoch = epoch_;
+  leaves_.push_back(leaf);
+  std::sort(leaves_.begin(), leaves_.end(),
+            [](const HotRange& a, const HotRange& b) { return a.start < b.start; });
+}
+
+void RangeTree::ExtendRegion(uint64_t start, uint64_t new_end) {
+  DEMETER_CHECK_EQ(new_end % kPageSize, 0u);
+  for (Region& r : regions_) {
+    if (start >= r.start && start < r.end) {
+      if (new_end <= r.end) {
+        return;  // Already covered.
+      }
+      // Append a fresh leaf for the growth; it merges with its neighbour
+      // once both go quiet, so fragmentation stays bounded.
+      const uint64_t old_end = r.end;
+      r.end = new_end;
+      HotRange leaf;
+      leaf.start = old_end;
+      leaf.end = new_end;
+      leaf.created_epoch = epoch_;
+      leaf.last_active_epoch = epoch_;
+      leaves_.push_back(leaf);
+      std::sort(leaves_.begin(), leaves_.end(),
+                [](const HotRange& a, const HotRange& b) { return a.start < b.start; });
+      return;
+    }
+  }
+  DEMETER_CHECK(false) << "ExtendRegion: no region contains " << start;
+}
+
+int RangeTree::FindLeaf(uint64_t addr) const {
+  // First leaf with start > addr, minus one.
+  auto it = std::upper_bound(leaves_.begin(), leaves_.end(), addr,
+                             [](uint64_t a, const HotRange& r) { return a < r.start; });
+  if (it == leaves_.begin()) {
+    return -1;
+  }
+  const int idx = static_cast<int>(std::distance(leaves_.begin(), it)) - 1;
+  const HotRange& leaf = leaves_[static_cast<size_t>(idx)];
+  return addr < leaf.end ? idx : -1;
+}
+
+void RangeTree::RecordSample(uint64_t addr) {
+  const int idx = FindLeaf(addr);
+  if (idx < 0) {
+    ++samples_ignored_;
+    return;
+  }
+  HotRange& leaf = leaves_[static_cast<size_t>(idx)];
+  leaf.access_count += 1.0;
+  leaf.last_active_epoch = epoch_ + 1;
+  ++samples_recorded_;
+}
+
+bool RangeTree::SameRegion(const HotRange& a, const HotRange& b) const {
+  for (const Region& r : regions_) {
+    if (a.start >= r.start && a.end <= r.end) {
+      return b.start >= r.start && b.end <= r.end;
+    }
+  }
+  return false;
+}
+
+void RangeTree::EndEpoch(int vcpus) {
+  ++epoch_;
+  last_vcpus_ = vcpus;
+  SplitPass();
+  DecayPass();
+  MergePass();
+}
+
+void RangeTree::SplitPass() {
+  const double margin = config_.SplitMargin(last_vcpus_);
+  // Decide on the pre-split snapshot, then apply back to front so indices
+  // stay valid.
+  std::vector<size_t> to_split;
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    const HotRange& leaf = leaves_[i];
+    if (leaf.size() < 2 * config_.min_range_bytes) {
+      continue;  // Granularity floor.
+    }
+    bool significant = true;
+    bool has_neighbor = false;
+    if (i > 0 && SameRegion(leaves_[i - 1], leaf)) {
+      has_neighbor = true;
+      significant = significant && (leaf.access_count - leaves_[i - 1].access_count >= margin);
+    }
+    if (i + 1 < leaves_.size() && SameRegion(leaf, leaves_[i + 1])) {
+      has_neighbor = true;
+      significant = significant && (leaf.access_count - leaves_[i + 1].access_count >= margin);
+    }
+    if (!has_neighbor) {
+      // A region's sole range splits once it is hot at all (bootstrap).
+      significant = leaf.access_count >= margin;
+    }
+    if (significant) {
+      to_split.push_back(i);
+    }
+  }
+  for (auto it = to_split.rbegin(); it != to_split.rend(); ++it) {
+    const size_t i = *it;
+    HotRange parent = leaves_[i];
+    // Midpoint aligned down to the granularity floor, relative to start.
+    uint64_t half = parent.size() / 2;
+    half -= half % config_.min_range_bytes;
+    if (half == 0) {
+      half = config_.min_range_bytes;
+    }
+    const uint64_t mid = parent.start + half;
+    HotRange left = parent;
+    HotRange right = parent;
+    left.end = mid;
+    right.start = mid;
+    left.access_count = parent.access_count / 2;
+    right.access_count = parent.access_count / 2;
+    left.created_epoch = epoch_;
+    right.created_epoch = epoch_;
+    leaves_[i] = left;
+    leaves_.insert(leaves_.begin() + static_cast<long>(i) + 1, right);
+    ++total_splits_;
+  }
+}
+
+void RangeTree::DecayPass() {
+  for (HotRange& leaf : leaves_) {
+    if (leaf.last_active_epoch >= epoch_) {
+      leaf.quiet_epochs = 0;
+    } else {
+      ++leaf.quiet_epochs;
+    }
+    leaf.access_count /= 2.0;
+    if (leaf.access_count < 1.0) {
+      leaf.access_count = 0.0;
+    }
+  }
+}
+
+void RangeTree::MergePass() {
+  auto mergeable = [&](const HotRange& leaf) {
+    return leaf.access_count == 0.0 && leaf.quiet_epochs >= config_.merge_threshold;
+  };
+  for (size_t i = 0; i + 1 < leaves_.size();) {
+    HotRange& a = leaves_[i];
+    const HotRange& b = leaves_[i + 1];
+    if (a.end == b.start && SameRegion(a, b) && mergeable(a) && mergeable(b)) {
+      a.end = b.end;
+      a.created_epoch = std::min(a.created_epoch, b.created_epoch);
+      a.last_active_epoch = std::max(a.last_active_epoch, b.last_active_epoch);
+      a.quiet_epochs = std::min(a.quiet_epochs, b.quiet_epochs);
+      leaves_.erase(leaves_.begin() + static_cast<long>(i) + 1);
+      ++total_merges_;
+      // Stay at i: the grown leaf may merge with the next one too.
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::vector<HotRange> RangeTree::Ranked() const {
+  std::vector<HotRange> ranked = leaves_;
+  std::stable_sort(ranked.begin(), ranked.end(), [](const HotRange& a, const HotRange& b) {
+    const double fa = a.Frequency();
+    const double fb = b.Frequency();
+    if (fa != fb) {
+      return fa > fb;
+    }
+    // Equal frequency: newer ranges first (temporal locality, §3.2.1).
+    if (a.created_epoch != b.created_epoch) {
+      return a.created_epoch > b.created_epoch;
+    }
+    return a.start < b.start;
+  });
+  return ranked;
+}
+
+size_t RangeTree::HotPrefix(const std::vector<HotRange>& ranked, uint64_t fmem_pages) {
+  uint64_t total = 0;
+  for (size_t f = 0; f < ranked.size(); ++f) {
+    total += ranked[f].pages();
+    if (total > fmem_pages) {
+      return f;
+    }
+  }
+  return ranked.size();
+}
+
+bool RangeTree::CheckInvariants() const {
+  size_t leaf = 0;
+  for (const Region& region : regions_) {
+    uint64_t cursor = region.start;
+    while (cursor < region.end) {
+      if (leaf >= leaves_.size()) {
+        return false;
+      }
+      const HotRange& r = leaves_[leaf];
+      if (r.start != cursor || r.end > region.end || r.end <= r.start) {
+        return false;
+      }
+      if (r.access_count < 0.0) {
+        return false;
+      }
+      cursor = r.end;
+      ++leaf;
+    }
+    if (cursor != region.end) {
+      return false;
+    }
+  }
+  return leaf == leaves_.size();
+}
+
+}  // namespace demeter

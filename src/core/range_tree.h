@@ -1,0 +1,120 @@
+// Range-based hotness classification in guest virtual address space (§3.2.1).
+//
+// The classifier maintains a partition of each tracked region (heap, mmap)
+// into contiguous ranges — the leaves of a segment-tree-like structure.
+// Cold memory stays in large ranges; hot memory is progressively refined by
+// splitting a leaf whose access count exceeds both neighbours' by the
+// significance margin alpha * tau_split * vcpus. Splits halve the range (and
+// its count) down to a 2 MiB granularity floor. Counts decay by half every
+// epoch; fully decayed neighbours merge back after tau_merge quiet epochs,
+// keeping the total leaf count small even over TiB-scale address spaces.
+//
+// Ranking orders leaves by access frequency (count / size), breaking ties
+// toward newer ranges (temporal locality). The hot prefix is the longest
+// ranked prefix whose page total fits the FMEM budget.
+
+#ifndef DEMETER_SRC_CORE_RANGE_TREE_H_
+#define DEMETER_SRC_CORE_RANGE_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace demeter {
+
+struct RangeTreeConfig {
+  Nanos epoch_length = 500 * kMillisecond;    // t_split.
+  double alpha = 2.0;                         // Significance factor.
+  double split_threshold = 15.0;              // tau_split.
+  int merge_threshold = 4;                    // tau_merge (quiet epochs before merge).
+  uint64_t min_range_bytes = kHugePageSize;   // Split granularity floor (2 MiB).
+
+  // Access-count margin required to out-access a neighbour before a split.
+  double SplitMargin(int vcpus) const {
+    return alpha * split_threshold * static_cast<double>(vcpus);
+  }
+};
+
+struct HotRange {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  double access_count = 0.0;     // Decayed count.
+  uint64_t created_epoch = 0;    // Age: when the range was created by a split.
+  uint64_t last_active_epoch = 0;
+  int quiet_epochs = 0;          // Consecutive epochs with zero accesses.
+
+  uint64_t size() const { return end - start; }
+  uint64_t pages() const { return size() / kPageSize; }
+  double Frequency() const {
+    return size() == 0 ? 0.0 : access_count / static_cast<double>(pages());
+  }
+};
+
+class RangeTree {
+ public:
+  explicit RangeTree(RangeTreeConfig config = RangeTreeConfig{});
+
+  // Registers a tracked region [start, end) (page-aligned). Regions must not
+  // overlap existing ones. Typically called for the heap and mmap VMAs.
+  void AddRegion(uint64_t start, uint64_t end);
+
+  // Extends a previously added region whose end grew (heap growth). No-op if
+  // already covered.
+  void ExtendRegion(uint64_t start, uint64_t new_end);
+
+  // Records one access sample at gVA `addr`. Samples outside tracked regions
+  // are ignored (code/data/stack exclusion). O(log leaves).
+  void RecordSample(uint64_t addr);
+
+  // Ends the current epoch: performs split checks, decay, and merges.
+  // `vcpus` scales the significance margin (samples arrive from all vCPUs).
+  void EndEpoch(int vcpus);
+
+  // Leaves ranked hottest-first: frequency desc, then newer creation age.
+  std::vector<HotRange> Ranked() const;
+
+  // Index f into Ranked(): the longest prefix whose cumulative page count
+  // fits within fmem_pages (§3.2.3 step 1).
+  static size_t HotPrefix(const std::vector<HotRange>& ranked, uint64_t fmem_pages);
+
+  const std::vector<HotRange>& leaves() const { return leaves_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t total_splits() const { return total_splits_; }
+  uint64_t total_merges() const { return total_merges_; }
+  uint64_t samples_recorded() const { return samples_recorded_; }
+  uint64_t samples_ignored() const { return samples_ignored_; }
+  const RangeTreeConfig& config() const { return config_; }
+
+  // Verifies structural invariants (used by tests): leaves sorted, disjoint,
+  // exactly covering the registered regions.
+  bool CheckInvariants() const;
+
+ private:
+  struct Region {
+    uint64_t start;
+    uint64_t end;
+  };
+
+  // Index of the leaf containing addr, or -1.
+  int FindLeaf(uint64_t addr) const;
+  bool SameRegion(const HotRange& a, const HotRange& b) const;
+  void SplitPass();
+  void DecayPass();
+  void MergePass();
+
+  RangeTreeConfig config_;
+  std::vector<Region> regions_;      // Sorted by start.
+  std::vector<HotRange> leaves_;     // Sorted by start; partition of regions.
+  uint64_t epoch_ = 0;
+  uint64_t total_splits_ = 0;
+  uint64_t total_merges_ = 0;
+  uint64_t samples_recorded_ = 0;
+  uint64_t samples_ignored_ = 0;
+  int last_vcpus_ = 1;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_CORE_RANGE_TREE_H_

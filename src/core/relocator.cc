@@ -1,0 +1,96 @@
+#include "src/core/relocator.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+RelocationResult BalancedRelocator::Relocate(Vm& vm, GuestProcess& process,
+                                             const std::vector<HotRange>& ranked,
+                                             size_t hot_prefix, Nanos now) {
+  RelocationResult result;
+  GuestKernel& kernel = vm.kernel();
+
+  struct Candidate {
+    PageNum vpn;
+    double freq;  // Frequency of the range the page belongs to.
+  };
+
+  // Phase 1: promotion candidates — pages inside hot ranges currently in
+  // SMEM, hottest range first.
+  std::vector<Candidate> promote;
+  for (size_t f = 0; f < hot_prefix && promote.size() < config_.max_batch_pages; ++f) {
+    const HotRange& range = ranked[f];
+    const double freq = range.Frequency();
+    if (freq <= 0.0) {
+      break;  // Nothing below this rank carries hotness information.
+    }
+    result.ptes_scanned += process.gpt().ForEachPresent(
+        PageOf(range.start), PageOf(range.end),
+        [&](PageNum vpn, uint64_t gpa, bool, bool) {
+          if (promote.size() < config_.max_batch_pages && kernel.NodeOfGpa(gpa) != 0) {
+            promote.push_back(Candidate{vpn, freq});
+          }
+        });
+  }
+  if (promote.empty()) {
+    return result;
+  }
+
+  // Fast path: free FMEM headroom absorbs promotions without demotion.
+  size_t next = 0;
+  while (next < promote.size() &&
+         kernel.node(0).free_pages() > config_.fmem_free_reserve_pages) {
+    if (vm.MovePage(process, promote[next].vpn, /*dst_node=*/0, now, &result.cost_ns)) {
+      ++result.promoted;
+    }
+    ++next;
+  }
+
+  // Phase 2: demotion candidates — walk coldest ranges in reverse rank order
+  // for exactly as many FMEM-resident pages as promotions remain.
+  const size_t need = promote.size() - next;
+  std::vector<Candidate> demote;
+  for (size_t r = ranked.size(); r-- > hot_prefix && demote.size() < need;) {
+    const HotRange& range = ranked[r];
+    const double freq = range.Frequency();
+    result.ptes_scanned += process.gpt().ForEachPresent(
+        PageOf(range.start), PageOf(range.end),
+        [&](PageNum vpn, uint64_t gpa, bool, bool) {
+          if (demote.size() < need && kernel.NodeOfGpa(gpa) == 0) {
+            demote.push_back(Candidate{vpn, freq});
+          }
+        });
+  }
+
+  // Phase 3: batched, balanced swap of equal-length lists. Promote freq is
+  // non-increasing and demote freq non-decreasing, so the first pair that
+  // fails the hotness margin ends the batch.
+  const size_t pairs = std::min(promote.size() - next, demote.size());
+  for (size_t i = 0; i < pairs; ++i) {
+    const Candidate& p = promote[next + i];
+    const Candidate& d = demote[i];
+    if (p.freq < config_.demote_margin * d.freq) {
+      break;
+    }
+    if (config_.balanced_swap) {
+      if (vm.SwapPages(process, p.vpn, process, d.vpn, now, &result.cost_ns)) {
+        ++result.swaps;
+        ++result.promoted;
+        ++result.demoted;
+      }
+    } else {
+      // Sequential style (ablation): demote first to create a free page,
+      // then promote into it — two allocate-copy-remap migrations plus the
+      // transient allocation the balanced swap avoids.
+      if (vm.MovePage(process, d.vpn, /*dst_node=*/1, now, &result.cost_ns)) {
+        ++result.demoted;
+        if (vm.MovePage(process, p.vpn, /*dst_node=*/0, now, &result.cost_ns)) {
+          ++result.promoted;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace demeter

@@ -1,0 +1,66 @@
+// Balanced page relocation (§3.2.3).
+//
+// Given the ranked ranges and the hot prefix f, the relocator:
+//   1. walks the process page table inside hot ranges [0, f) collecting
+//      pages misplaced in SMEM (the promotion list, length m);
+//   2. walks the coldest ranges in reverse rank order collecting exactly m
+//      pages misplaced in FMEM (the demotion list);
+//   3. swaps the two lists pairwise with Vm::SwapPages — contents exchanged
+//      through a buffer, no page allocation, no reclaim pressure, one
+//      single-gVA shootdown per side.
+// When FMEM has free headroom, promotion uses it directly (MovePage) before
+// falling back to balanced swapping, so a freshly ballooned-up node fills
+// without forcing demotions.
+
+#ifndef DEMETER_SRC_CORE_RELOCATOR_H_
+#define DEMETER_SRC_CORE_RELOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/core/range_tree.h"
+#include "src/guest/process.h"
+#include "src/hyper/vm.h"
+
+namespace demeter {
+
+struct RelocatorConfig {
+  uint64_t max_batch_pages = 256;  // Promotion-list cap per epoch.
+  // Free pages to leave in FMEM when promoting via MovePage (watermark).
+  uint64_t fmem_free_reserve_pages = 16;
+  // A swap only happens when the promoted page's range is at least this much
+  // hotter than the demoted page's range. Prevents churn between
+  // equal-frequency ranges (e.g. uniformly streamed data).
+  double demote_margin = 2.0;
+  // Ablation: when false, pairs migrate sequentially through temporary
+  // pages (demote to free a slot, then promote into it) instead of the
+  // balanced in-place swap — the migration style of prior systems, which
+  // needs transient free memory and can trigger reclaim (§3.2.3).
+  bool balanced_swap = true;
+};
+
+struct RelocationResult {
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+  uint64_t swaps = 0;
+  uint64_t ptes_scanned = 0;
+  double cost_ns = 0.0;
+};
+
+class BalancedRelocator {
+ public:
+  explicit BalancedRelocator(RelocatorConfig config = RelocatorConfig{}) : config_(config) {}
+
+  RelocationResult Relocate(Vm& vm, GuestProcess& process, const std::vector<HotRange>& ranked,
+                            size_t hot_prefix, Nanos now);
+
+  const RelocatorConfig& config() const { return config_; }
+
+ private:
+  RelocatorConfig config_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_CORE_RELOCATOR_H_

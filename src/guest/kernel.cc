@@ -1,0 +1,145 @@
+#include "src/guest/kernel.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+GuestKernel::GuestKernel(const GuestKernelConfig& config) : config_(config) {
+  DEMETER_CHECK_EQ(config.node_span_pages.size(), static_cast<size_t>(config.num_nodes));
+  DEMETER_CHECK_EQ(config.node_present_pages.size(), static_cast<size_t>(config.num_nodes));
+  PageNum base = 0;
+  for (int i = 0; i < config.num_nodes; ++i) {
+    const uint64_t span = config.node_span_pages[static_cast<size_t>(i)];
+    const uint64_t present = config.node_present_pages[static_cast<size_t>(i)];
+    nodes_.emplace_back(i, base, span, present, config.free_list_shuffle_seed);
+    base += span;
+  }
+  alloc_fifo_.resize(static_cast<size_t>(config.num_nodes));
+}
+
+int GuestKernel::NodeOfGpa(PageNum gpa) const {
+  for (const NumaNode& node : nodes_) {
+    if (node.ContainsGpa(gpa)) {
+      return node.id();
+    }
+  }
+  return -1;
+}
+
+GuestProcess& GuestKernel::CreateProcess() {
+  const int pid = static_cast<int>(processes_.size()) + 1;
+  processes_.push_back(std::make_unique<GuestProcess>(pid));
+  return *processes_.back();
+}
+
+GuestProcess* GuestKernel::process(int pid) {
+  for (auto& p : processes_) {
+    if (p->pid() == pid) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+std::optional<PageNum> GuestKernel::AllocGpa(int preferred_node, bool allow_fallback,
+                                             double* cost_ns) {
+  auto gpa = node(preferred_node).AllocPage();
+  if (gpa.has_value()) {
+    return gpa;
+  }
+  if (!allow_fallback) {
+    return std::nullopt;
+  }
+  // Fallback in node-id order (node 0 = FMEM is always preferred first by
+  // callers; the fallback chain mirrors Linux zonelist ordering).
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (i == preferred_node) {
+      continue;
+    }
+    gpa = node(i).AllocPage();
+    if (gpa.has_value()) {
+      ++stats_.fallback_allocs;
+      if (cost_ns != nullptr) {
+        *cost_ns += 300.0;  // Zonelist walk + remote allocation.
+      }
+      return gpa;
+    }
+  }
+  ++stats_.oom_failures;
+  return std::nullopt;
+}
+
+void GuestKernel::FreeGpa(PageNum gpa) {
+  const int n = NodeOfGpa(gpa);
+  DEMETER_CHECK_GE(n, 0);
+  rmap_.erase(gpa);
+  node(n).FreePage(gpa);
+}
+
+void GuestKernel::RecordAlloc(PageNum gpa, int pid, PageNum vpn) {
+  rmap_[gpa] = RmapEntry{pid, vpn};
+  const int n = NodeOfGpa(gpa);
+  alloc_fifo_[static_cast<size_t>(n)].push_back(gpa);
+}
+
+std::optional<PageNum> GuestKernel::HandleFault(GuestProcess& process, PageNum vpn,
+                                                double* cost_ns) {
+  ++stats_.faults;
+  auto gpa = AllocGpa(/*preferred_node=*/0, /*allow_fallback=*/true, cost_ns);
+  if (!gpa.has_value()) {
+    return std::nullopt;
+  }
+  DEMETER_CHECK(process.gpt().Map(vpn, *gpa, /*writable=*/true));
+  RecordAlloc(*gpa, process.pid(), vpn);
+  return gpa;
+}
+
+const RmapEntry* GuestKernel::Rmap(PageNum gpa) const {
+  auto it = rmap_.find(gpa);
+  return it == rmap_.end() ? nullptr : &it->second;
+}
+
+void GuestKernel::OnPageMoved(PageNum old_gpa, PageNum new_gpa) {
+  auto it = rmap_.find(old_gpa);
+  DEMETER_CHECK(it != rmap_.end()) << "moved page has no rmap entry";
+  const RmapEntry entry = it->second;
+  rmap_.erase(it);
+  rmap_[new_gpa] = entry;
+  const int n = NodeOfGpa(new_gpa);
+  alloc_fifo_[static_cast<size_t>(n)].push_back(new_gpa);
+}
+
+void GuestKernel::OnPagesSwapped(PageNum gpa_a, PageNum gpa_b) {
+  auto it_a = rmap_.find(gpa_a);
+  auto it_b = rmap_.find(gpa_b);
+  DEMETER_CHECK(it_a != rmap_.end() && it_b != rmap_.end()) << "swapping unmapped gPAs";
+  std::swap(it_a->second, it_b->second);
+}
+
+std::optional<PageNum> GuestKernel::PickVictim(int node_id) {
+  auto& fifo = alloc_fifo_[static_cast<size_t>(node_id)];
+  while (!fifo.empty()) {
+    const PageNum gpa = fifo.front();
+    fifo.pop_front();
+    // Lazily skip pages that were freed or migrated away since enqueue.
+    auto it = rmap_.find(gpa);
+    if (it != rmap_.end() && NodeOfGpa(gpa) == node_id) {
+      // Re-enqueue at the back so repeated picks cycle through the node.
+      fifo.push_back(gpa);
+      return gpa;
+    }
+  }
+  return std::nullopt;
+}
+
+double GuestKernel::OnContextSwitch(int vcpu, Nanos now) {
+  double cost = 0.0;
+  for (const CtxHook& hook : ctx_hooks_) {
+    cost += hook(vcpu, now);
+  }
+  return cost;
+}
+
+}  // namespace demeter

@@ -1,0 +1,116 @@
+// Guest kernel: NUMA nodes, processes, lazy page-fault allocation, reverse
+// map, victim selection, and context-switch hooks.
+//
+// Lazy first-touch allocation is the mechanism behind Figure 4: physical
+// placement follows access order, not spatial order, so locality visible in
+// gVA space is destroyed in gPA/hPA space. The kernel allocates from the
+// fast node until it runs dry, then falls back to the slow node (Linux
+// local-first mempolicy on a tiered topology).
+
+#ifndef DEMETER_SRC_GUEST_KERNEL_H_
+#define DEMETER_SRC_GUEST_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/guest/numa_node.h"
+#include "src/guest/process.h"
+
+namespace demeter {
+
+struct RmapEntry {
+  int pid = -1;
+  PageNum vpn = 0;
+};
+
+struct GuestKernelConfig {
+  int num_nodes = 2;
+  // Per-node gPA span (balloon maximum) and initially present pages.
+  std::vector<uint64_t> node_span_pages;
+  std::vector<uint64_t> node_present_pages;
+  double reclaim_cost_ns = 3000.0;  // Direct-reclaim path per page.
+  // Non-zero: shuffle each node's free list (allocator fragmentation).
+  uint64_t free_list_shuffle_seed = 0;
+};
+
+class GuestKernel {
+ public:
+  struct Stats {
+    uint64_t faults = 0;
+    uint64_t fallback_allocs = 0;  // Preferred node dry; spilled to another.
+    uint64_t reclaim_events = 0;
+    uint64_t oom_failures = 0;
+  };
+
+  explicit GuestKernel(const GuestKernelConfig& config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  NumaNode& node(int i) { return nodes_[static_cast<size_t>(i)]; }
+  const NumaNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+
+  // Node containing a gPA, or -1.
+  int NodeOfGpa(PageNum gpa) const;
+
+  GuestProcess& CreateProcess();
+  GuestProcess* process(int pid);
+  const std::vector<std::unique_ptr<GuestProcess>>& processes() const { return processes_; }
+
+  // Page-fault path: allocates a gPA (fast node first, slow fallback), maps
+  // vpn -> gpa in the process GPT, and records the reverse mapping.
+  // Returns nullopt on OOM. `cost_ns` accumulates extra kernel work
+  // (fallback search, reclaim).
+  std::optional<PageNum> HandleFault(GuestProcess& process, PageNum vpn, double* cost_ns);
+
+  // Raw allocation with fallback; used by fault path and by migration.
+  // `preferred` only (no fallback) when `allow_fallback` is false.
+  std::optional<PageNum> AllocGpa(int preferred_node, bool allow_fallback, double* cost_ns);
+  void FreeGpa(PageNum gpa);
+
+  // Reverse map: gPA -> owning (pid, vpn); nullptr when gPA is free.
+  const RmapEntry* Rmap(PageNum gpa) const;
+
+  // Bookkeeping for migrations: the page previously at old_gpa now lives at
+  // new_gpa (same owner).
+  void OnPageMoved(PageNum old_gpa, PageNum new_gpa);
+
+  // Bookkeeping for a balanced swap: the owners of gpa_a and gpa_b have been
+  // exchanged (contents moved with them).
+  void OnPagesSwapped(PageNum gpa_a, PageNum gpa_b);
+
+  // Oldest allocated page in `node` (FIFO — an approximation of inactive-LRU
+  // eviction order). Used as the demotion victim source by reclaim.
+  std::optional<PageNum> PickVictim(int node);
+
+  // Context-switch hooks (Demeter's PEBS drain attaches here). The returned
+  // double is extra CPU cost in ns charged to the switching vCPU.
+  using CtxHook = std::function<double(int vcpu, Nanos now)>;
+  void RegisterContextSwitchHook(CtxHook hook) { ctx_hooks_.push_back(std::move(hook)); }
+  double OnContextSwitch(int vcpu, Nanos now);
+
+  const Stats& stats() const { return stats_; }
+
+  // Total pages currently mapped by any process (== rmap size).
+  uint64_t mapped_pages() const { return rmap_.size(); }
+
+ private:
+  void RecordAlloc(PageNum gpa, int pid, PageNum vpn);
+
+  GuestKernelConfig config_;
+  std::vector<NumaNode> nodes_;
+  std::vector<std::unique_ptr<GuestProcess>> processes_;
+  std::unordered_map<PageNum, RmapEntry> rmap_;
+  // Per-node allocation FIFO for victim selection; lazily pruned.
+  std::vector<std::deque<PageNum>> alloc_fifo_;
+  std::vector<CtxHook> ctx_hooks_;
+  Stats stats_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_GUEST_KERNEL_H_

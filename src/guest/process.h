@@ -1,0 +1,38 @@
+// A guest process: address space plus guest page table (GPT).
+
+#ifndef DEMETER_SRC_GUEST_PROCESS_H_
+#define DEMETER_SRC_GUEST_PROCESS_H_
+
+#include <cstdint>
+
+#include "src/guest/address_space.h"
+#include "src/mmu/page_table.h"
+
+namespace demeter {
+
+class GuestProcess {
+ public:
+  explicit GuestProcess(int pid) : pid_(pid) {}
+
+  GuestProcess(const GuestProcess&) = delete;
+  GuestProcess& operator=(const GuestProcess&) = delete;
+
+  int pid() const { return pid_; }
+  AddressSpace& space() { return space_; }
+  const AddressSpace& space() const { return space_; }
+  PageTable& gpt() { return gpt_; }
+  const PageTable& gpt() const { return gpt_; }
+
+  // Convenience allocators returning the base address of the new region.
+  uint64_t HeapAlloc(uint64_t bytes) { return space_.Sbrk(bytes); }
+  uint64_t MmapAlloc(uint64_t bytes) { return space_.Mmap(bytes); }
+
+ private:
+  int pid_;
+  AddressSpace space_;
+  PageTable gpt_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_GUEST_PROCESS_H_

@@ -1,0 +1,398 @@
+#include "src/harness/machine.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/tmm/damon.h"
+#include "src/tmm/htpp.h"
+#include "src/tmm/memtis.h"
+#include "src/tmm/nomad.h"
+#include "src/tmm/static_policy.h"
+#include "src/tmm/tpp.h"
+
+namespace demeter {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kStatic:
+      return "static";
+    case PolicyKind::kDemeter:
+      return "demeter";
+    case PolicyKind::kTpp:
+      return "tpp";
+    case PolicyKind::kHTpp:
+      return "tpp-h";
+    case PolicyKind::kMemtis:
+      return "memtis";
+    case PolicyKind::kNomad:
+      return "nomad";
+    case PolicyKind::kDamon:
+      return "damon";
+  }
+  return "?";
+}
+
+PolicyKind PolicyKindFromName(const std::string& name) {
+  if (name == "static") {
+    return PolicyKind::kStatic;
+  }
+  if (name == "demeter") {
+    return PolicyKind::kDemeter;
+  }
+  if (name == "tpp") {
+    return PolicyKind::kTpp;
+  }
+  if (name == "tpp-h" || name == "htpp") {
+    return PolicyKind::kHTpp;
+  }
+  if (name == "memtis") {
+    return PolicyKind::kMemtis;
+  }
+  if (name == "nomad") {
+    return PolicyKind::kNomad;
+  }
+  if (name == "damon") {
+    return PolicyKind::kDamon;
+  }
+  DEMETER_CHECK(false) << "unknown policy: " << name;
+  return PolicyKind::kStatic;
+}
+
+const char* ProvisionModeName(ProvisionMode mode) {
+  switch (mode) {
+    case ProvisionMode::kStatic:
+      return "static";
+    case ProvisionMode::kVirtioBalloon:
+      return "virtio-balloon";
+    case ProvisionMode::kDemeterBalloon:
+      return "demeter-balloon";
+    case ProvisionMode::kHotplug:
+      return "hotplug";
+  }
+  return "?";
+}
+
+std::unique_ptr<TmmPolicy> MakePolicy(PolicyKind kind, const DemeterConfig& demeter_config,
+                                      Nanos policy_period) {
+  switch (kind) {
+    case PolicyKind::kStatic:
+      return std::make_unique<StaticPolicy>();
+    case PolicyKind::kDemeter:
+      return std::make_unique<DemeterPolicy>(demeter_config);
+    case PolicyKind::kTpp: {
+      TppConfig config;
+      config.scan_period = policy_period;
+      return std::make_unique<TppPolicy>(config);
+    }
+    case PolicyKind::kHTpp: {
+      HTppConfig config;
+      config.scan_period = policy_period;
+      return std::make_unique<HTppPolicy>(config);
+    }
+    case PolicyKind::kMemtis: {
+      MemtisConfig config;
+      config.classify_period = 2 * policy_period;
+      config.poll_period = std::max<Nanos>(policy_period / 15, kMillisecond);
+      // Scaled sampling: keep the histogram usefully populated at this
+      // simulation's access rates (paper-scale defaults starve it).
+      config.sample_period = 127;
+      config.hot_count_threshold = 2.0;
+      return std::make_unique<MemtisPolicy>(config);
+    }
+    case PolicyKind::kNomad: {
+      NomadConfig config;
+      config.scan_period = policy_period;
+      return std::make_unique<NomadPolicy>(config);
+    }
+    case PolicyKind::kDamon: {
+      DamonConfig config;
+      config.aggregation_interval = policy_period;
+      config.sample_interval = std::max<Nanos>(policy_period / 10, kMillisecond);
+      return std::make_unique<DamonPolicy>(config);
+    }
+  }
+  return nullptr;
+}
+
+Machine::Machine(MachineConfig config) : config_(config), rng_(config.seed) {
+  memory_ = std::make_unique<HostMemory>(config.tiers);
+  hyper_ = std::make_unique<Hypervisor>(memory_.get(), &events_);
+}
+
+Machine::~Machine() = default;
+
+void Machine::SetCustomPolicy(int i, std::unique_ptr<TmmPolicy> policy) {
+  DEMETER_CHECK(!ran_);
+  custom_policies_[static_cast<size_t>(i)] = std::move(policy);
+  results_[static_cast<size_t>(i)].policy = custom_policies_[static_cast<size_t>(i)]->name();
+}
+
+int Machine::AddVm(const VmSetup& setup) {
+  DEMETER_CHECK(!ran_);
+  VmSetup resolved = setup;
+  resolved.vm.id = static_cast<int>(setups_.size());
+  resolved.vm.start_full = setup.provision != ProvisionMode::kStatic;
+  resolved.vm.rng_seed = config_.seed * 7919 + static_cast<uint64_t>(resolved.vm.id);
+  Vm& vm = hyper_->CreateVm(resolved.vm);
+
+  setups_.push_back(resolved);
+  workloads_.push_back(MakeWorkload(resolved.workload, resolved.footprint_bytes));
+  policies_.push_back(nullptr);
+  custom_policies_.push_back(nullptr);
+  // Balloon devices exist from VM creation (so QoS managers can register
+  // against them before Run); resize requests go out during provisioning.
+  demeter_balloons_.push_back(resolved.provision == ProvisionMode::kDemeterBalloon
+                                  ? std::make_unique<DemeterBalloon>(&vm)
+                                  : nullptr);
+  virtio_balloons_.push_back(resolved.provision == ProvisionMode::kVirtioBalloon
+                                 ? std::make_unique<VirtioBalloon>(&vm)
+                                 : nullptr);
+  hotplugs_.push_back(nullptr);
+  runtimes_.emplace_back();
+  results_.emplace_back();
+
+  // Workload-characteristic cache behaviour.
+  const_cast<VmConfig&>(vm.config()).cache_hit_rate = workloads_.back()->CacheHitRate();
+  return resolved.vm.id;
+}
+
+void Machine::ProvisionVm(int i) {
+  const VmSetup& setup = setups_[static_cast<size_t>(i)];
+  Vm& machine_vm = vm(i);
+  switch (setup.provision) {
+    case ProvisionMode::kStatic:
+      return;
+    case ProvisionMode::kVirtioBalloon: {
+      // The host wants the VM trimmed from 200% to 100% of its memory; the
+      // tier-blind balloon decides where the pages come from.
+      virtio_balloons_[static_cast<size_t>(i)]->RequestDelta(
+          static_cast<int64_t>(setup.vm.total_pages()), /*now=*/0);
+      return;
+    }
+    case ProvisionMode::kDemeterBalloon: {
+      DemeterBalloon* balloon = demeter_balloons_[static_cast<size_t>(i)].get();
+      balloon->RequestResizeTo(0, setup.vm.fmem_pages(), /*now=*/0);
+      balloon->RequestResizeTo(1, setup.vm.smem_pages(), /*now=*/0);
+      return;
+    }
+    case ProvisionMode::kHotplug: {
+      // Scaled block size: keep the paper's 128MiB-per-16GiB coarseness.
+      const uint64_t block = std::max<uint64_t>(setup.vm.total_memory_bytes / 128, kPageSize);
+      auto hotplug = std::make_unique<HotplugProvisioner>(&machine_vm, block);
+      hotplug->ResizeTo(0, setup.vm.fmem_pages(), 0);
+      hotplug->ResizeTo(1, setup.vm.smem_pages(), 0);
+      hotplugs_[static_cast<size_t>(i)] = std::move(hotplug);
+      return;
+    }
+  }
+}
+
+void Machine::InitPass(int i) {
+  Vm& machine_vm = vm(i);
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  Workload& wl = *workloads_[static_cast<size_t>(i)];
+  if (!wl.NeedsInitPass()) {
+    return;
+  }
+  // Touch the whole footprint in address order, round-robin over vCPUs —
+  // application initialization, which fixes first-touch placement.
+  int vcpu = 0;
+  for (const Vma& vma : rt.process->space().vmas()) {
+    if (!vma.tracked || vma.size() == 0) {
+      continue;
+    }
+    for (uint64_t addr = vma.start; addr < vma.end; addr += kPageSize) {
+      const AccessResult r = machine_vm.ExecuteAccess(vcpu, *rt.process, addr, /*is_write=*/true);
+      machine_vm.vcpu(vcpu).clock_ns += r.ns;
+      vcpu = (vcpu + 1) % machine_vm.num_vcpus();
+    }
+  }
+}
+
+Nanos Machine::MinActiveClock() const {
+  Nanos min_clock = ~static_cast<Nanos>(0);
+  bool any = false;
+  for (size_t i = 0; i < runtimes_.size(); ++i) {
+    if (runtimes_[i].finished) {
+      continue;
+    }
+    any = true;
+    const Vm& machine_vm = hyper_->vm(static_cast<int>(i));
+    for (int v = 0; v < machine_vm.num_vcpus(); ++v) {
+      const Nanos c = const_cast<Vm&>(machine_vm).vcpu(v).now();
+      min_clock = std::min(min_clock, c);
+    }
+  }
+  return any ? min_clock : 0;
+}
+
+void Machine::RunVmQuantum(int i) {
+  Vm& machine_vm = vm(i);
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  VmRunResult& result = results_[static_cast<size_t>(i)];
+  Workload& wl = *workloads_[static_cast<size_t>(i)];
+  const VmSetup& setup = setups_[static_cast<size_t>(i)];
+  const int ops_per_txn = wl.OpsPerTransaction();
+
+  for (int v = 0; v < machine_vm.num_vcpus() && !rt.finished; ++v) {
+    Vcpu& vcpu = machine_vm.vcpu(v);
+    const double quantum_end = vcpu.clock_ns + static_cast<double>(config_.quantum);
+    auto& batch = rt.batches[static_cast<size_t>(v)];
+    size_t& pos = rt.batch_pos[static_cast<size_t>(v)];
+    while (vcpu.clock_ns < quantum_end && !rt.finished) {
+      if (pos >= batch.size()) {
+        batch.clear();
+        pos = 0;
+        wl.NextBatch(v, config_.batch_ops, rng_, &batch);
+        DEMETER_CHECK(!batch.empty()) << "workload produced no ops";
+      }
+      const AccessOp op = batch[pos++];
+      const AccessResult r = machine_vm.ExecuteAccess(v, *rt.process, op.gva, op.is_write);
+      vcpu.clock_ns += r.ns;
+
+      // Transaction accounting.
+      int& in_txn = rt.ops_in_txn[static_cast<size_t>(v)];
+      double& latency = rt.txn_latency_ns[static_cast<size_t>(v)];
+      latency += r.ns;
+      if (++in_txn >= ops_per_txn) {
+        in_txn = 0;
+        result.txn_latency_ns.Record(static_cast<uint64_t>(latency));
+        latency = 0.0;
+        ++rt.transactions;
+        const size_t bucket = static_cast<size_t>((vcpu.now() - rt.start_time) /
+                                                  setup.timeline_bucket);
+        if (result.timeline.size() <= bucket) {
+          result.timeline.resize(bucket + 1, 0);
+        }
+        ++result.timeline[bucket];
+        if (rt.transactions >= setup.target_transactions) {
+          FinishVm(i, vcpu.now());
+        }
+      }
+      // Timer tick / scheduler: context switches drain PEBS (Demeter hook).
+      if (vcpu.clock_ns >= static_cast<double>(vcpu.next_context_switch)) {
+        vcpu.clock_ns += machine_vm.OnContextSwitch(v, vcpu.now());
+        vcpu.next_context_switch += machine_vm.config().context_switch_period;
+      }
+    }
+  }
+}
+
+void Machine::FinishVm(int i, Nanos now) {
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  if (rt.finished) {
+    return;
+  }
+  rt.finished = true;
+  Vm& machine_vm = vm(i);
+  if (policies_[static_cast<size_t>(i)] != nullptr) {
+    policies_[static_cast<size_t>(i)]->Stop();
+  }
+  VmRunResult& result = results_[static_cast<size_t>(i)];
+  result.workload = setups_[static_cast<size_t>(i)].workload;
+  result.policy = policies_[static_cast<size_t>(i)] != nullptr
+                      ? policies_[static_cast<size_t>(i)]->name()
+                      : PolicyKindName(setups_[static_cast<size_t>(i)].policy);
+  result.transactions = rt.transactions;
+  result.elapsed_s = ToSeconds(now - rt.start_time);
+  result.tlb = machine_vm.AggregateTlbStats();
+  result.vm_stats = machine_vm.stats();
+  result.mgmt = machine_vm.mgmt_account();
+  result.timeline_bucket = setups_[static_cast<size_t>(i)].timeline_bucket;
+  const uint64_t mem_accesses = result.vm_stats.fmem_accesses + result.vm_stats.smem_accesses;
+  result.fmem_access_fraction =
+      mem_accesses == 0
+          ? 0.0
+          : static_cast<double>(result.vm_stats.fmem_accesses) / static_cast<double>(mem_accesses);
+}
+
+void Machine::Run() {
+  DEMETER_CHECK(!ran_);
+  ran_ = true;
+
+  // Phase 1: provisioning. Balloon request/completion chains finish within
+  // microseconds of virtual time; a bounded horizon (rather than draining
+  // until empty) coexists with unrelated periodic timers (e.g. a QoS
+  // manager) that re-arm themselves forever.
+  for (int i = 0; i < num_vms(); ++i) {
+    ProvisionVm(i);
+  }
+  events_.RunUntil(10 * kMillisecond);
+
+  // Phase 2: workload setup + init pass.
+  for (int i = 0; i < num_vms(); ++i) {
+    VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+    rt.process = &vm(i).kernel().CreateProcess();
+    workloads_[static_cast<size_t>(i)]->Setup(*rt.process, rng_);
+    InitPass(i);
+    const int vcpus = vm(i).num_vcpus();
+    rt.batches.resize(static_cast<size_t>(vcpus));
+    rt.batch_pos.assign(static_cast<size_t>(vcpus), 0);
+    rt.ops_in_txn.assign(static_cast<size_t>(vcpus), 0);
+    rt.txn_latency_ns.assign(static_cast<size_t>(vcpus), 0.0);
+  }
+
+  // Phase 3: align all clocks so VMs contend from the same instant.
+  double global_start = 0.0;
+  for (int i = 0; i < num_vms(); ++i) {
+    for (int v = 0; v < vm(i).num_vcpus(); ++v) {
+      global_start = std::max(global_start, vm(i).vcpu(v).clock_ns);
+    }
+  }
+  for (int i = 0; i < num_vms(); ++i) {
+    VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+    rt.start_time = static_cast<Nanos>(global_start);
+    for (int v = 0; v < vm(i).num_vcpus(); ++v) {
+      Vcpu& vcpu = vm(i).vcpu(v);
+      vcpu.clock_ns = global_start;
+      vcpu.next_context_switch =
+          static_cast<Nanos>(global_start) + vm(i).config().context_switch_period;
+    }
+    vm(i).mgmt_account().Clear();  // Exclude provisioning/init overheads.
+  }
+
+  // Phase 4: attach policies (custom instances take precedence).
+  for (int i = 0; i < num_vms(); ++i) {
+    auto policy = custom_policies_[static_cast<size_t>(i)] != nullptr
+                      ? std::move(custom_policies_[static_cast<size_t>(i)])
+                      : MakePolicy(setups_[static_cast<size_t>(i)].policy,
+                                   setups_[static_cast<size_t>(i)].demeter,
+                                   setups_[static_cast<size_t>(i)].policy_period);
+    policy->Attach(vm(i), *runtimes_[static_cast<size_t>(i)].process,
+                   static_cast<Nanos>(global_start));
+    policies_[static_cast<size_t>(i)] = std::move(policy);
+  }
+
+  // Phase 5: main loop — lock-stepped quanta + due events.
+  for (;;) {
+    bool any_active = false;
+    for (int i = 0; i < num_vms(); ++i) {
+      if (!runtimes_[static_cast<size_t>(i)].finished) {
+        any_active = true;
+        RunVmQuantum(i);
+      }
+    }
+    if (!any_active) {
+      break;
+    }
+    events_.RunUntil(MinActiveClock());
+  }
+}
+
+double Machine::TotalMgmtCores() const {
+  double total = 0.0;
+  for (int i = 0; i < num_vms(); ++i) {
+    total += results_[static_cast<size_t>(i)].MgmtCores();
+  }
+  return total;
+}
+
+double Machine::MeanElapsedSeconds() const {
+  double total = 0.0;
+  for (int i = 0; i < num_vms(); ++i) {
+    total += results_[static_cast<size_t>(i)].elapsed_s;
+  }
+  return num_vms() == 0 ? 0.0 : total / num_vms();
+}
+
+}  // namespace demeter

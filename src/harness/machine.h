@@ -1,0 +1,163 @@
+// Experiment harness: builds a host with N virtual machines, provisions
+// their tiered memory (static / VirtIO balloon / Demeter balloon / hotplug),
+// attaches a TMM policy per VM, and drives the workloads to a transaction
+// target in lock-stepped vCPU quanta over shared virtual time.
+//
+// All bench binaries (one per paper table/figure) are thin wrappers around
+// this class.
+
+#ifndef DEMETER_SRC_HARNESS_MACHINE_H_
+#define DEMETER_SRC_HARNESS_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/balloon/balloon.h"
+#include "src/base/histogram.h"
+#include "src/core/api.h"
+#include "src/workloads/workload.h"
+
+namespace demeter {
+
+enum class PolicyKind {
+  kStatic,
+  kDemeter,
+  kTpp,
+  kHTpp,
+  kMemtis,
+  kNomad,
+  kDamon,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+PolicyKind PolicyKindFromName(const std::string& name);
+
+enum class ProvisionMode {
+  kStatic,          // Nodes boot at the target sizes.
+  kVirtioBalloon,   // Boot at 100%+100%; classic balloon trims (tier-blind).
+  kDemeterBalloon,  // Boot at 100%+100%; double balloon trims per node.
+  kHotplug,         // Boot at 100%+100%; block-granular unplug.
+};
+
+const char* ProvisionModeName(ProvisionMode mode);
+
+struct MachineConfig {
+  std::vector<TierSpec> tiers;
+  Nanos quantum = 1 * kMillisecond;
+  size_t batch_ops = 512;  // Ops fetched from the workload generator at a time.
+  uint64_t seed = 42;
+};
+
+struct VmSetup {
+  VmConfig vm;
+  std::string workload = "gups";
+  uint64_t footprint_bytes = 48 * kMiB;
+  uint64_t target_transactions = 500000;
+  PolicyKind policy = PolicyKind::kStatic;
+  ProvisionMode provision = ProvisionMode::kStatic;
+  // Scan/classify period for the baseline policies (TPP/H-TPP/Memtis/Nomad).
+  // Scaled-down simulations shrink this together with everything else.
+  Nanos policy_period = 100 * kMillisecond;
+  // Overrides applied to the Demeter policy when used.
+  DemeterConfig demeter;
+  // Virtual-time bucket for the throughput timeline.
+  Nanos timeline_bucket = 100 * kMillisecond;
+};
+
+struct VmRunResult {
+  std::string workload;
+  std::string policy;
+  uint64_t transactions = 0;
+  double elapsed_s = 0.0;  // Virtual seconds from run start to target.
+  TlbStats tlb;
+  VmStats vm_stats;
+  CpuAccount mgmt;
+  Histogram txn_latency_ns;
+  // transactions completed per timeline bucket (throughput series).
+  std::vector<uint64_t> timeline;
+  Nanos timeline_bucket = 0;
+  double fmem_access_fraction = 0.0;
+
+  double ThroughputTps() const { return elapsed_s > 0 ? transactions / elapsed_s : 0.0; }
+  // Management cores consumed over the run (Figure 2's metric).
+  double MgmtCores() const {
+    return elapsed_s > 0 ? ToSeconds(mgmt.Total()) / elapsed_s : 0.0;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine();
+
+  // Adds a VM; returns its index. Call before Run().
+  int AddVm(const VmSetup& setup);
+
+  // Replaces VM i's policy with a caller-provided instance (e.g. a custom
+  // TmmPolicy subclass, or a built-in with bespoke configuration). Call
+  // between AddVm and Run; the machine attaches it at run start.
+  void SetCustomPolicy(int i, std::unique_ptr<TmmPolicy> policy);
+
+  // Provisions, initializes, attaches policies, and runs every VM to its
+  // transaction target.
+  void Run();
+
+  const VmRunResult& result(int i) const { return results_[static_cast<size_t>(i)]; }
+  int num_vms() const { return static_cast<int>(setups_.size()); }
+
+  Hypervisor& hypervisor() { return *hyper_; }
+  EventQueue& events() { return events_; }
+  Vm& vm(int i) { return hyper_->vm(i); }
+  TmmPolicy* policy(int i) { return policies_[static_cast<size_t>(i)].get(); }
+  Workload* workload(int i) { return workloads_[static_cast<size_t>(i)].get(); }
+  DemeterBalloon* demeter_balloon(int i) { return demeter_balloons_[static_cast<size_t>(i)].get(); }
+
+  // Aggregate results.
+  double TotalMgmtCores() const;
+  double MeanElapsedSeconds() const;
+
+ private:
+  struct VmRuntime {
+    GuestProcess* process = nullptr;
+    std::vector<std::vector<AccessOp>> batches;  // Per vCPU.
+    std::vector<size_t> batch_pos;
+    std::vector<int> ops_in_txn;          // Per vCPU: ops so far in current txn.
+    std::vector<double> txn_latency_ns;   // Per vCPU: accumulated latency.
+    uint64_t transactions = 0;
+    Nanos start_time = 0;
+    bool finished = false;
+  };
+
+  void ProvisionVm(int i);
+  void InitPass(int i);
+  void RunVmQuantum(int i);
+  Nanos MinActiveClock() const;
+  void FinishVm(int i, Nanos now);
+
+  MachineConfig config_;
+  std::unique_ptr<HostMemory> memory_;
+  EventQueue events_;
+  std::unique_ptr<Hypervisor> hyper_;
+  std::vector<VmSetup> setups_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  std::vector<std::unique_ptr<TmmPolicy>> policies_;
+  std::vector<std::unique_ptr<TmmPolicy>> custom_policies_;
+  std::vector<std::unique_ptr<DemeterBalloon>> demeter_balloons_;
+  std::vector<std::unique_ptr<VirtioBalloon>> virtio_balloons_;
+  std::vector<std::unique_ptr<HotplugProvisioner>> hotplugs_;
+  std::vector<VmRuntime> runtimes_;
+  std::vector<VmRunResult> results_;
+  Rng rng_;
+  bool ran_ = false;
+};
+
+// Builds a policy instance of the given kind. Demeter uses `demeter_config`;
+// the baselines run their scans/classification every `policy_period`.
+std::unique_ptr<TmmPolicy> MakePolicy(PolicyKind kind, const DemeterConfig& demeter_config,
+                                      Nanos policy_period);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_HARNESS_MACHINE_H_

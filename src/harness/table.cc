@@ -1,0 +1,64 @@
+#include "src/harness/table.h"
+
+#include <cstdio>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DEMETER_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  for (size_t i = 0; i + 2 < total; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void PrintSeries(const std::string& title, const std::vector<std::string>& labels,
+                 const std::vector<double>& values, const std::string& unit) {
+  std::printf("%s\n", title.c_str());
+  for (size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+    std::printf("  %-24s %12.3f %s\n", labels[i].c_str(), values[i], unit.c_str());
+  }
+}
+
+}  // namespace demeter

@@ -1,0 +1,34 @@
+// Plain-text table printer for bench output (paper tables/figures as rows).
+
+#ifndef DEMETER_SRC_HARNESS_TABLE_H_
+#define DEMETER_SRC_HARNESS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace demeter {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Prints to stdout with column alignment and a header rule.
+  void Print() const;
+
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a "figure" as a labelled series: one line per point.
+void PrintSeries(const std::string& title, const std::vector<std::string>& labels,
+                 const std::vector<double>& values, const std::string& unit);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_HARNESS_TABLE_H_

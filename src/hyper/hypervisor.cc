@@ -1,0 +1,95 @@
+#include "src/hyper/hypervisor.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+Hypervisor::Hypervisor(HostMemory* memory, EventQueue* events)
+    : memory_(memory), events_(events) {
+  DEMETER_CHECK(memory != nullptr);
+  DEMETER_CHECK(events != nullptr);
+}
+
+Vm& Hypervisor::CreateVm(const VmConfig& config) {
+  vms_.push_back(std::make_unique<Vm>(config, this));
+  return *vms_.back();
+}
+
+int Hypervisor::NodeOfGpa(const Vm& vm, PageNum gpa) const {
+  const uint64_t span = vm.config().total_pages();
+  const int node = static_cast<int>(gpa / span);
+  DEMETER_CHECK_LT(node, 2);
+  return node;
+}
+
+FrameId Hypervisor::PopulateEpt(Vm& vm, PageNum gpa) {
+  const int node = NodeOfGpa(vm, gpa);
+  const TierIndex desired = TierForNode(node);
+  auto frame = memory_->Allocate(desired);
+  if (!frame.has_value()) {
+    // Host pressure: spill to the other tier rather than failing the VM.
+    ++stats_.host_tier_fallbacks;
+    for (TierIndex t = 0; t < memory_->num_tiers(); ++t) {
+      if (t == desired) {
+        continue;
+      }
+      frame = memory_->Allocate(t);
+      if (frame.has_value()) {
+        break;
+      }
+    }
+  }
+  if (!frame.has_value()) {
+    return kInvalidFrame;
+  }
+  ++stats_.ept_populates;
+  DEMETER_CHECK(vm.ept().Map(gpa, *frame, /*writable=*/true));
+  return *frame;
+}
+
+void Hypervisor::UnbackGpa(Vm& vm, PageNum gpa, bool flush) {
+  const uint64_t frame = vm.ept().Unmap(gpa);
+  if (frame == ~0ULL) {
+    return;  // Never backed.
+  }
+  ++stats_.ept_unbacks;
+  memory_->Free(frame);
+  if (flush) {
+    vm.FullFlushAll();
+  }
+}
+
+bool Hypervisor::MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, double* cost_ns) {
+  const auto entry = vm.ept().Lookup(gpa);
+  if (!entry.present) {
+    return false;
+  }
+  const FrameId old_frame = entry.target;
+  if (memory_->TierOf(old_frame) == dst_tier) {
+    return false;
+  }
+  auto new_frame = memory_->Allocate(dst_tier);
+  if (!new_frame.has_value()) {
+    return false;
+  }
+  *cost_ns += memory_->tier(memory_->TierOf(old_frame)).AccessCost(now, kPageSize, false);
+  *cost_ns += memory_->tier(dst_tier).AccessCost(now, kPageSize, true);
+  memory_->WriteToken(*new_frame, memory_->ReadToken(old_frame));
+  DEMETER_CHECK(vm.ept().Remap(gpa, *new_frame));
+  memory_->Free(old_frame);
+  ++stats_.host_migrations;
+  return true;
+}
+
+uint64_t Hypervisor::ScanEptAccessedAndFlush(Vm& vm, const EptVisitor& visitor) {
+  const uint64_t touched = vm.ept().ScanAndClearAccessed(
+      0, PageTable::kMaxPage, [&](PageNum gpa, uint64_t frame, bool accessed, bool) {
+        visitor(gpa, static_cast<FrameId>(frame), accessed);
+      });
+  // Without gVAs, only a full EPT invalidation guarantees that future
+  // accesses re-walk and re-set A bits (§2.3.1).
+  vm.FullFlushAll();
+  return touched;
+}
+
+}  // namespace demeter

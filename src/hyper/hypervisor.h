@@ -1,0 +1,80 @@
+// Hypervisor: owns host tiered memory and VMs; populates EPTs lazily;
+// provides the MMU-notifier interface hypervisor-based TMM designs use and
+// the host-side page migration they perform.
+
+#ifndef DEMETER_SRC_HYPER_HYPERVISOR_H_
+#define DEMETER_SRC_HYPER_HYPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hyper/vm.h"
+#include "src/mem/host_memory.h"
+#include "src/sim/event_queue.h"
+
+namespace demeter {
+
+class Hypervisor {
+ public:
+  struct Stats {
+    uint64_t ept_populates = 0;
+    uint64_t ept_unbacks = 0;
+    uint64_t host_tier_fallbacks = 0;  // Desired tier dry; spilled.
+    uint64_t host_migrations = 0;
+  };
+
+  Hypervisor(HostMemory* memory, EventQueue* events);
+
+  HostMemory& memory() { return *memory_; }
+  EventQueue& events() { return *events_; }
+
+  Vm& CreateVm(const VmConfig& config);
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+  Vm& vm(int i) { return *vms_[static_cast<size_t>(i)]; }
+
+  // Host tier that should back gPA pages of guest NUMA node `node` (identity
+  // mapping: node i <-> tier i).
+  TierIndex TierForNode(int node) const { return node; }
+
+  // Guest NUMA node owning a gPA under `vm`'s layout.
+  int NodeOfGpa(const Vm& vm, PageNum gpa) const;
+
+  // EPT-fault service: backs `gpa` with a frame from the matching tier
+  // (spilling to another tier under host memory pressure). Returns the
+  // frame, or kInvalidFrame on host OOM.
+  FrameId PopulateEpt(Vm& vm, PageNum gpa);
+
+  // Frees the backing of `gpa` (balloon inflation / free-page reporting).
+  // Safe to call for never-backed pages. When `flush` is true a full EPT
+  // invalidation is issued (the hypervisor has no gVA for this page).
+  void UnbackGpa(Vm& vm, PageNum gpa, bool flush);
+
+  // Host-side migration of one backed gPA to `dst_tier` (used by
+  // hypervisor-based TMM). Does NOT flush; callers batch migrations and
+  // issue one full flush per batch via vm.FullFlushAll(). Returns false if
+  // the page is unbacked or the destination tier is exhausted.
+  bool MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, double* cost_ns);
+
+  // MMU-notifier-style scan over a VM's EPT: visits every backed gPA with
+  // its pre-clear Accessed bit and clears the bits. The hypervisor cannot
+  // know which gVAs map these gPAs, so re-arming observation requires the
+  // full EPT invalidation the paper measures (Table 1); this helper issues
+  // it. Returns the number of PTEs touched (for cost accounting).
+  using EptVisitor = std::function<void(PageNum gpa, FrameId frame, bool accessed)>;
+  uint64_t ScanEptAccessedAndFlush(Vm& vm, const EptVisitor& visitor);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  HostMemory* memory_;
+  EventQueue* events_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  Stats stats_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_HYPER_HYPERVISOR_H_

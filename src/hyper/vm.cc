@@ -1,0 +1,246 @@
+#include "src/hyper/vm.h"
+
+#include "src/base/logging.h"
+#include "src/hyper/hypervisor.h"
+#include "src/mem/tier.h"
+
+namespace demeter {
+
+Vm::Vm(const VmConfig& config, Hypervisor* host)
+    : config_(config), host_(host), rng_(config.rng_seed + static_cast<uint64_t>(config.id)) {
+  DEMETER_CHECK(host != nullptr);
+  DEMETER_CHECK_GT(config.num_vcpus, 0);
+  DEMETER_CHECK_GT(config.total_pages(), 0u);
+
+  GuestKernelConfig kconfig;
+  kconfig.num_nodes = 2;
+  // Each node's span covers 100% of VM memory so the balloon can shift
+  // composition anywhere between all-FMEM and all-SMEM (§3.3).
+  kconfig.node_span_pages = {config.total_pages(), config.total_pages()};
+  if (config.start_full) {
+    kconfig.node_present_pages = {config.total_pages(), config.total_pages()};
+  } else {
+    kconfig.node_present_pages = {config.fmem_pages(), config.smem_pages()};
+  }
+  kconfig.free_list_shuffle_seed = config.rng_seed + 17;
+  kernel_ = std::make_unique<GuestKernel>(kconfig);
+
+  for (int i = 0; i < config.num_vcpus; ++i) {
+    auto vcpu = std::make_unique<Vcpu>();
+    vcpu->id = i;
+    vcpu->pebs = std::make_unique<PebsUnit>(config.pebs);
+    vcpu->next_context_switch = config.context_switch_period;
+    vcpus_.push_back(std::move(vcpu));
+  }
+}
+
+AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva, bool is_write) {
+  Vcpu& v = vcpu(vcpu_id);
+  ++v.accesses;
+  ++stats_.accesses;
+  if (is_write) {
+    ++stats_.writes;
+  }
+  const Nanos now = v.now();
+
+  if (rng_.NextBool(config_.cache_hit_rate)) {
+    ++stats_.cache_hits;
+    double ns = kL2HitLatencyNs;
+    ns += v.pebs->OnAccess(gva, kL2HitLatencyNs, is_write, now);
+    stats_.total_access_ns += ns;
+    return AccessResult{ns, /*cache_hit=*/true, kFmemTier};
+  }
+
+  const PageNum vpn = PageOf(gva);
+  double total = 0.0;
+  TranslationResult tr;
+  for (int attempt = 0;; ++attempt) {
+    tr = Translate2D(v.tlb, process.gpt(), ept_, vpn, is_write, config_.mmu_costs);
+    total += tr.cost_ns;
+    if (tr.status == TranslateStatus::kOk) {
+      break;
+    }
+    DEMETER_CHECK_LT(attempt, 3) << "translation did not converge for gva " << gva;
+    if (tr.status == TranslateStatus::kGuestFault) {
+      ++stats_.guest_faults;
+      total += config_.mmu_costs.guest_fault_ns;
+      double extra = 0.0;
+      auto gpa = kernel_->HandleFault(process, vpn, &extra);
+      total += extra;
+      DEMETER_CHECK(gpa.has_value()) << "guest OOM: vm " << id() << " gva " << gva;
+    } else {
+      ++stats_.ept_faults;
+      total += config_.mmu_costs.ept_fault_ns;
+      const FrameId frame = host_->PopulateEpt(*this, tr.gpa_page);
+      DEMETER_CHECK_NE(frame, kInvalidFrame) << "host OOM populating gpa " << tr.gpa_page;
+    }
+  }
+
+  const TierIndex t = host_->memory().TierOf(tr.frame);
+  const double mem = host_->memory().tier(t).AccessCost(now, 64, is_write);
+  total += mem;
+  if (t == kFmemTier) {
+    ++stats_.fmem_accesses;
+  } else {
+    ++stats_.smem_accesses;
+  }
+  total += v.pebs->OnAccess(gva, mem, is_write, now);
+  stats_.total_access_ns += total;
+  return AccessResult{total, /*cache_hit=*/false, t};
+}
+
+void Vm::FlushGvaAll(PageNum vpn) {
+  for (auto& v : vcpus_) {
+    v->tlb.InvalidatePage(vpn);
+  }
+}
+
+void Vm::FullFlushAll() {
+  for (auto& v : vcpus_) {
+    v->tlb.InvalidateAll();
+  }
+}
+
+TlbStats Vm::AggregateTlbStats() const {
+  TlbStats total;
+  for (const auto& v : vcpus_) {
+    total.Merge(v->tlb.stats());
+  }
+  return total;
+}
+
+double Vm::SingleFlushCost() const {
+  return config_.mmu_costs.single_flush_ns * static_cast<double>(num_vcpus());
+}
+
+double Vm::FullFlushCost() const {
+  return config_.mmu_costs.full_flush_ns * static_cast<double>(num_vcpus());
+}
+
+double Vm::PageCopyCost(PageNum src_gpa, PageNum dst_gpa, Nanos now) {
+  double cost = 0.0;
+  const auto src = ept_.Lookup(src_gpa);
+  const auto dst = ept_.Lookup(dst_gpa);
+  HostMemory& mem = host_->memory();
+  uint64_t token = 0;
+  if (src.present) {
+    const TierIndex st = mem.TierOf(src.target);
+    cost += mem.tier(st).AccessCost(now, kPageSize, /*is_write=*/false);
+    token = mem.ReadToken(src.target);
+  }
+  if (dst.present) {
+    const TierIndex dt = mem.TierOf(dst.target);
+    cost += mem.tier(dt).AccessCost(now, kPageSize, /*is_write=*/true);
+    mem.WriteToken(dst.target, token);
+  }
+  return cost;
+}
+
+int Vm::NodeOfVpn(const GuestProcess& process, PageNum vpn) const {
+  const auto r = process.gpt().Lookup(vpn);
+  if (!r.present) {
+    return -1;
+  }
+  return kernel_->NodeOfGpa(r.target);
+}
+
+bool Vm::MovePage(GuestProcess& process, PageNum vpn, int dst_node, Nanos now, double* cost_ns) {
+  const auto gpt_entry = process.gpt().Lookup(vpn);
+  if (!gpt_entry.present) {
+    return false;
+  }
+  const PageNum old_gpa = gpt_entry.target;
+  const int src_node = kernel_->NodeOfGpa(old_gpa);
+  if (src_node == dst_node) {
+    return false;
+  }
+  auto new_gpa = kernel_->AllocGpa(dst_node, /*allow_fallback=*/false, cost_ns);
+  if (!new_gpa.has_value()) {
+    return false;
+  }
+  // Back the destination before copying (first touch by the copy loop).
+  if (!ept_.Lookup(*new_gpa).present) {
+    *cost_ns += config_.mmu_costs.ept_fault_ns;
+    const FrameId frame = host_->PopulateEpt(*this, *new_gpa);
+    if (frame == kInvalidFrame) {
+      kernel_->FreeGpa(*new_gpa);
+      return false;
+    }
+  }
+  *cost_ns += PageCopyCost(old_gpa, *new_gpa, now);
+  process.gpt().Unmap(vpn);
+  FlushGvaAll(vpn);
+  *cost_ns += SingleFlushCost() + config_.mmu_costs.migrate_sw_ns;
+  DEMETER_CHECK(process.gpt().Map(vpn, *new_gpa, /*writable=*/true));
+  kernel_->OnPageMoved(old_gpa, *new_gpa);
+  kernel_->FreeGpa(old_gpa);
+  // Free-page reporting: the guest tells the host the old page is reusable.
+  host_->UnbackGpa(*this, old_gpa, /*flush=*/false);
+  if (dst_node == 0) {
+    ++stats_.pages_promoted;
+  } else if (src_node == 0) {
+    ++stats_.pages_demoted;
+  }
+  return true;
+}
+
+bool Vm::SwapPages(GuestProcess& proc_a, PageNum vpn_a, GuestProcess& proc_b, PageNum vpn_b,
+                   Nanos now, double* cost_ns) {
+  const auto entry_a = proc_a.gpt().Lookup(vpn_a);
+  const auto entry_b = proc_b.gpt().Lookup(vpn_b);
+  if (!entry_a.present || !entry_b.present) {
+    return false;
+  }
+  const PageNum gpa_a = entry_a.target;
+  const PageNum gpa_b = entry_b.target;
+  // Ensure both backed (they were touched to become mapped, but be safe).
+  for (PageNum gpa : {gpa_a, gpa_b}) {
+    if (!ept_.Lookup(gpa).present) {
+      *cost_ns += config_.mmu_costs.ept_fault_ns;
+      if (host_->PopulateEpt(*this, gpa) == kInvalidFrame) {
+        return false;
+      }
+    }
+  }
+  const FrameId frame_a = ept_.Lookup(gpa_a).target;
+  const FrameId frame_b = ept_.Lookup(gpa_b).target;
+  HostMemory& mem = host_->memory();
+  const TierIndex tier_a = mem.TierOf(frame_a);
+  const TierIndex tier_b = mem.TierOf(frame_b);
+
+  // Unmap both sides, then exchange contents through a cacheline-sized
+  // buffer (no page allocation — the point of balanced relocation).
+  proc_a.gpt().Unmap(vpn_a);
+  proc_b.gpt().Unmap(vpn_b);
+  FlushGvaAll(vpn_a);
+  FlushGvaAll(vpn_b);
+  *cost_ns += 2 * SingleFlushCost() + 2 * config_.mmu_costs.migrate_sw_ns;
+
+  *cost_ns += mem.tier(tier_a).AccessCost(now, kPageSize, /*is_write=*/false);
+  *cost_ns += mem.tier(tier_b).AccessCost(now, kPageSize, /*is_write=*/false);
+  *cost_ns += mem.tier(tier_a).AccessCost(now, kPageSize, /*is_write=*/true);
+  *cost_ns += mem.tier(tier_b).AccessCost(now, kPageSize, /*is_write=*/true);
+  const uint64_t token_a = mem.ReadToken(frame_a);
+  mem.WriteToken(frame_a, mem.ReadToken(frame_b));
+  mem.WriteToken(frame_b, token_a);
+
+  // Cross-remap: each vpn adopts the other's gPA (and thus its node/tier).
+  DEMETER_CHECK(proc_a.gpt().Map(vpn_a, gpa_b, /*writable=*/true));
+  DEMETER_CHECK(proc_b.gpt().Map(vpn_b, gpa_a, /*writable=*/true));
+  kernel_->OnPagesSwapped(gpa_a, gpa_b);
+
+  const int node_a = kernel_->NodeOfGpa(gpa_a);
+  const int node_b = kernel_->NodeOfGpa(gpa_b);
+  if (node_a != node_b) {
+    ++stats_.pages_promoted;
+    ++stats_.pages_demoted;
+  }
+  return true;
+}
+
+double Vm::OnContextSwitch(int vcpu_id, Nanos now) {
+  ++stats_.context_switches;
+  return config_.mmu_costs.context_switch_ns + kernel_->OnContextSwitch(vcpu_id, now);
+}
+
+}  // namespace demeter

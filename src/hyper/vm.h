@@ -1,0 +1,162 @@
+// A virtual machine: vCPUs (TLB + PEBS + virtual clock), a guest kernel,
+// and an EPT, wired to host tiered memory through the owning Hypervisor.
+//
+// The VM exposes the three primitives every TMM design builds on:
+//   * ExecuteAccess  — one guest memory access through 2D translation, with
+//     lazy guest-fault and EPT-fault handling and tier latency charging
+//   * MovePage       — guest-initiated page migration between NUMA nodes
+//     (allocate-copy-remap, single-gVA TLB shootdowns)
+//   * SwapPages      — Demeter's balanced relocation primitive: exchange the
+//     physical placement of two virtual pages with no allocation (§3.2.3)
+// plus host-side migration hooks used by hypervisor-based baselines.
+
+#ifndef DEMETER_SRC_HYPER_VM_H_
+#define DEMETER_SRC_HYPER_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/guest/kernel.h"
+#include "src/guest/process.h"
+#include "src/mem/host_memory.h"
+#include "src/mmu/page_table.h"
+#include "src/mmu/tlb.h"
+#include "src/mmu/walker.h"
+#include "src/pebs/pebs.h"
+#include "src/sim/cpu_account.h"
+
+namespace demeter {
+
+class Hypervisor;
+
+struct VmConfig {
+  int id = 0;
+  int num_vcpus = 4;
+  uint64_t total_memory_bytes = 256 * kMiB;
+  double fmem_ratio = 0.2;  // FMEM share of total (the paper's default 1:5).
+  Nanos context_switch_period = 4 * kMillisecond;
+  PebsConfig pebs;
+  MmuCosts mmu_costs;
+  // Probability an access is served by the CPU cache hierarchy (never
+  // reaches memory; latency kL2HitLatencyNs). Workload-dependent.
+  double cache_hit_rate = 0.2;
+  bool lazily_backed = true;  // EPT populated on first touch (overcommit).
+  // When true, both NUMA nodes boot at 100% of total memory (the Demeter
+  // balloon configuration, §3.3): a provisioner must balloon them down to
+  // the desired composition. When false, nodes boot at fmem/smem sizes.
+  bool start_full = false;
+  uint64_t rng_seed = 0x5eed;
+
+  uint64_t total_pages() const { return total_memory_bytes / kPageSize; }
+  uint64_t fmem_pages() const {
+    return static_cast<uint64_t>(fmem_ratio * static_cast<double>(total_pages()));
+  }
+  uint64_t smem_pages() const { return total_pages() - fmem_pages(); }
+};
+
+struct Vcpu {
+  int id = 0;
+  double clock_ns = 0.0;  // Local virtual time.
+  Tlb tlb;
+  std::unique_ptr<PebsUnit> pebs;
+  uint64_t accesses = 0;
+  Nanos next_context_switch = 0;
+
+  Nanos now() const { return static_cast<Nanos>(clock_ns); }
+};
+
+struct VmStats {
+  uint64_t accesses = 0;
+  uint64_t writes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t guest_faults = 0;
+  uint64_t ept_faults = 0;
+  uint64_t fmem_accesses = 0;
+  uint64_t smem_accesses = 0;
+  uint64_t pages_promoted = 0;  // Into node 0.
+  uint64_t pages_demoted = 0;   // Out of node 0.
+  uint64_t context_switches = 0;
+  double total_access_ns = 0.0;
+};
+
+struct AccessResult {
+  double ns = 0.0;
+  bool cache_hit = false;
+  TierIndex tier = kFmemTier;
+};
+
+class Vm {
+ public:
+  Vm(const VmConfig& config, Hypervisor* host);
+
+  const VmConfig& config() const { return config_; }
+  int id() const { return config_.id; }
+
+  GuestKernel& kernel() { return *kernel_; }
+  PageTable& ept() { return ept_; }
+  Hypervisor& host() { return *host_; }
+
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  Vcpu& vcpu(int i) { return *vcpus_[static_cast<size_t>(i)]; }
+
+  VmStats& stats() { return stats_; }
+  const VmStats& stats() const { return stats_; }
+  Rng& rng() { return rng_; }
+
+  // Executes one memory access by `vcpu_id` in `process` at address `gva`.
+  // Handles guest and EPT faults inline. The caller advances the vCPU clock
+  // by the returned cost.
+  AccessResult ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva, bool is_write);
+
+  // ---- TLB shootdowns ----------------------------------------------------
+  // Single-address invalidation on every vCPU (guest-side IPI shootdown).
+  void FlushGvaAll(PageNum vpn);
+  // Full invalidation on every vCPU (invept; the only option available to
+  // hypervisor-side designs, which lack the gVA).
+  void FullFlushAll();
+  TlbStats AggregateTlbStats() const;
+  // Cost of the flush instructions themselves (one per vCPU).
+  double SingleFlushCost() const;
+  double FullFlushCost() const;
+
+  // ---- Guest-side migration ----------------------------------------------
+  // Moves vpn's backing page to `dst_node` via allocate-copy-remap.
+  // Fails (false) when the destination node has no free page and
+  // `allow_fallback` is false. Accumulates CPU cost into *cost_ns.
+  bool MovePage(GuestProcess& process, PageNum vpn, int dst_node, Nanos now, double* cost_ns);
+
+  // Balanced swap: exchanges physical placement (and contents) of two
+  // mapped virtual pages, with no page allocation. Both pages end up with
+  // their original data at their original gVA, in the other page's node.
+  bool SwapPages(GuestProcess& proc_a, PageNum vpn_a, GuestProcess& proc_b, PageNum vpn_b,
+                 Nanos now, double* cost_ns);
+
+  // NUMA node of the page backing vpn, or -1 when unmapped.
+  int NodeOfVpn(const GuestProcess& process, PageNum vpn) const;
+
+  // Per-VM management-CPU account (all TMM policy work).
+  CpuAccount& mgmt_account() { return mgmt_account_; }
+
+  // Context switch on a vCPU: charges the base cost plus hook work.
+  double OnContextSwitch(int vcpu_id, Nanos now);
+
+ private:
+  // Charges a page-sized transfer against the host tier backing `gpa`.
+  double PageCopyCost(PageNum src_gpa, PageNum dst_gpa, Nanos now);
+
+  VmConfig config_;
+  Hypervisor* host_;
+  std::unique_ptr<GuestKernel> kernel_;
+  PageTable ept_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  VmStats stats_;
+  CpuAccount mgmt_account_;
+  Rng rng_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_HYPER_VM_H_

@@ -1,0 +1,80 @@
+#include "src/mem/host_memory.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+HostMemory::HostMemory(std::vector<TierSpec> tiers) {
+  DEMETER_CHECK(!tiers.empty());
+  FrameId base = 0;
+  for (const TierSpec& spec : tiers) {
+    tiers_.emplace_back(spec);
+    TierState state;
+    state.base = base;
+    state.num_frames = spec.capacity_pages();
+    state.free_list.reserve(state.num_frames);
+    // Push in reverse so the LIFO hands out low frame numbers first.
+    for (uint64_t i = state.num_frames; i > 0; --i) {
+      state.free_list.push_back(base + i - 1);
+    }
+    state.allocated.assign(state.num_frames, false);
+    base += state.num_frames;
+    states_.push_back(std::move(state));
+  }
+  total_frames_ = base;
+  tokens_.assign(total_frames_, 0);
+}
+
+std::optional<FrameId> HostMemory::Allocate(TierIndex t) {
+  TierState& state = states_[static_cast<size_t>(t)];
+  if (state.free_list.empty()) {
+    return std::nullopt;
+  }
+  const FrameId frame = state.free_list.back();
+  state.free_list.pop_back();
+  state.allocated[frame - state.base] = true;
+  return frame;
+}
+
+void HostMemory::Free(FrameId frame) {
+  const TierIndex t = TierOf(frame);
+  TierState& state = states_[static_cast<size_t>(t)];
+  DEMETER_CHECK(state.allocated[frame - state.base]) << "double free of frame " << frame;
+  state.allocated[frame - state.base] = false;
+  state.free_list.push_back(frame);
+  tokens_[frame] = 0;
+}
+
+TierIndex HostMemory::TierOf(FrameId frame) const {
+  DEMETER_CHECK_LT(frame, total_frames_);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const TierState& state = states_[i];
+    if (frame >= state.base && frame < state.base + state.num_frames) {
+      return static_cast<TierIndex>(i);
+    }
+  }
+  DEMETER_CHECK(false) << "frame " << frame << " not in any tier";
+  return -1;
+}
+
+uint64_t HostMemory::CapacityPages(TierIndex t) const {
+  return states_[static_cast<size_t>(t)].num_frames;
+}
+
+uint64_t HostMemory::FreePages(TierIndex t) const {
+  return states_[static_cast<size_t>(t)].free_list.size();
+}
+
+uint64_t HostMemory::UsedPages(TierIndex t) const { return CapacityPages(t) - FreePages(t); }
+
+uint64_t HostMemory::ReadToken(FrameId frame) const {
+  DEMETER_CHECK_LT(frame, total_frames_);
+  return tokens_[frame];
+}
+
+void HostMemory::WriteToken(FrameId frame, uint64_t token) {
+  DEMETER_CHECK_LT(frame, total_frames_);
+  tokens_[frame] = token;
+}
+
+}  // namespace demeter

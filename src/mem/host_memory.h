@@ -1,0 +1,71 @@
+// Host tiered physical memory: per-tier frame allocators plus a contents
+// token per frame.
+//
+// Frames are identified by a global FrameId; each tier owns a contiguous
+// FrameId range so TierOf() is a range lookup. The contents token is a
+// 64-bit value logically representing the data stored in the frame — page
+// migration must preserve tokens, which the test suite verifies end to end.
+
+#ifndef DEMETER_SRC_MEM_HOST_MEMORY_H_
+#define DEMETER_SRC_MEM_HOST_MEMORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/tier.h"
+
+namespace demeter {
+
+using FrameId = uint64_t;
+inline constexpr FrameId kInvalidFrame = ~static_cast<FrameId>(0);
+
+// Index of a tier within a HostMemory. By convention in two-tier setups,
+// tier 0 is FMEM (fast) and tier 1 is SMEM (slow).
+using TierIndex = int;
+inline constexpr TierIndex kFmemTier = 0;
+inline constexpr TierIndex kSmemTier = 1;
+
+class HostMemory {
+ public:
+  explicit HostMemory(std::vector<TierSpec> tiers);
+
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  MemoryTier& tier(TierIndex t) { return tiers_[static_cast<size_t>(t)]; }
+  const MemoryTier& tier(TierIndex t) const { return tiers_[static_cast<size_t>(t)]; }
+
+  // Allocates one frame from tier `t`; nullopt when the tier is exhausted.
+  std::optional<FrameId> Allocate(TierIndex t);
+  void Free(FrameId frame);
+
+  TierIndex TierOf(FrameId frame) const;
+
+  uint64_t CapacityPages(TierIndex t) const;
+  uint64_t FreePages(TierIndex t) const;
+  uint64_t UsedPages(TierIndex t) const;
+
+  // Contents token of a frame (logical page data identity).
+  uint64_t ReadToken(FrameId frame) const;
+  void WriteToken(FrameId frame, uint64_t token);
+
+  // Total frames across all tiers.
+  uint64_t total_frames() const { return total_frames_; }
+
+ private:
+  struct TierState {
+    FrameId base = 0;
+    uint64_t num_frames = 0;
+    std::vector<FrameId> free_list;  // LIFO.
+    std::vector<bool> allocated;
+  };
+
+  std::vector<MemoryTier> tiers_;
+  std::vector<TierState> states_;
+  std::vector<uint64_t> tokens_;
+  uint64_t total_frames_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_MEM_HOST_MEMORY_H_

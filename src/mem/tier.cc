@@ -1,0 +1,94 @@
+#include "src/mem/tier.h"
+
+#include <algorithm>
+
+namespace demeter {
+
+TierSpec TierSpec::LocalDram(uint64_t capacity_bytes) {
+  TierSpec spec;
+  spec.media = MediaKind::kLocalDram;
+  spec.read_latency_ns = 68.7;
+  spec.write_latency_ns = 68.7;
+  spec.read_bw_mbps = 88156.5;
+  spec.write_bw_mbps = 88156.5;
+  spec.capacity_bytes = capacity_bytes;
+  return spec;
+}
+
+TierSpec TierSpec::RemoteDram(uint64_t capacity_bytes) {
+  TierSpec spec;
+  spec.media = MediaKind::kRemoteDram;
+  spec.read_latency_ns = 121.9;
+  spec.write_latency_ns = 121.9;
+  spec.read_bw_mbps = 53533.8;
+  spec.write_bw_mbps = 53533.8;
+  spec.capacity_bytes = capacity_bytes;
+  return spec;
+}
+
+TierSpec TierSpec::Pmem(uint64_t capacity_bytes) {
+  TierSpec spec;
+  spec.media = MediaKind::kPmem;
+  spec.read_latency_ns = 176.6;
+  // Optane writes land in the on-DIMM buffer but sustained write bandwidth is
+  // roughly a quarter of read bandwidth; latency under load is much worse.
+  spec.write_latency_ns = 220.0;
+  spec.read_bw_mbps = 21414.5;
+  spec.write_bw_mbps = 7700.0;
+  spec.capacity_bytes = capacity_bytes;
+  return spec;
+}
+
+const char* MediaKindName(MediaKind media) {
+  switch (media) {
+    case MediaKind::kLocalDram:
+      return "local-dram";
+    case MediaKind::kRemoteDram:
+      return "remote-dram(cxl)";
+    case MediaKind::kPmem:
+      return "pmem";
+  }
+  return "?";
+}
+
+double MemoryTier::Utilization() const {
+  // Average read/write bandwidth weighted 2:1 toward reads as the capacity
+  // reference; precise per-direction accounting is below the model's noise.
+  const double bw = (2.0 * spec_.read_bw_mbps + spec_.write_bw_mbps) / 3.0;
+  const double bytes_per_ns = bw * 1e-3;  // MB/s -> bytes/ns.
+  const double capacity = bytes_per_ns * 2.0 * static_cast<double>(kWindowNs);
+  const double util =
+      static_cast<double>(window_bytes_ + prev_window_bytes_) / capacity;
+  return std::min(util, kMaxUtilization);
+}
+
+double MemoryTier::AccessCost(Nanos now, uint64_t bytes, bool is_write) {
+  const double base = is_write ? spec_.write_latency_ns : spec_.read_latency_ns;
+  const double bw = is_write ? spec_.write_bw_mbps : spec_.read_bw_mbps;
+  const double bytes_per_ns = bw * 1e-3;  // MB/s -> bytes/ns.
+  const double service = static_cast<double>(bytes) / bytes_per_ns;
+
+  const uint64_t window = now / kWindowNs;
+  if (window > current_window_) {
+    prev_window_bytes_ = (window == current_window_ + 1) ? window_bytes_ : 0;
+    current_window_ = window;
+    window_bytes_ = 0;
+  }
+  // Accesses timestamped behind the newest window (vCPU clock skew) fold
+  // into the current window: load is load, wherever the clock says it came
+  // from.
+  window_bytes_ += bytes;
+  bytes_transferred_ += bytes;
+
+  const double util = Utilization();
+  const double queue_factor = util * util / (1.0 - util);  // M/M/1-flavoured.
+  return (base + service) * (1.0 + queue_factor);
+}
+
+void MemoryTier::ResetContention() {
+  current_window_ = 0;
+  window_bytes_ = 0;
+  prev_window_bytes_ = 0;
+}
+
+}  // namespace demeter

@@ -1,0 +1,89 @@
+// Memory-tier performance model.
+//
+// Tier latency/bandwidth figures default to the paper's Table 2 (measured on
+// the authors' testbed with Intel Memory Latency Checker):
+//   L2 hit          53.6 ns
+//   local DRAM      68.7 ns   88156.5 MB/s
+//   remote DRAM    121.9 ns   53533.8 MB/s   (used to emulate CXL.mem, as Pond does)
+//   local PMEM     176.6 ns   21414.5 MB/s
+//
+// A utilization-based queueing model adds contention: transferred bytes are
+// accounted into coarse virtual-time windows, and the latency of an access
+// is inflated by an M/M/1-style factor of the tier's recent utilization.
+// The window (1 ms) is wider than any scheduling skew between vCPU clocks,
+// so loosely synchronized callers see a consistent load estimate. PMEM
+// writes are additionally penalized (Optane write latency/bandwidth
+// asymmetry, per "An Empirical Guide to the Behavior and Use of Scalable
+// Persistent Memory").
+
+#ifndef DEMETER_SRC_MEM_TIER_H_
+#define DEMETER_SRC_MEM_TIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/units.h"
+
+namespace demeter {
+
+enum class MediaKind : int {
+  kLocalDram = 0,
+  kRemoteDram = 1,  // Also CXL.mem emulation.
+  kPmem = 2,
+};
+
+struct TierSpec {
+  MediaKind media = MediaKind::kLocalDram;
+  double read_latency_ns = 68.7;
+  double write_latency_ns = 68.7;
+  double read_bw_mbps = 88156.5;
+  double write_bw_mbps = 88156.5;
+  uint64_t capacity_bytes = 0;
+
+  uint64_t capacity_pages() const { return capacity_bytes / kPageSize; }
+
+  static TierSpec LocalDram(uint64_t capacity_bytes);
+  static TierSpec RemoteDram(uint64_t capacity_bytes);  // CXL.mem emulation.
+  static TierSpec Pmem(uint64_t capacity_bytes);
+};
+
+// Cache-hit latency (does not reach any memory tier).
+inline constexpr double kL2HitLatencyNs = 53.6;
+
+const char* MediaKindName(MediaKind media);
+
+// Runtime state of one tier: the static spec plus a bandwidth-queueing
+// horizon. AccessCost() is the only mutator; it both returns the effective
+// latency of a transfer issued at `now` and advances the horizon.
+class MemoryTier {
+ public:
+  explicit MemoryTier(const TierSpec& spec) : spec_(spec) {}
+
+  const TierSpec& spec() const { return spec_; }
+
+  // Effective latency in ns of transferring `bytes` at virtual time `now`:
+  // (base latency + service time) inflated by recent-utilization queueing.
+  double AccessCost(Nanos now, uint64_t bytes, bool is_write);
+
+  // Current utilization estimate in [0, kMaxUtilization].
+  double Utilization() const;
+
+  // Total bytes moved through this tier (reads + writes).
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  void ResetContention();
+
+  static constexpr Nanos kWindowNs = kMillisecond;
+  static constexpr double kMaxUtilization = 0.95;
+
+ private:
+  TierSpec spec_;
+  uint64_t current_window_ = 0;
+  uint64_t window_bytes_ = 0;
+  uint64_t prev_window_bytes_ = 0;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_MEM_TIER_H_

@@ -1,0 +1,176 @@
+#include "src/mmu/page_table.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+PageTable::PageTable() : root_(std::make_unique<Node>()) {}
+PageTable::~PageTable() = default;
+
+uint64_t* PageTable::FindEntry(PageNum vpn) const {
+  Node* node = root_.get();
+  for (int level = 0; level < kLevels - 1; ++level) {
+    Node* child = node->children[static_cast<size_t>(IndexAt(vpn, level))].get();
+    if (child == nullptr) {
+      return nullptr;
+    }
+    node = child;
+  }
+  return &node->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
+}
+
+uint64_t* PageTable::FindOrCreateEntry(PageNum vpn) {
+  Node* node = root_.get();
+  for (int level = 0; level < kLevels - 1; ++level) {
+    auto& slot = node->children[static_cast<size_t>(IndexAt(vpn, level))];
+    if (slot == nullptr) {
+      slot = std::make_unique<Node>();
+    }
+    node = slot.get();
+  }
+  return &node->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
+}
+
+bool PageTable::Map(PageNum vpn, uint64_t target, bool writable) {
+  DEMETER_CHECK_LT(vpn, kMaxPage);
+  uint64_t* pte = FindOrCreateEntry(vpn);
+  if ((*pte & PteFlags::kPresent) != 0) {
+    return false;
+  }
+  *pte = (target << PteFlags::kTargetShift) | PteFlags::kPresent |
+         (writable ? PteFlags::kWritable : 0);
+  ++mapped_count_;
+  return true;
+}
+
+uint64_t PageTable::Unmap(PageNum vpn) {
+  uint64_t* pte = FindEntry(vpn);
+  if (pte == nullptr || (*pte & PteFlags::kPresent) == 0) {
+    return ~0ULL;
+  }
+  const uint64_t target = *pte >> PteFlags::kTargetShift;
+  *pte = 0;
+  --mapped_count_;
+  return target;
+}
+
+bool PageTable::Remap(PageNum vpn, uint64_t new_target) {
+  uint64_t* pte = FindEntry(vpn);
+  if (pte == nullptr || (*pte & PteFlags::kPresent) == 0) {
+    return false;
+  }
+  const uint64_t writable = *pte & PteFlags::kWritable;
+  *pte = (new_target << PteFlags::kTargetShift) | PteFlags::kPresent | writable;
+  return true;
+}
+
+PageTable::WalkResult PageTable::Translate(PageNum vpn, bool is_write, bool set_bits) {
+  WalkResult result;
+  Node* node = root_.get();
+  for (int level = 0; level < kLevels - 1; ++level) {
+    ++result.levels_touched;
+    Node* child = node->children[static_cast<size_t>(IndexAt(vpn, level))].get();
+    if (child == nullptr) {
+      return result;
+    }
+    node = child;
+  }
+  ++result.levels_touched;
+  uint64_t& pte = node->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
+  if ((pte & PteFlags::kPresent) == 0) {
+    return result;
+  }
+  result.present = true;
+  result.target = pte >> PteFlags::kTargetShift;
+  result.was_accessed = (pte & PteFlags::kAccessed) != 0;
+  result.was_dirty = (pte & PteFlags::kDirty) != 0;
+  if (set_bits) {
+    pte |= PteFlags::kAccessed;
+    if (is_write) {
+      pte |= PteFlags::kDirty;
+    }
+  }
+  return result;
+}
+
+PageTable::WalkResult PageTable::Lookup(PageNum vpn) const {
+  WalkResult result;
+  const uint64_t* pte = FindEntry(vpn);
+  if (pte == nullptr || (*pte & PteFlags::kPresent) == 0) {
+    return result;
+  }
+  result.present = true;
+  result.target = *pte >> PteFlags::kTargetShift;
+  result.was_accessed = (*pte & PteFlags::kAccessed) != 0;
+  result.was_dirty = (*pte & PteFlags::kDirty) != 0;
+  result.levels_touched = kLevels;
+  return result;
+}
+
+bool PageTable::TestAndClearAccessed(PageNum vpn) {
+  uint64_t* pte = FindEntry(vpn);
+  if (pte == nullptr || (*pte & PteFlags::kPresent) == 0) {
+    return false;
+  }
+  const bool was = (*pte & PteFlags::kAccessed) != 0;
+  *pte &= ~PteFlags::kAccessed;
+  return was;
+}
+
+bool PageTable::TestAndClearDirty(PageNum vpn) {
+  uint64_t* pte = FindEntry(vpn);
+  if (pte == nullptr || (*pte & PteFlags::kPresent) == 0) {
+    return false;
+  }
+  const bool was = (*pte & PteFlags::kDirty) != 0;
+  *pte &= ~PteFlags::kDirty;
+  return was;
+}
+
+template <typename Fn>
+uint64_t PageTable::VisitRange(Node* node, int level, PageNum node_base, PageNum begin,
+                               PageNum end, const Fn& fn) const {
+  // Page span covered by one slot at this level.
+  const int shift = kBitsPerLevel * (kLevels - 1 - level);
+  const PageNum span = 1ULL << shift;
+  uint64_t touched = 0;
+  for (int i = 0; i < kFanout; ++i) {
+    const PageNum slot_begin = node_base + static_cast<PageNum>(i) * span;
+    const PageNum slot_end = slot_begin + span;
+    if (slot_end <= begin || slot_begin >= end) {
+      continue;
+    }
+    if (level == kLevels - 1) {
+      uint64_t& pte = node->entries[static_cast<size_t>(i)];
+      ++touched;
+      if ((pte & PteFlags::kPresent) != 0) {
+        fn(slot_begin, pte);
+      }
+    } else {
+      Node* child = node->children[static_cast<size_t>(i)].get();
+      if (child != nullptr) {
+        ++touched;
+        touched += VisitRange(child, level + 1, slot_begin, begin, end, fn);
+      }
+    }
+  }
+  return touched;
+}
+
+uint64_t PageTable::ForEachPresent(PageNum begin, PageNum end, const Visitor& visitor) const {
+  return VisitRange(root_.get(), 0, 0, begin, end, [&](PageNum vpn, uint64_t& pte) {
+    visitor(vpn, pte >> PteFlags::kTargetShift, (pte & PteFlags::kAccessed) != 0,
+            (pte & PteFlags::kDirty) != 0);
+  });
+}
+
+uint64_t PageTable::ScanAndClearAccessed(PageNum begin, PageNum end, const Visitor& visitor) {
+  return VisitRange(root_.get(), 0, 0, begin, end, [&](PageNum vpn, uint64_t& pte) {
+    const bool accessed = (pte & PteFlags::kAccessed) != 0;
+    const bool dirty = (pte & PteFlags::kDirty) != 0;
+    pte &= ~PteFlags::kAccessed;
+    visitor(vpn, pte >> PteFlags::kTargetShift, accessed, dirty);
+  });
+}
+
+}  // namespace demeter

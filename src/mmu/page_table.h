@@ -1,0 +1,117 @@
+// Four-level radix page table with Access/Dirty bits.
+//
+// One implementation serves both dimensions of 2D paging:
+//   * GPT: guest virtual page -> guest physical page (guest-managed)
+//   * EPT: guest physical page -> host frame (hypervisor-managed)
+//
+// The structure is a real 512-ary radix tree (9 bits per level, 4 levels,
+// 36-bit page numbers = 48-bit address spaces) so that page-table scans cost
+// what they cost on hardware: visitors report the number of entries touched,
+// which access-tracking baselines charge as CPU time.
+
+#ifndef DEMETER_SRC_MMU_PAGE_TABLE_H_
+#define DEMETER_SRC_MMU_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/base/units.h"
+
+namespace demeter {
+
+// Leaf PTE layout: target page number shifted left 8, low bits are flags.
+struct PteFlags {
+  static constexpr uint64_t kPresent = 1ULL << 0;
+  static constexpr uint64_t kWritable = 1ULL << 1;
+  static constexpr uint64_t kAccessed = 1ULL << 2;
+  static constexpr uint64_t kDirty = 1ULL << 3;
+  static constexpr int kTargetShift = 8;
+};
+
+class PageTable {
+ public:
+  static constexpr int kLevels = 4;
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr int kFanout = 1 << kBitsPerLevel;  // 512
+  static constexpr PageNum kMaxPage = 1ULL << (kLevels * kBitsPerLevel);
+
+  struct WalkResult {
+    bool present = false;
+    uint64_t target = 0;    // Target page number when present.
+    int levels_touched = 0; // Radix levels visited (<= kLevels).
+    bool was_accessed = false;
+    bool was_dirty = false;
+  };
+
+  PageTable();
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+  PageTable(PageTable&&) = default;
+  PageTable& operator=(PageTable&&) = default;
+
+  // Installs vpn -> target. Returns false if vpn was already mapped.
+  bool Map(PageNum vpn, uint64_t target, bool writable);
+
+  // Removes the mapping. Returns the old target, or ~0 if not mapped.
+  uint64_t Unmap(PageNum vpn);
+
+  // Re-points an existing mapping at a new target, clearing A/D. Returns
+  // false if vpn was not mapped.
+  bool Remap(PageNum vpn, uint64_t new_target);
+
+  // Hardware-walk emulation: descends the tree; when `set_bits` is true and
+  // the leaf is present, sets Accessed (and Dirty on writes).
+  WalkResult Translate(PageNum vpn, bool is_write, bool set_bits);
+
+  // Point query without side effects.
+  WalkResult Lookup(PageNum vpn) const;
+
+  bool IsMapped(PageNum vpn) const { return Lookup(vpn).present; }
+
+  // Clears the Accessed bit; returns its prior value. No-op on unmapped.
+  bool TestAndClearAccessed(PageNum vpn);
+  bool TestAndClearDirty(PageNum vpn);
+
+  // Visits every present PTE in [begin, end). The visitor receives the vpn,
+  // the target, and accessed/dirty state. Returns the number of PTEs
+  // *touched* — i.e. present entries plus the per-node scan work — which
+  // callers use for cost accounting.
+  using Visitor = std::function<void(PageNum vpn, uint64_t target, bool accessed, bool dirty)>;
+  uint64_t ForEachPresent(PageNum begin, PageNum end, const Visitor& visitor) const;
+
+  // Scan-and-clear of Accessed bits over [begin, end): the visitor sees each
+  // present PTE with its pre-clear accessed state; all A bits in range end up
+  // cleared. Returns entries touched (cost).
+  uint64_t ScanAndClearAccessed(PageNum begin, PageNum end, const Visitor& visitor);
+
+  uint64_t mapped_count() const { return mapped_count_; }
+
+ private:
+  struct Node {
+    std::array<uint64_t, kFanout> entries{};
+    std::array<std::unique_ptr<Node>, kFanout> children{};
+    int live = 0;  // Present leaves or live children below each slot.
+  };
+
+  static int IndexAt(PageNum vpn, int level) {
+    return static_cast<int>((vpn >> (kBitsPerLevel * (kLevels - 1 - level))) & (kFanout - 1));
+  }
+
+  uint64_t* FindEntry(PageNum vpn) const;
+  uint64_t* FindOrCreateEntry(PageNum vpn);
+
+  template <typename Fn>
+  uint64_t VisitRange(Node* node, int level, PageNum node_base, PageNum begin, PageNum end,
+                      const Fn& fn) const;
+
+  std::unique_ptr<Node> root_;
+  uint64_t mapped_count_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_MMU_PAGE_TABLE_H_

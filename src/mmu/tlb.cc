@@ -1,0 +1,91 @@
+#include "src/mmu/tlb.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+
+namespace demeter {
+
+Tlb::Tlb(int num_sets, int ways) : num_sets_(num_sets), ways_(ways) {
+  DEMETER_CHECK_GT(num_sets, 0);
+  DEMETER_CHECK_GT(ways, 0);
+  entries_.resize(static_cast<size_t>(num_sets) * static_cast<size_t>(ways));
+}
+
+size_t Tlb::SetOf(PageNum vpn) const {
+  // Multiplicative hash spreads contiguous pages across sets.
+  uint64_t h = vpn * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>((h >> 32) % static_cast<uint64_t>(num_sets_)) *
+         static_cast<size_t>(ways_);
+}
+
+FrameId Tlb::Lookup(PageNum vpn) {
+  const size_t base = SetOf(vpn);
+  for (int w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + static_cast<size_t>(w)];
+    if (e.valid && e.vpn == vpn) {
+      e.lru_tick = ++tick_;
+      ++stats_.hits;
+      return e.frame;
+    }
+  }
+  ++stats_.misses;
+  return kInvalidFrame;
+}
+
+void Tlb::Insert(PageNum vpn, FrameId frame) {
+  const size_t base = SetOf(vpn);
+  Entry* victim = nullptr;
+  for (int w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + static_cast<size_t>(w)];
+    if (e.valid && e.vpn == vpn) {
+      e.frame = frame;
+      e.lru_tick = ++tick_;
+      return;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim == nullptr || (victim->valid && e.lru_tick < victim->lru_tick)) {
+      victim = &e;
+    }
+  }
+  victim->vpn = vpn;
+  victim->frame = frame;
+  victim->lru_tick = ++tick_;
+  victim->valid = true;
+}
+
+void Tlb::InvalidatePage(PageNum vpn) {
+  ++stats_.single_flushes;
+  const size_t base = SetOf(vpn);
+  for (int w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + static_cast<size_t>(w)];
+    if (e.valid && e.vpn == vpn) {
+      e.valid = false;
+      return;
+    }
+  }
+}
+
+void Tlb::InvalidateAll() {
+  ++stats_.full_flushes;
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+  // Paging-structure caches are gone too; the next ~capacity misses walk
+  // cold. Back-to-back invalidations (chunked MMU-notifier scans) stack, up
+  // to a bound.
+  const uint64_t cap = static_cast<uint64_t>(capacity());
+  cold_walks_ = std::min<uint64_t>(cold_walks_ + cap, 4 * cap);
+}
+
+double Tlb::ConsumeWalkFactor() {
+  if (cold_walks_ == 0) {
+    return 1.0;
+  }
+  --cold_walks_;
+  return kColdWalkFactor;
+}
+
+}  // namespace demeter

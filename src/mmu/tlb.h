@@ -1,0 +1,93 @@
+// Set-associative TLB caching flattened 2D translations (gVA -> hPA).
+//
+// Two invalidation instructions are modelled, matching the paper's taxonomy:
+//   * single-address (invlpg / invvpid / invpcid): evicts one gVA
+//   * full EPT invalidation (invept): evicts everything derived from an EPT
+//
+// Hypervisor-based access tracking (which sees only gPA/hPA) must use the
+// full invalidation to re-arm PTE.A/D observation; guest-based tracking can
+// use single-address invalidations because it knows the gVA. Table 1 counts
+// exactly these two instruction kinds.
+
+#ifndef DEMETER_SRC_MMU_TLB_H_
+#define DEMETER_SRC_MMU_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/mem/host_memory.h"
+
+namespace demeter {
+
+struct TlbStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t single_flushes = 0;  // invlpg/invvpid/invpcid instructions.
+  uint64_t full_flushes = 0;    // invept instructions.
+
+  void Merge(const TlbStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    single_flushes += other.single_flushes;
+    full_flushes += other.full_flushes;
+  }
+};
+
+class Tlb {
+ public:
+  // Default geometry models an STLB whose reach is amplified by transparent
+  // hugepages (the guests run THP: one 2 MiB entry per 512 base pages), so
+  // steady-state coverage approximates the working set — which is what makes
+  // full invalidations so destructive and tier latency, not translation,
+  // the dominant access cost.
+  explicit Tlb(int num_sets = 1024, int ways = 8);
+
+  // Looks up gVA page `vpn`; returns the cached hPA frame or kInvalidFrame.
+  FrameId Lookup(PageNum vpn);
+
+  // Installs vpn -> frame after a successful walk.
+  void Insert(PageNum vpn, FrameId frame);
+
+  // Single-address invalidation (guest knows the gVA).
+  void InvalidatePage(PageNum vpn);
+
+  // Full invalidation of all entries (invept; also used for CR3-class full
+  // flushes). The paper's full-invalidation counter counts these. Besides
+  // dropping every translation, a full invalidation also destroys the
+  // paging-structure caches, so the refill walks that follow are slower:
+  // ConsumeWalkFactor() returns the cost multiplier for the next miss.
+  void InvalidateAll();
+
+  // Walk-cost multiplier for a miss happening now; decays as the
+  // paging-structure caches rewarm (call once per miss).
+  double ConsumeWalkFactor();
+
+  const TlbStats& stats() const { return stats_; }
+  void ClearStats() { stats_ = TlbStats{}; }
+
+  int capacity() const { return num_sets_ * ways_; }
+
+ private:
+  struct Entry {
+    PageNum vpn = ~0ULL;
+    FrameId frame = kInvalidFrame;
+    uint64_t lru_tick = 0;
+    bool valid = false;
+  };
+
+  size_t SetOf(PageNum vpn) const;
+
+  int num_sets_;
+  int ways_;
+  std::vector<Entry> entries_;  // num_sets_ * ways_, set-major.
+  uint64_t tick_ = 0;
+  uint64_t cold_walks_ = 0;  // Misses left that pay the cold-walk multiplier.
+  TlbStats stats_;
+
+  static constexpr double kColdWalkFactor = 2.5;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_MMU_TLB_H_

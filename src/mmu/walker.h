@@ -1,0 +1,53 @@
+// Two-dimensional (GPT x EPT) address translation with cost accounting.
+//
+// In the worst case a 2D walk touches L_g*(L_e+1) + L_e page-table entries
+// (24 for 4-level tables); walk caches make the average much cheaper, which
+// the per-touch cost constant reflects. A TLB hit bypasses everything.
+
+#ifndef DEMETER_SRC_MMU_WALKER_H_
+#define DEMETER_SRC_MMU_WALKER_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+#include "src/mem/host_memory.h"
+#include "src/mmu/page_table.h"
+#include "src/mmu/tlb.h"
+
+namespace demeter {
+
+struct MmuCosts {
+  double tlb_hit_ns = 1.0;
+  double pt_touch_ns = 7.0;        // Per PTE touch during a walk (walk caches help).
+  double single_flush_ns = 150.0;  // invlpg/invvpid instruction.
+  double full_flush_ns = 800.0;    // invept instruction (refills charged separately).
+  double guest_fault_ns = 2500.0;  // Guest minor-fault handling.
+  double ept_fault_ns = 9000.0;    // VM exit + hypervisor fault handling + resume.
+  double pte_scan_ns = 12.0;       // Software A-bit scan, per PTE visited.
+  double context_switch_ns = 1800.0;
+  double migrate_sw_ns = 1500.0;   // Per-page software overhead of a migration
+                                   // (unmap, rmap update, remap bookkeeping).
+};
+
+enum class TranslateStatus {
+  kOk = 0,
+  kGuestFault,  // gVA unmapped in GPT: guest page-fault needed.
+  kEptFault,    // gPA unmapped in EPT: hypervisor must populate.
+};
+
+struct TranslationResult {
+  TranslateStatus status = TranslateStatus::kOk;
+  PageNum gpa_page = 0;
+  FrameId frame = kInvalidFrame;
+  bool tlb_hit = false;
+  double cost_ns = 0.0;  // MMU cost only; memory-tier latency charged by caller.
+};
+
+// Performs one translation of gVA page `vpn`, setting A/D bits in both
+// dimensions on success and installing the flattened entry in the TLB.
+TranslationResult Translate2D(Tlb& tlb, PageTable& gpt, PageTable& ept, PageNum vpn,
+                              bool is_write, const MmuCosts& costs);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_MMU_WALKER_H_

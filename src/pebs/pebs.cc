@@ -1,0 +1,62 @@
+#include "src/pebs/pebs.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+PebsUnit::PebsUnit(const PebsConfig& config) : config_(config), countdown_(config.sample_period) {
+  DEMETER_CHECK_GT(config.sample_period, 0u);
+  DEMETER_CHECK_GT(config.buffer_capacity, 0u);
+  buffer_.reserve(config.buffer_capacity);
+}
+
+double PebsUnit::OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos now) {
+  if (!enabled_) {
+    return 0.0;
+  }
+  // The load-latency and L3-miss events count loads only.
+  if (is_store) {
+    return 0.0;
+  }
+  ++stats_.events_counted;
+  if (--countdown_ != 0) {
+    return 0.0;
+  }
+  countdown_ = config_.sample_period;
+
+  // Threshold filter: cache hits do not produce records.
+  if (config_.event == PebsEvent::kLoadLatency && latency_ns < config_.latency_threshold_ns) {
+    return 0.0;
+  }
+
+  buffer_.push_back(PebsRecord{gva, latency_ns, is_store, now});
+  ++stats_.records_written;
+
+  if (buffer_.size() < config_.buffer_capacity) {
+    return 0.0;
+  }
+
+  // Buffer overshoot: PMI fires.
+  ++stats_.pmis;
+  if (pmi_handler_) {
+    std::vector<PebsRecord> drained;
+    drained.swap(buffer_);
+    buffer_.reserve(config_.buffer_capacity);
+    pmi_handler_(std::move(drained), now);
+  } else {
+    stats_.records_dropped += buffer_.size();
+    buffer_.clear();
+  }
+  return config_.pmi_cost_ns;
+}
+
+std::vector<PebsRecord> PebsUnit::Drain() {
+  std::vector<PebsRecord> drained;
+  drained.swap(buffer_);
+  buffer_.reserve(config_.buffer_capacity);
+  return drained;
+}
+
+}  // namespace demeter

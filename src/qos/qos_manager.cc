@@ -1,0 +1,124 @@
+#include "src/qos/qos_manager.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+QosManager::QosManager(uint64_t host_fmem_pages, QosConfig config)
+    : host_fmem_pages_(host_fmem_pages), config_(config) {
+  DEMETER_CHECK_GT(host_fmem_pages, 0u);
+}
+
+void QosManager::AddTenant(Vm* vm, DemeterBalloon* balloon, double weight) {
+  DEMETER_CHECK(vm != nullptr && balloon != nullptr);
+  DEMETER_CHECK_GT(weight, 0.0);
+  TenantState tenant;
+  tenant.vm = vm;
+  tenant.balloon = balloon;
+  tenant.weight = weight;
+  tenant.target_fmem_pages = vm->kernel().node(0).present_pages();
+  tenants_.push_back(tenant);
+}
+
+void QosManager::Start(EventQueue* events, Nanos now) {
+  DEMETER_CHECK(events != nullptr);
+  events_ = events;
+  events_->Schedule(now + config_.period, [this, alive = alive_](Nanos fire) {
+    if (!*alive || stopped_) {
+      return;
+    }
+    Rebalance(fire);
+    // Reschedule from inside so periods chain even if Rebalance is slow.
+    Start(events_, fire);
+  });
+}
+
+uint64_t QosManager::FairShare(size_t i) const {
+  double total_weight = 0.0;
+  for (const TenantState& tenant : tenants_) {
+    total_weight += tenant.weight;
+  }
+  return static_cast<uint64_t>(static_cast<double>(host_fmem_pages_) * tenants_[i].weight /
+                               total_weight);
+}
+
+void QosManager::Rebalance(Nanos now) {
+  ++rounds_;
+  // Refresh telemetry. The stats queue is asynchronous; we use the snapshot
+  // that arrives by the next round (one-period-old data, as a real
+  // cluster-level controller would).
+  for (TenantState& tenant : tenants_) {
+    TenantState* slot = &tenant;
+    tenant.balloon->QueryStats(now, [slot](const GuestMemStats& stats, Nanos) {
+      slot->stats = stats;
+    });
+  }
+
+  // Classify demand from the freshest snapshots we have.
+  for (TenantState& tenant : tenants_) {
+    const uint64_t present = tenant.stats.node_present[0];
+    const uint64_t free = tenant.stats.node_free[0];
+    const bool fmem_tight =
+        present > 0 && static_cast<double>(free) <
+                           config_.pressure_free_fraction * static_cast<double>(present);
+    const bool promoting =
+        tenant.stats.pages_promoted >= tenant.last_promoted + config_.demand_promotions;
+    tenant.last_promoted = tenant.stats.pages_promoted;
+    tenant.demanding = fmem_tight && promoting;
+  }
+
+  // Nothing to do unless demand differs: either some VM wants more while
+  // another does not, or an over-guarantee imbalance exists.
+  bool any_demand = false;
+  bool any_slack = false;
+  for (const TenantState& tenant : tenants_) {
+    if (tenant.demanding) {
+      any_demand = true;
+    } else {
+      any_slack = true;
+    }
+  }
+  if (!any_demand || !any_slack) {
+    return;
+  }
+
+  // Donors: non-demanding VMs above their guarantee. Receivers: demanding
+  // VMs below their weighted entitlement among demanders.
+  for (size_t d = 0; d < tenants_.size(); ++d) {
+    TenantState& donor = tenants_[d];
+    if (donor.demanding) {
+      continue;
+    }
+    const uint64_t present = donor.vm->kernel().node(0).present_pages();
+    const uint64_t guarantee = static_cast<uint64_t>(
+        config_.guaranteed_fraction * static_cast<double>(FairShare(d)));
+    if (present <= guarantee) {
+      continue;
+    }
+    uint64_t movable = std::min<uint64_t>(
+        present - guarantee,
+        static_cast<uint64_t>(config_.max_shift_fraction * static_cast<double>(present)));
+    if (movable == 0) {
+      continue;
+    }
+    // Give to the highest-weight demanding tenant.
+    TenantState* receiver = nullptr;
+    for (TenantState& tenant : tenants_) {
+      if (tenant.demanding && (receiver == nullptr || tenant.weight > receiver->weight)) {
+        receiver = &tenant;
+      }
+    }
+    if (receiver == nullptr) {
+      break;
+    }
+    donor.balloon->RequestDelta(0, static_cast<int64_t>(movable), now);
+    receiver->balloon->RequestDelta(0, -static_cast<int64_t>(movable), now);
+    pages_shifted_ += movable;
+    donor.target_fmem_pages = present - movable;
+    receiver->target_fmem_pages += movable;
+  }
+}
+
+}  // namespace demeter

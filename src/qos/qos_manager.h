@@ -1,0 +1,97 @@
+// Host-side QoS manager: priority-weighted FMEM rebalancing across VMs.
+//
+// The paper's Demeter balloon exposes guest telemetry through a statistics
+// queue and leaves the actual policy "deliberately policy-agnostic ...
+// detailed policy design remaining an avenue for future exploration"
+// (§3.3). This module implements one such policy as an extension:
+//
+//   * every period, query each VM's balloon stats (present/free pages,
+//     promotion activity, pressure);
+//   * compute a demand signal per VM (FMEM fully used + recent promotion
+//     activity or pressure => wants more);
+//   * redistribute the host FMEM budget proportionally to priority weights
+//     among demanding VMs, subject to a per-VM guaranteed minimum, and issue
+//     the page-granular balloon deltas to converge on the new shares.
+//
+// The manager is deliberately conservative: it only shifts memory between
+// VMs whose demand signals differ, it moves at most `max_shift_fraction`
+// of a VM's FMEM per period, and it never takes a VM below its guarantee.
+
+#ifndef DEMETER_SRC_QOS_QOS_MANAGER_H_
+#define DEMETER_SRC_QOS_QOS_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/balloon/balloon.h"
+#include "src/base/units.h"
+#include "src/hyper/vm.h"
+
+namespace demeter {
+
+struct QosConfig {
+  Nanos period = 100 * kMillisecond;
+  // Fraction of a donor VM's FMEM that may move per period.
+  double max_shift_fraction = 0.25;
+  // Every VM keeps at least this fraction of its fair FMEM share.
+  double guaranteed_fraction = 0.5;
+  // A VM counts as "demanding" when its FMEM free fraction is below this
+  // AND its TMM promoted at least `demand_promotions` pages since the last
+  // round — i.e. misplaced hot data still exists that more FMEM would fix.
+  // (First-touch fills FMEM in every VM, so fullness alone signals nothing.)
+  double pressure_free_fraction = 0.02;
+  uint64_t demand_promotions = 16;
+};
+
+class QosManager {
+ public:
+  struct TenantState {
+    Vm* vm = nullptr;
+    DemeterBalloon* balloon = nullptr;
+    double weight = 1.0;
+    // Last telemetry snapshot.
+    GuestMemStats stats;
+    uint64_t last_promoted = 0;
+    bool demanding = false;
+    // FMEM pages this tenant is entitled to right now.
+    uint64_t target_fmem_pages = 0;
+  };
+
+  // `host_fmem_pages`: total FMEM budget the manager distributes.
+  QosManager(uint64_t host_fmem_pages, QosConfig config = QosConfig{});
+  ~QosManager() { *alive_ = false; }
+
+  // Registers a VM with its balloon and priority weight. All registrations
+  // must happen before Start().
+  void AddTenant(Vm* vm, DemeterBalloon* balloon, double weight);
+
+  // Begins periodic rebalancing on the hypervisor event queue.
+  void Start(EventQueue* events, Nanos now);
+  void Stop() { stopped_ = true; }
+
+  // One rebalance round (also called by the periodic timer). Exposed for
+  // tests and manual driving.
+  void Rebalance(Nanos now);
+
+  const std::vector<TenantState>& tenants() const { return tenants_; }
+  uint64_t rebalance_rounds() const { return rounds_; }
+  uint64_t pages_shifted() const { return pages_shifted_; }
+
+ private:
+  // Fair share of tenant i under current weights (pages).
+  uint64_t FairShare(size_t i) const;
+
+  uint64_t host_fmem_pages_;
+  QosConfig config_;
+  std::vector<TenantState> tenants_;
+  EventQueue* events_ = nullptr;
+  bool stopped_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  uint64_t rounds_ = 0;
+  uint64_t pages_shifted_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_QOS_QOS_MANAGER_H_

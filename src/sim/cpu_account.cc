@@ -1,0 +1,21 @@
+#include "src/sim/cpu_account.h"
+
+namespace demeter {
+
+const char* TmmStageName(TmmStage stage) {
+  switch (stage) {
+    case TmmStage::kTracking:
+      return "tracking";
+    case TmmStage::kClassification:
+      return "classification";
+    case TmmStage::kMigration:
+      return "migration";
+    case TmmStage::kPmi:
+      return "pmi";
+    case TmmStage::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace demeter

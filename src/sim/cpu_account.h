@@ -1,0 +1,63 @@
+// CPU-time accounting for tiered-memory-management overhead.
+//
+// Every policy action charges virtual CPU nanoseconds to a stage account.
+// "Cores wasted" (Figure 2) is total management time divided by wall time;
+// Figure 7 reports the per-stage breakdown directly.
+
+#ifndef DEMETER_SRC_SIM_CPU_ACCOUNT_H_
+#define DEMETER_SRC_SIM_CPU_ACCOUNT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/units.h"
+
+namespace demeter {
+
+enum class TmmStage : int {
+  kTracking = 0,        // PTE scans, PEBS drains, sample handling.
+  kClassification = 1,  // Sorting, LRU maintenance, range-tree work.
+  kMigration = 2,       // Page copies, remaps, fault handling.
+  kPmi = 3,             // Performance-monitoring-interrupt servicing.
+  kOther = 4,
+};
+
+inline constexpr int kNumTmmStages = 5;
+
+class CpuAccount {
+ public:
+  void Charge(TmmStage stage, Nanos ns) { stage_ns_[static_cast<size_t>(stage)] += ns; }
+
+  Nanos ForStage(TmmStage stage) const { return stage_ns_[static_cast<size_t>(stage)]; }
+
+  Nanos Total() const {
+    Nanos total = 0;
+    for (Nanos ns : stage_ns_) {
+      total += ns;
+    }
+    return total;
+  }
+
+  // Average number of CPU cores consumed by management work over `wall`.
+  double CoresOver(Nanos wall) const {
+    return wall == 0 ? 0.0 : static_cast<double>(Total()) / static_cast<double>(wall);
+  }
+
+  void Clear() { stage_ns_.fill(0); }
+
+  void Merge(const CpuAccount& other) {
+    for (size_t i = 0; i < stage_ns_.size(); ++i) {
+      stage_ns_[i] += other.stage_ns_[i];
+    }
+  }
+
+ private:
+  std::array<Nanos, kNumTmmStages> stage_ns_{};
+};
+
+const char* TmmStageName(TmmStage stage);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_SIM_CPU_ACCOUNT_H_

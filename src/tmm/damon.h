@@ -1,0 +1,82 @@
+// DAMON-style guest TMM (§6.3): region-based access monitoring with
+// sampled PTE.A-bit checks, plus a DAMOS-like promote/demote scheme.
+//
+// DAMON keeps a bounded number of regions over the monitored address space.
+// Each sampling interval it checks ONE page per region (test-and-clear the
+// Accessed bit, with the single-gVA flush that re-arms it) and counts the
+// region as accessed if that page was. Every aggregation interval regions
+// are split (to explore) and adjacent regions with similar scores merged
+// (to stay bounded), then the scheme migrates hot regions to FMEM and cold
+// regions out.
+//
+// Relative to Demeter this keeps the virtual-address-space advantage but
+// (a) relies on TLB-flush-heavy A bits rather than PEBS and (b) sees only
+// one page per region per interval, so convergence is slower and accuracy
+// coarser — the limitations §6.3 lists for DAMON-based tiering.
+
+#ifndef DEMETER_SRC_TMM_DAMON_H_
+#define DEMETER_SRC_TMM_DAMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/core/policy.h"
+
+namespace demeter {
+
+struct DamonConfig {
+  Nanos sample_interval = 2 * kMillisecond;       // One A-bit probe per region.
+  Nanos aggregation_interval = 20 * kMillisecond; // Split/merge + scheme.
+  size_t min_regions = 10;
+  size_t max_regions = 100;
+  // Regions merge when |score_a - score_b| <= merge_threshold.
+  uint32_t merge_threshold = 1;
+  // DAMOS scheme: promote regions whose score (accessed samples per
+  // aggregation) is at least this; demote regions scoring zero.
+  uint32_t hot_score = 3;
+  uint64_t max_migrate_per_aggregation = 256;
+  double probe_cost_ns = 150.0;  // Page-table probe + bookkeeping.
+};
+
+class DamonPolicy : public TmmPolicy {
+ public:
+  explicit DamonPolicy(DamonConfig config = DamonConfig{});
+
+  const char* name() const override { return "damon"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
+
+  struct Region {
+    uint64_t start = 0;
+    uint64_t end = 0;
+    uint32_t score = 0;  // Accessed probes this aggregation window.
+
+    uint64_t pages() const { return (end - start) / kPageSize; }
+  };
+
+  const std::vector<Region>& regions() const { return regions_; }
+  uint64_t total_promoted() const { return total_promoted_; }
+  uint64_t total_demoted() const { return total_demoted_; }
+  uint64_t probes() const { return probes_; }
+
+ private:
+  void SyncRegions();
+  void RunSample(Nanos now);
+  void RunAggregation(Nanos now);
+  void SplitAndMerge();
+
+  DamonConfig config_;
+  Vm* vm_ = nullptr;
+  GuestProcess* process_ = nullptr;
+  std::vector<Region> regions_;
+  Rng rng_{0xda3074};
+  uint64_t covered_end_ = 0;
+  uint64_t total_promoted_ = 0;
+  uint64_t total_demoted_ = 0;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TMM_DAMON_H_

@@ -1,0 +1,61 @@
+// Memtis (SOSP'23) run inside the guest: the strongest PEBS-based baseline.
+//
+// Differences from Demeter that this model reproduces (§3.2.2, Figures 2/7/8):
+//   * higher sample frequency with a dedicated collection kthread that polls
+//     the PEBS buffers on a short period — CPU burn that scales with VM count;
+//   * physical-page-centric hotness: every sample's gVA is translated to a
+//     page (a software page-table walk per sample) and counted in a
+//     page-granular histogram — locality across neighbouring pages is not
+//     aggregated, so identifying the hot set needs many more samples;
+//   * migration via sequential allocate-copy-remap with demotion for room.
+
+#ifndef DEMETER_SRC_TMM_MEMTIS_H_
+#define DEMETER_SRC_TMM_MEMTIS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/units.h"
+#include "src/core/policy.h"
+
+namespace demeter {
+
+struct MemtisConfig {
+  uint64_t sample_period = 509;            // Higher frequency than Demeter.
+  double latency_threshold_ns = 64.0;
+  Nanos poll_period = 1 * kMillisecond;    // Dedicated kthread polling.
+  Nanos classify_period = 1 * kSecond;     // Histogram cooling + migration.
+  double poll_fixed_ns = 2000.0;           // Wakeup + buffer check per poll.
+  double translate_ns_per_sample = 170.0;  // gVA->page walk per sample.
+  double histogram_ns_per_sample = 30.0;
+  uint64_t max_migrate_per_epoch = 256;
+  double hot_count_threshold = 4.0;        // Min decayed count to promote.
+};
+
+class MemtisPolicy : public TmmPolicy {
+ public:
+  explicit MemtisPolicy(MemtisConfig config = MemtisConfig{});
+
+  const char* name() const override { return "memtis"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
+
+  uint64_t total_promoted() const { return total_promoted_; }
+  uint64_t total_demoted() const { return total_demoted_; }
+  uint64_t samples_processed() const { return samples_processed_; }
+
+ private:
+  void RunPoll(Nanos now);
+  void RunClassify(Nanos now);
+
+  MemtisConfig config_;
+  Vm* vm_ = nullptr;
+  GuestProcess* process_ = nullptr;
+  std::unordered_map<PageNum, double> page_counts_;  // vpn -> decayed count.
+  uint64_t total_promoted_ = 0;
+  uint64_t total_demoted_ = 0;
+  uint64_t samples_processed_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TMM_MEMTIS_H_

@@ -1,0 +1,59 @@
+// Nomad (OSDI'24) run inside the guest: non-exclusive tiering via
+// transactional page migration with shadow copies.
+//
+// Tracking is A-bit-scan based like TPP, but promotion is aggressive (one
+// observed access suffices), producing the migration thrashing the paper
+// attributes Nomad's tail performance to (§5.3). Each migration is a
+// transaction: the page stays mapped while a shadow copy is made; if the
+// page is dirtied mid-copy the transaction aborts and retries (paying the
+// copy again plus fault handling), and the shadow temporarily consumes a
+// free destination page either way.
+
+#ifndef DEMETER_SRC_TMM_NOMAD_H_
+#define DEMETER_SRC_TMM_NOMAD_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+#include "src/core/policy.h"
+
+namespace demeter {
+
+struct NomadConfig {
+  Nanos scan_period = 200 * kMillisecond;
+  uint64_t max_promote_per_scan = 256;
+  uint64_t max_demote_per_scan = 512;
+  double classify_ns_per_page = 6.0;
+  double shadow_setup_fault_ns = 4000.0;  // Write-protect fault per transaction.
+  int max_copy_retries = 2;
+  double dirty_abort_probability = 0.25;  // Chance a copy races a write.
+};
+
+class NomadPolicy : public TmmPolicy {
+ public:
+  explicit NomadPolicy(NomadConfig config = NomadConfig{});
+
+  const char* name() const override { return "nomad"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
+
+  uint64_t total_promoted() const { return total_promoted_; }
+  uint64_t total_demoted() const { return total_demoted_; }
+  uint64_t transaction_aborts() const { return transaction_aborts_; }
+
+ private:
+  void RunScan(Nanos now);
+  void ScheduleNext(Nanos now);
+  // Transactional migrate of vpn to dst_node; models shadow copy + retries.
+  bool TransactionalMove(PageNum vpn, int dst_node, Nanos now, double* cost_ns);
+
+  NomadConfig config_;
+  Vm* vm_ = nullptr;
+  GuestProcess* process_ = nullptr;
+  uint64_t total_promoted_ = 0;
+  uint64_t total_demoted_ = 0;
+  uint64_t transaction_aborts_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TMM_NOMAD_H_

@@ -1,0 +1,33 @@
+#include "src/tmm/policy_util.h"
+
+namespace demeter {
+
+std::vector<std::pair<PageNum, PageNum>> TrackedPageRanges(const GuestProcess& process) {
+  std::vector<std::pair<PageNum, PageNum>> ranges;
+  for (const Vma& vma : process.space().vmas()) {
+    if (vma.tracked && vma.size() > 0) {
+      ranges.emplace_back(PageOf(vma.start), PageOf(vma.end));
+    }
+  }
+  return ranges;
+}
+
+uint64_t DemoteForHeadroom(Vm& vm, uint64_t count, Nanos now, double* cost_ns) {
+  GuestKernel& kernel = vm.kernel();
+  uint64_t demoted = 0;
+  while (demoted < count) {
+    auto victim = kernel.PickVictim(0);
+    if (!victim.has_value()) {
+      break;
+    }
+    const RmapEntry* rmap = kernel.Rmap(*victim);
+    GuestProcess* proc = kernel.process(rmap->pid);
+    if (proc == nullptr || !vm.MovePage(*proc, rmap->vpn, /*dst_node=*/1, now, cost_ns)) {
+      break;
+    }
+    ++demoted;
+  }
+  return demoted;
+}
+
+}  // namespace demeter

@@ -1,0 +1,26 @@
+// Shared helpers for guest-side TMM baseline policies.
+
+#ifndef DEMETER_SRC_TMM_POLICY_UTIL_H_
+#define DEMETER_SRC_TMM_POLICY_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/guest/process.h"
+#include "src/hyper/vm.h"
+
+namespace demeter {
+
+// Page ranges of the process's tracked (heap + mmap) VMAs.
+std::vector<std::pair<PageNum, PageNum>> TrackedPageRanges(const GuestProcess& process);
+
+// Demotes up to `count` FIFO victims out of node 0 so allocations (or
+// promotions) have headroom. Returns pages actually demoted; accumulates
+// CPU cost.
+uint64_t DemoteForHeadroom(Vm& vm, uint64_t count, Nanos now, double* cost_ns);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TMM_POLICY_UTIL_H_

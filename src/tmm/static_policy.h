@@ -1,0 +1,23 @@
+// No-op policy: first-touch placement only (no management). Baseline for
+// isolating TMM benefit and for pure provisioning comparisons.
+
+#ifndef DEMETER_SRC_TMM_STATIC_POLICY_H_
+#define DEMETER_SRC_TMM_STATIC_POLICY_H_
+
+#include "src/core/policy.h"
+
+namespace demeter {
+
+class StaticPolicy : public TmmPolicy {
+ public:
+  const char* name() const override { return "static"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override {
+    (void)vm;
+    (void)process;
+    (void)start;
+  }
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TMM_STATIC_POLICY_H_

@@ -1,0 +1,62 @@
+// G-TPP: the kernel-based TPP design (ASPLOS'23) run directly inside the
+// guest, as the paper's strongest guest-based baseline.
+//
+// Tracking uses PTE.A-bit scanning over the guest page table: each scan
+// clears A bits, which requires a single-gVA TLB invalidation per cleared
+// entry to re-arm observation (the guest knows the gVA, so no full flush —
+// the G-TPP row of Table 1). Promotion is NUMA-hint-fault driven: a page
+// observed accessed in `promote_after_hits` consecutive scans takes a
+// hint fault and migrates to FMEM. Proactive demotion keeps a free-page
+// headroom in FMEM, migrating FIFO victims to SMEM. Migrations are
+// sequential allocate-copy-remap (temporary-page style), not balanced swaps.
+
+#ifndef DEMETER_SRC_TMM_TPP_H_
+#define DEMETER_SRC_TMM_TPP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/units.h"
+#include "src/core/policy.h"
+
+namespace demeter {
+
+struct TppConfig {
+  Nanos scan_period = 200 * kMillisecond;
+  int promote_after_hits = 2;
+  uint64_t max_promote_per_scan = 128;
+  uint64_t max_demote_per_scan = 256;
+  double classify_ns_per_page = 6.0;  // LRU list maintenance per scanned page.
+  // Address-space pages covered per scan round (NUMA-balancing-style rate
+  // limit); the cursor wraps across scans.
+  uint64_t scan_chunk_pages = 4096;
+};
+
+class TppPolicy : public TmmPolicy {
+ public:
+  explicit TppPolicy(TppConfig config = TppConfig{});
+
+  const char* name() const override { return "tpp"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
+
+  uint64_t scans_run() const { return scans_run_; }
+  uint64_t total_promoted() const { return total_promoted_; }
+  uint64_t total_demoted() const { return total_demoted_; }
+
+ private:
+  void RunScan(Nanos now);
+  void ScheduleNext(Nanos now);
+
+  TppConfig config_;
+  Vm* vm_ = nullptr;
+  GuestProcess* process_ = nullptr;
+  std::unordered_map<PageNum, uint8_t> hit_streak_;  // vpn -> consecutive scans accessed.
+  uint64_t scan_cursor_ = 0;  // Page offset into the concatenated tracked span.
+  uint64_t scans_run_ = 0;
+  uint64_t total_promoted_ = 0;
+  uint64_t total_demoted_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TMM_TPP_H_

@@ -1,0 +1,103 @@
+#include "src/workloads/db_workloads.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+// ---- BtreeWorkload ----------------------------------------------------------
+
+BtreeWorkload::BtreeWorkload(BtreeConfig config) : config_(config) {
+  footprint_bytes_ = config.footprint_bytes;
+}
+
+void BtreeWorkload::Setup(GuestProcess& process, Rng& rng) {
+  (void)rng;
+  // Size the tree: leaves consume most of the footprint.
+  leaf_count_ = config_.footprint_bytes / config_.node_bytes;
+  // Level sizes from leaf upward: n, n/fanout, ..., 1.
+  std::vector<uint64_t> sizes;
+  uint64_t n = leaf_count_;
+  while (n > 1) {
+    sizes.push_back(n);
+    n = (n + static_cast<uint64_t>(config_.fanout) - 1) / static_cast<uint64_t>(config_.fanout);
+  }
+  sizes.push_back(1);
+  levels_ = static_cast<int>(sizes.size());
+  // Allocate root-first so upper levels are contiguous and early in the heap.
+  level_base_.resize(sizes.size());
+  level_nodes_.resize(sizes.size());
+  for (size_t l = 0; l < sizes.size(); ++l) {
+    const uint64_t nodes = sizes[sizes.size() - 1 - l];  // Root first.
+    level_base_[l] = process.HeapAlloc(nodes * config_.node_bytes);
+    level_nodes_[l] = nodes;
+  }
+}
+
+void BtreeWorkload::NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) {
+  (void)worker;
+  const size_t lookups = count / static_cast<size_t>(levels_);
+  for (size_t i = 0; i < lookups; ++i) {
+    const uint64_t key = rng.NextBelow(leaf_count_);
+    // Descend: node index at level l = key / fanout^(levels-1-l).
+    uint64_t divisor = 1;
+    for (int l = levels_ - 1; l >= 1; --l) {
+      divisor *= static_cast<uint64_t>(config_.fanout);
+    }
+    for (int l = 0; l < levels_; ++l) {
+      uint64_t idx = key / divisor;
+      if (idx >= level_nodes_[static_cast<size_t>(l)]) {
+        idx = level_nodes_[static_cast<size_t>(l)] - 1;
+      }
+      ops->push_back(AccessOp{level_base_[static_cast<size_t>(l)] + idx * config_.node_bytes,
+                              /*is_write=*/false});
+      divisor = divisor > 1 ? divisor / static_cast<uint64_t>(config_.fanout) : 1;
+    }
+  }
+}
+
+// ---- SiloYcsb ----------------------------------------------------------------
+
+SiloYcsb::SiloYcsb(SiloConfig config) : config_(config) {
+  footprint_bytes_ = config.footprint_bytes;
+}
+
+void SiloYcsb::Setup(GuestProcess& process, Rng& rng) {
+  (void)rng;
+  // ~1/16 of the footprint is index, the rest records.
+  index_bytes_ = PageCeil(config_.footprint_bytes / 16);
+  const uint64_t record_bytes_total = config_.footprint_bytes - index_bytes_;
+  index_base_ = process.HeapAlloc(index_bytes_);
+  records_base_ = process.HeapAlloc(record_bytes_total);
+  num_records_ = record_bytes_total / config_.record_bytes;
+  DEMETER_CHECK_GT(num_records_, 0u);
+}
+
+void SiloYcsb::NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) {
+  (void)worker;
+  const size_t per_txn = static_cast<size_t>(OpsPerTransaction());
+  const size_t txns = count / per_txn;
+  for (size_t t = 0; t < txns; ++t) {
+    ++txn_counter_;
+    if (txn_counter_ % config_.drift_period_txns == 0) {
+      // Hotspot drift: the popular keys move through the keyspace.
+      drift_offset_ = (drift_offset_ + static_cast<uint64_t>(config_.drift_step_fraction *
+                                                             static_cast<double>(num_records_))) %
+                      num_records_;
+    }
+    // Index traversal (B-tree interior nodes: compact, hot).
+    for (int i = 0; i < config_.index_reads_per_txn; ++i) {
+      const uint64_t slot = rng.NextZipf(index_bytes_ / 64, 0.6) * 64;
+      ops->push_back(AccessOp{index_base_ + slot, false});
+    }
+    // Record read-modify-writes with drifting zipfian popularity.
+    for (int i = 0; i < config_.records_per_txn; ++i) {
+      const uint64_t rank = rng.NextZipf(num_records_, config_.zipf_theta);
+      const uint64_t key = (rank + drift_offset_) % num_records_;
+      const uint64_t addr = records_base_ + key * config_.record_bytes;
+      ops->push_back(AccessOp{addr, false});
+      ops->push_back(AccessOp{addr, true});
+    }
+  }
+}
+
+}  // namespace demeter

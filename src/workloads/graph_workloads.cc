@@ -1,0 +1,82 @@
+#include "src/workloads/graph_workloads.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+// ---- Graph500Bfs --------------------------------------------------------------
+
+Graph500Bfs::Graph500Bfs(GraphConfig config) : config_(config) {
+  footprint_bytes_ = config.footprint_bytes;
+}
+
+void Graph500Bfs::Setup(GuestProcess& process, Rng& rng) {
+  (void)rng;
+  // Partition footprint between vertex state and the edge array.
+  const double per_vertex = static_cast<double>(config_.vertex_bytes) +
+                            config_.edges_per_vertex * static_cast<double>(config_.edge_bytes);
+  num_vertices_ = static_cast<uint64_t>(static_cast<double>(config_.footprint_bytes) / per_vertex);
+  DEMETER_CHECK_GT(num_vertices_, 0u);
+  num_edges_ = static_cast<uint64_t>(config_.edges_per_vertex * static_cast<double>(num_vertices_));
+  vertex_base_ = process.HeapAlloc(num_vertices_ * config_.vertex_bytes);
+  edge_base_ = process.HeapAlloc(num_edges_ * config_.edge_bytes);
+}
+
+void Graph500Bfs::NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) {
+  (void)worker;
+  const size_t expansions = count / static_cast<size_t>(OpsPerTransaction());
+  for (size_t e = 0; e < expansions; ++e) {
+    // Pick a frontier vertex with power-law popularity (hubs dominate).
+    const uint64_t v = rng.NextZipf(num_vertices_, config_.degree_theta);
+    ops->push_back(AccessOp{vertex_base_ + v * config_.vertex_bytes, false});
+    // Its adjacency run: edges are laid out by source vertex hash, so the
+    // run starts at a scattered position but reads sequentially.
+    uint64_t sm = v;  // SplitMix hash of v places the run.
+    const uint64_t run_start = SplitMix64(sm) % (num_edges_ - 8);
+    const int run_len = 6;
+    for (int i = 0; i < run_len; ++i) {
+      const uint64_t idx = (run_start + static_cast<uint64_t>(i)) % num_edges_;
+      ops->push_back(AccessOp{edge_base_ + idx * config_.edge_bytes, false});
+    }
+    // Visit destinations: scattered writes into the vertex state.
+    for (int i = 0; i < 3; ++i) {
+      const uint64_t dst = rng.NextZipf(num_vertices_, config_.degree_theta);
+      ops->push_back(AccessOp{vertex_base_ + dst * config_.vertex_bytes, true});
+    }
+  }
+}
+
+// ---- PageRankWorkload -----------------------------------------------------------
+
+PageRankWorkload::PageRankWorkload(GraphConfig config) : config_(config) {
+  footprint_bytes_ = config.footprint_bytes;
+}
+
+void PageRankWorkload::Setup(GuestProcess& process, Rng& rng) {
+  (void)rng;
+  const double per_vertex = static_cast<double>(config_.vertex_bytes) +
+                            config_.edges_per_vertex * static_cast<double>(config_.edge_bytes);
+  num_vertices_ = static_cast<uint64_t>(static_cast<double>(config_.footprint_bytes) / per_vertex);
+  num_edges_ = static_cast<uint64_t>(config_.edges_per_vertex * static_cast<double>(num_vertices_));
+  vertex_base_ = process.HeapAlloc(num_vertices_ * config_.vertex_bytes);
+  edge_base_ = process.HeapAlloc(num_edges_ * config_.edge_bytes);
+  cursor_.assign(64, 0);
+}
+
+void PageRankWorkload::NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) {
+  uint64_t& pos = cursor_[static_cast<size_t>(worker) % cursor_.size()];
+  const size_t steps = count / static_cast<size_t>(OpsPerTransaction());
+  for (size_t s = 0; s < steps; ++s) {
+    // Sequential edge-array sweep.
+    ops->push_back(AccessOp{edge_base_ + pos * config_.edge_bytes, false});
+    // Source rank: in-degree follows a power law, so rank reads are zipfian.
+    const uint64_t src = rng.NextZipf(num_vertices_, config_.degree_theta);
+    ops->push_back(AccessOp{vertex_base_ + src * config_.vertex_bytes, false});
+    // Accumulate into destination: scattered write.
+    const uint64_t dst = rng.NextBelow(num_vertices_);
+    ops->push_back(AccessOp{vertex_base_ + dst * config_.vertex_bytes, true});
+    pos = (pos + 1) % num_edges_;
+  }
+}
+
+}  // namespace demeter

@@ -1,0 +1,67 @@
+// Graph workloads: graph500 BFS and PageRank over a power-law (Twitter-like)
+// graph. Both exhibit skewed access with fine-grained interleaving of hot
+// and cold data scattered across the footprint — the hardest class for
+// range-based classification (§5.3).
+
+#ifndef DEMETER_SRC_WORKLOADS_GRAPH_WORKLOADS_H_
+#define DEMETER_SRC_WORKLOADS_GRAPH_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace demeter {
+
+struct GraphConfig {
+  uint64_t footprint_bytes = 64 * kMiB;
+  uint64_t vertex_bytes = 16;   // Rank/visited/state per vertex.
+  uint64_t edge_bytes = 8;
+  double edges_per_vertex = 16;
+  double degree_theta = 0.8;    // Power-law exponent for vertex popularity.
+};
+
+// graph500-style BFS: frontier expansion reads hub vertices' adjacency runs
+// and writes the visited map at scattered destinations.
+class Graph500Bfs : public Workload {
+ public:
+  explicit Graph500Bfs(GraphConfig config = GraphConfig{});
+
+  const char* name() const override { return "graph500"; }
+  void Setup(GuestProcess& process, Rng& rng) override;
+  void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) override;
+  int OpsPerTransaction() const override { return 10; }
+  double CacheHitRate() const override { return 0.15; }
+
+ protected:
+  GraphConfig config_;
+  uint64_t vertex_base_ = 0;
+  uint64_t edge_base_ = 0;
+  uint64_t num_vertices_ = 0;
+  uint64_t num_edges_ = 0;
+};
+
+// PageRank: sequential sweeps of the edge array combined with power-law
+// random reads of source ranks and scattered accumulation writes.
+class PageRankWorkload : public Workload {
+ public:
+  explicit PageRankWorkload(GraphConfig config = GraphConfig{});
+
+  const char* name() const override { return "pagerank"; }
+  void Setup(GuestProcess& process, Rng& rng) override;
+  void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) override;
+  int OpsPerTransaction() const override { return 3; }  // Edge read, rank read, accum write.
+  double CacheHitRate() const override { return 0.2; }
+
+ private:
+  GraphConfig config_;
+  uint64_t vertex_base_ = 0;
+  uint64_t edge_base_ = 0;
+  uint64_t num_vertices_ = 0;
+  uint64_t num_edges_ = 0;
+  std::vector<uint64_t> cursor_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_WORKLOADS_GRAPH_WORKLOADS_H_

@@ -1,0 +1,39 @@
+#include "src/workloads/gups.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+GupsHotset::GupsHotset(GupsConfig config) : config_(config) {
+  footprint_bytes_ = config.footprint_bytes;
+}
+
+void GupsHotset::Setup(GuestProcess& process, Rng& rng) {
+  (void)rng;
+  base_ = process.HeapAlloc(config_.footprint_bytes);
+  hot_bytes_ = PageCeil(
+      static_cast<uint64_t>(config_.hot_fraction * static_cast<double>(config_.footprint_bytes)));
+  hot_base_ = base_ + PageFloor(static_cast<uint64_t>(config_.hot_offset_fraction *
+                                                      static_cast<double>(config_.footprint_bytes)));
+  DEMETER_CHECK_LE(hot_base_ + hot_bytes_, base_ + config_.footprint_bytes);
+  // P(hot) = w*h / (w*h + (1-h)).
+  const double wh = config_.hot_access_weight * config_.hot_fraction;
+  hot_probability_ = wh / (wh + (1.0 - config_.hot_fraction));
+}
+
+void GupsHotset::NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) {
+  (void)worker;
+  for (size_t i = 0; i + 1 < count; i += 2) {
+    uint64_t addr;
+    if (rng.NextBool(hot_probability_)) {
+      addr = hot_base_ + rng.NextBelow(hot_bytes_ - 8);
+    } else {
+      addr = base_ + rng.NextBelow(config_.footprint_bytes - 8);
+    }
+    // Read-modify-write: one load, one store at the same address.
+    ops->push_back(AccessOp{addr, false});
+    ops->push_back(AccessOp{addr, true});
+  }
+}
+
+}  // namespace demeter

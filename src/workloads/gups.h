@@ -1,0 +1,44 @@
+// GUPS, hotset variant (§5.2): random read-modify-write transactions over a
+// large table, with a hot region receiving 10x the access frequency of the
+// cold remainder.
+
+#ifndef DEMETER_SRC_WORKLOADS_GUPS_H_
+#define DEMETER_SRC_WORKLOADS_GUPS_H_
+
+#include "src/workloads/workload.h"
+
+namespace demeter {
+
+struct GupsConfig {
+  uint64_t footprint_bytes = 64 * kMiB;
+  double hot_fraction = 0.1;      // Size of the hot region.
+  double hot_access_weight = 10;  // Hot region access multiplier.
+  // Hot region placement within the table (fraction of footprint). Placed
+  // away from the start so first-touch init lands it in SMEM.
+  double hot_offset_fraction = 0.6;
+};
+
+class GupsHotset : public Workload {
+ public:
+  explicit GupsHotset(GupsConfig config = GupsConfig{});
+
+  const char* name() const override { return "gups"; }
+  void Setup(GuestProcess& process, Rng& rng) override;
+  void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) override;
+  int OpsPerTransaction() const override { return 2; }  // Read + write.
+  double CacheHitRate() const override { return 0.05; }
+
+  uint64_t hot_base() const { return hot_base_; }
+  uint64_t hot_bytes() const { return hot_bytes_; }
+
+ private:
+  GupsConfig config_;
+  uint64_t base_ = 0;
+  uint64_t hot_base_ = 0;
+  uint64_t hot_bytes_ = 0;
+  double hot_probability_ = 0.0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_WORKLOADS_GUPS_H_

@@ -1,0 +1,76 @@
+// Scientific-computing workloads: a bwaves-like stencil sweep (uniform
+// streaming) and an XSBench-like Monte Carlo cross-section lookup (static
+// hotspot over the unionized energy grid).
+
+#ifndef DEMETER_SRC_WORKLOADS_HPC_WORKLOADS_H_
+#define DEMETER_SRC_WORKLOADS_HPC_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace demeter {
+
+// bwaves (SPEC CPU 2017): block-tridiagonal solver sweeping large grids.
+// Modelled as streaming sweeps over several arrays with plane-neighbour
+// touches — relatively uniform, prefetch-friendly.
+struct BwavesConfig {
+  uint64_t footprint_bytes = 64 * kMiB;
+  int num_arrays = 4;
+  uint64_t plane_bytes = 256 * kKiB;  // Stencil neighbour stride.
+};
+
+class BwavesWorkload : public Workload {
+ public:
+  explicit BwavesWorkload(BwavesConfig config = BwavesConfig{});
+
+  const char* name() const override { return "bwaves"; }
+  void Setup(GuestProcess& process, Rng& rng) override;
+  void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) override;
+  int OpsPerTransaction() const override { return 4; }  // Center+2 neighbours+write.
+  double CacheHitRate() const override { return 0.35; }
+
+ private:
+  BwavesConfig config_;
+  std::vector<uint64_t> array_base_;
+  uint64_t array_bytes_ = 0;
+  std::vector<uint64_t> cursor_;  // Per-worker sweep position.
+};
+
+// XSBench: macroscopic cross-section lookups. Each lookup binary-searches
+// the unionized energy grid (small, intensely hot, static) then gathers
+// from per-nuclide grids (large, uniformly cold).
+struct XsbenchConfig {
+  uint64_t footprint_bytes = 64 * kMiB;
+  double unionized_fraction = 0.12;  // Hot grid share of footprint.
+  int grid_searches_per_lookup = 12; // Binary-search touches in the hot grid.
+  int nuclide_reads_per_lookup = 6;  // Gathers from the cold grids.
+};
+
+class XsbenchWorkload : public Workload {
+ public:
+  explicit XsbenchWorkload(XsbenchConfig config = XsbenchConfig{});
+
+  const char* name() const override { return "xsbench"; }
+  void Setup(GuestProcess& process, Rng& rng) override;
+  void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) override;
+  int OpsPerTransaction() const override {
+    return config_.grid_searches_per_lookup + config_.nuclide_reads_per_lookup;
+  }
+  double CacheHitRate() const override { return 0.25; }
+
+  uint64_t unionized_base() const { return unionized_base_; }
+  uint64_t unionized_bytes() const { return unionized_bytes_; }
+
+ private:
+  XsbenchConfig config_;
+  uint64_t nuclide_base_ = 0;
+  uint64_t nuclide_bytes_ = 0;
+  uint64_t unionized_base_ = 0;
+  uint64_t unionized_bytes_ = 0;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_WORKLOADS_HPC_WORKLOADS_H_

@@ -1,0 +1,41 @@
+#include "src/workloads/ml_workloads.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+LiblinearWorkload::LiblinearWorkload(LiblinearConfig config) : config_(config) {
+  footprint_bytes_ = config.footprint_bytes;
+}
+
+void LiblinearWorkload::Setup(GuestProcess& process, Rng& rng) {
+  (void)rng;
+  model_bytes_ = PageCeil(static_cast<uint64_t>(config_.model_fraction *
+                                                static_cast<double>(config_.footprint_bytes)));
+  data_bytes_ = config_.footprint_bytes - model_bytes_;
+  // Dataset loads first (file parse), model allocates afterwards: the hot
+  // weight vector begins in SMEM if FMEM filled during data load.
+  data_base_ = process.HeapAlloc(data_bytes_);
+  model_base_ = process.HeapAlloc(model_bytes_);
+  cursor_.assign(64, 0);
+}
+
+void LiblinearWorkload::NextBatch(int worker, size_t count, Rng& rng,
+                                  std::vector<AccessOp>* ops) {
+  uint64_t& pos = cursor_[static_cast<size_t>(worker) % cursor_.size()];
+  const size_t samples = count / static_cast<size_t>(OpsPerTransaction());
+  for (size_t s = 0; s < samples; ++s) {
+    for (int f = 0; f < config_.features_per_sample; ++f) {
+      // Sequential read of the sample's feature entries.
+      ops->push_back(AccessOp{data_base_ + pos, false});
+      pos = (pos + 16) % (data_bytes_ - 8);
+      // Weight read + gradient update: hot, zipf-skewed across features.
+      const uint64_t w =
+          rng.NextZipf(model_bytes_ / 8, config_.feature_zipf_theta) * 8;
+      ops->push_back(AccessOp{model_base_ + w, false});
+      ops->push_back(AccessOp{model_base_ + w, true});
+    }
+  }
+}
+
+}  // namespace demeter

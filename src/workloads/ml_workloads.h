@@ -1,0 +1,47 @@
+// Machine-learning workload: LibLinear-style linear-model training over a
+// kdda-like sparse dataset — sequential sweeps of a large feature matrix
+// with an intensely hot, static model-weight vector (the concentrated gVA
+// hotspot visible in the paper's Figure 4 heat map).
+
+#ifndef DEMETER_SRC_WORKLOADS_ML_WORKLOADS_H_
+#define DEMETER_SRC_WORKLOADS_ML_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace demeter {
+
+struct LiblinearConfig {
+  uint64_t footprint_bytes = 64 * kMiB;
+  double model_fraction = 0.06;       // Weight vector share of footprint.
+  int features_per_sample = 8;        // Non-zeros read per training sample.
+  double feature_zipf_theta = 0.7;    // kdda feature popularity skew.
+};
+
+class LiblinearWorkload : public Workload {
+ public:
+  explicit LiblinearWorkload(LiblinearConfig config = LiblinearConfig{});
+
+  const char* name() const override { return "liblinear"; }
+  void Setup(GuestProcess& process, Rng& rng) override;
+  void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) override;
+  int OpsPerTransaction() const override { return 3 * config_.features_per_sample; }
+  double CacheHitRate() const override { return 0.3; }
+
+  uint64_t model_base() const { return model_base_; }
+  uint64_t model_bytes() const { return model_bytes_; }
+
+ private:
+  LiblinearConfig config_;
+  uint64_t data_base_ = 0;
+  uint64_t data_bytes_ = 0;
+  uint64_t model_base_ = 0;
+  uint64_t model_bytes_ = 0;
+  std::vector<uint64_t> cursor_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_WORKLOADS_ML_WORKLOADS_H_

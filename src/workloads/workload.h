@@ -1,0 +1,74 @@
+// Workload interface: access-pattern generators for the evaluation suite.
+//
+// A workload allocates its regions inside a guest process (Setup) and then
+// produces batches of (gVA, read/write) operations per worker thread. The
+// harness executes those operations through the VM, so every access goes
+// through 2D translation, tiering, and PEBS exactly as the modelled
+// application would.
+//
+// Workloads are classified as in §5.3:
+//   uniform access        — btree, bwaves
+//   static hotspot        — xsbench, liblinear
+//   dynamic hotspot       — silo (YCSB)
+//   skewed / power-law    — graph500, pagerank
+//   synthetic skew        — gups (hotset variant; §5.2 micro-benchmarks)
+
+#ifndef DEMETER_SRC_WORKLOADS_WORKLOAD_H_
+#define DEMETER_SRC_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/guest/process.h"
+
+namespace demeter {
+
+struct AccessOp {
+  uint64_t gva = 0;
+  bool is_write = false;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  // Allocates the workload's memory inside `process`. Called once.
+  virtual void Setup(GuestProcess& process, Rng& rng) = 0;
+
+  // Appends the next `count` operations for `worker` to `ops`.
+  virtual void NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) = 0;
+
+  // Accesses composing one application-level transaction (for latency and
+  // throughput reporting).
+  virtual int OpsPerTransaction() const { return 1; }
+
+  // CPU cache hit probability characteristic of this access pattern.
+  virtual double CacheHitRate() const { return 0.2; }
+
+  // Whether the harness should sequentially touch the whole footprint before
+  // timing starts (applications initialize their data structures, which is
+  // what makes first-touch placement follow init order, not access order).
+  virtual bool NeedsInitPass() const { return true; }
+
+  // Total bytes of tracked memory the workload allocated (valid post-Setup).
+  uint64_t footprint_bytes() const { return footprint_bytes_; }
+
+ protected:
+  uint64_t footprint_bytes_ = 0;
+};
+
+// Factory: builds the named workload sized to `footprint_bytes`.
+// Names: gups, gups-hot, btree, silo, bwaves, xsbench, graph500, pagerank, liblinear.
+std::unique_ptr<Workload> MakeWorkload(const std::string& name, uint64_t footprint_bytes);
+
+// The seven real-world workloads of §5.3, in the paper's figure order.
+std::vector<std::string> RealWorldWorkloadNames();
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,69 @@
+#include "src/base/logging.h"
+#include "src/workloads/db_workloads.h"
+#include "src/workloads/graph_workloads.h"
+#include "src/workloads/gups.h"
+#include "src/workloads/hpc_workloads.h"
+#include "src/workloads/ml_workloads.h"
+#include "src/workloads/workload.h"
+
+namespace demeter {
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& name, uint64_t footprint_bytes) {
+  if (name == "gups") {
+    GupsConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<GupsHotset>(config);
+  }
+  if (name == "gups-hot") {
+    // Variant whose hot set exceeds the default 1:5 FMEM share — used by
+    // QoS experiments where a tenant genuinely needs more fast memory.
+    GupsConfig config;
+    config.footprint_bytes = footprint_bytes;
+    config.hot_fraction = 0.38;
+    config.hot_offset_fraction = 0.55;
+    return std::make_unique<GupsHotset>(config);
+  }
+  if (name == "btree") {
+    BtreeConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<BtreeWorkload>(config);
+  }
+  if (name == "silo") {
+    SiloConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<SiloYcsb>(config);
+  }
+  if (name == "bwaves") {
+    BwavesConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<BwavesWorkload>(config);
+  }
+  if (name == "xsbench") {
+    XsbenchConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<XsbenchWorkload>(config);
+  }
+  if (name == "graph500") {
+    GraphConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<Graph500Bfs>(config);
+  }
+  if (name == "pagerank") {
+    GraphConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<PageRankWorkload>(config);
+  }
+  if (name == "liblinear") {
+    LiblinearConfig config;
+    config.footprint_bytes = footprint_bytes;
+    return std::make_unique<LiblinearWorkload>(config);
+  }
+  DEMETER_CHECK(false) << "unknown workload: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> RealWorldWorkloadNames() {
+  return {"btree", "silo", "bwaves", "xsbench", "graph500", "pagerank", "liblinear"};
+}
+
+}  // namespace demeter

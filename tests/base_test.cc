@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/units.h"
+
+namespace demeter {
+namespace {
+
+TEST(Units, PageMath) {
+  EXPECT_EQ(PagesForBytes(0), 0u);
+  EXPECT_EQ(PagesForBytes(1), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize + 1), 2u);
+  EXPECT_EQ(PageFloor(kPageSize + 123), kPageSize);
+  EXPECT_EQ(PageCeil(kPageSize + 1), 2 * kPageSize);
+  EXPECT_EQ(PageCeil(kPageSize), kPageSize);
+  EXPECT_EQ(PageOf(2 * kPageSize + 5), 2u);
+  EXPECT_EQ(AddrOfPage(3), 3 * kPageSize);
+}
+
+TEST(Units, HugePageConstants) {
+  EXPECT_EQ(kHugePageSize, 2 * kMiB);
+  EXPECT_EQ(kPagesPerHugePage, 512u);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 10ULL, 4093ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRangeRoughlyUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBelow(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ZipfInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.NextZipf(1000, 0.99), 1000u);
+  }
+  EXPECT_EQ(rng.NextZipf(1, 0.99), 0u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(5);
+  const int kDraws = 50000;
+  int in_top_decile = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextZipf(1000, 0.99) < 100) {
+      ++in_top_decile;
+    }
+  }
+  // Zipf(0.99): the top 10% of ranks should absorb well over half the draws.
+  EXPECT_GT(in_top_decile, kDraws / 2);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  // Bucketed value is within one sub-bucket of the true value.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 100.0, 100.0 / Histogram::kSubBuckets + 1);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBelow(1000000));
+  }
+  uint64_t prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(Histogram, UniformMedianNearMidpoint) {
+  Histogram h;
+  Rng rng(13);
+  for (int i = 0; i < 200000; ++i) {
+    h.Record(rng.NextBelow(1000000));
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500000.0, 80000.0);
+  EXPECT_NEAR(h.Mean(), 500000.0, 20000.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(Histogram, RecordNWeights) {
+  Histogram h;
+  h.RecordN(8, 99);
+  h.RecordN(1 << 20, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.Percentile(50), 8u);
+  EXPECT_GT(h.Percentile(100), 1000u);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.001);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(GeometricMean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+}
+
+TEST(Stats, LoessSmoothPreservesConstant) {
+  std::vector<double> flat(50, 3.0);
+  const auto out = LoessSmooth(flat, 5);
+  ASSERT_EQ(out.size(), flat.size());
+  for (double v : out) {
+    EXPECT_NEAR(v, 3.0, 1e-9);
+  }
+}
+
+TEST(Stats, LoessSmoothReducesNoise) {
+  Rng rng(21);
+  std::vector<double> noisy;
+  for (int i = 0; i < 200; ++i) {
+    noisy.push_back(100.0 + (rng.NextDouble() - 0.5) * 20.0);
+  }
+  const auto out = LoessSmooth(noisy, 10);
+  RunningStat raw;
+  RunningStat smooth;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    raw.Add(noisy[i]);
+    smooth.Add(out[i]);
+  }
+  EXPECT_LT(smooth.StdDev(), raw.StdDev() * 0.6);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "src/core/api.h"
+#include "src/harness/machine.h"
+#include "src/mmu/tlb.h"
+#include "src/tmm/damon.h"
+
+namespace demeter {
+namespace {
+
+// ---- Cold-walk factor after full invalidation ---------------------------------
+
+TEST(TlbColdWalk, FullFlushCoolsWalkCaches) {
+  Tlb tlb(2, 2);
+  EXPECT_DOUBLE_EQ(tlb.ConsumeWalkFactor(), 1.0) << "warm before any flush";
+  tlb.InvalidateAll();
+  EXPECT_GT(tlb.ConsumeWalkFactor(), 1.0);
+}
+
+TEST(TlbColdWalk, RewarmsAfterCapacityMisses) {
+  Tlb tlb(2, 2);  // Capacity 4.
+  tlb.InvalidateAll();
+  int cold = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (tlb.ConsumeWalkFactor() > 1.0) {
+      ++cold;
+    }
+  }
+  EXPECT_EQ(cold, 4) << "exactly `capacity` misses pay the cold factor";
+  EXPECT_DOUBLE_EQ(tlb.ConsumeWalkFactor(), 1.0);
+}
+
+TEST(TlbColdWalk, BackToBackFlushesStackUpToBound) {
+  Tlb tlb(2, 2);
+  for (int i = 0; i < 100; ++i) {
+    tlb.InvalidateAll();
+  }
+  int cold = 0;
+  while (tlb.ConsumeWalkFactor() > 1.0) {
+    ++cold;
+  }
+  EXPECT_EQ(cold, 4 * tlb.capacity()) << "stacking is capped at 4x capacity";
+}
+
+TEST(TlbColdWalk, SingleFlushDoesNotCool) {
+  Tlb tlb(2, 2);
+  tlb.Insert(1, 1);
+  tlb.InvalidatePage(1);
+  EXPECT_DOUBLE_EQ(tlb.ConsumeWalkFactor(), 1.0);
+}
+
+// ---- DAMON-style policy ---------------------------------------------------------
+
+class DamonTest : public ::testing::Test {
+ protected:
+  DamonTest()
+      : memory_({TierSpec::LocalDram(32 * kMiB), TierSpec::Pmem(128 * kMiB)}),
+        hyper_(&memory_, &events_) {}
+
+  HostMemory memory_;
+  EventQueue events_;
+  Hypervisor hyper_;
+};
+
+TEST_F(DamonTest, PromotesSampledHotRegion) {
+  VmConfig config;
+  config.total_memory_bytes = 16 * kMiB;
+  config.fmem_ratio = 0.25;
+  config.cache_hit_rate = 0.0;
+  Vm& vm = hyper_.CreateVm(config);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t pages = vm.config().total_pages() * 7 / 8;
+  const uint64_t base = proc.HeapAlloc(pages * kPageSize);
+  for (uint64_t i = 0; i < pages; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, true);
+  }
+  const uint64_t hot_base = base + (pages - 256) * kPageSize;
+  ASSERT_EQ(vm.NodeOfVpn(proc, PageOf(hot_base)), 1);
+
+  DamonConfig dconfig;
+  dconfig.sample_interval = 1 * kMillisecond;
+  dconfig.aggregation_interval = 10 * kMillisecond;
+  dconfig.hot_score = 2;
+  DamonPolicy policy(dconfig);
+  policy.Attach(vm, proc, vm.vcpu(0).now());
+
+  Rng rng(3);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 512; ++i) {
+      const uint64_t addr = hot_base + rng.NextBelow(256 * kPageSize - 8);
+      const auto r = vm.ExecuteAccess(0, proc, addr, false);
+      vm.vcpu(0).clock_ns += r.ns + 500;
+    }
+    vm.vcpu(0).clock_ns += static_cast<double>(5 * kMillisecond);
+    events_.RunUntil(vm.vcpu(0).now());
+  }
+  EXPECT_GT(policy.probes(), 1000u);
+  EXPECT_GT(policy.total_promoted(), 64u);
+  EXPECT_LE(policy.regions().size(), 100u) << "region budget respected";
+  // A-bit based: must issue single flushes, never full ones.
+  EXPECT_GT(vm.AggregateTlbStats().single_flushes, 0u);
+  EXPECT_EQ(vm.AggregateTlbStats().full_flushes, 0u);
+}
+
+TEST_F(DamonTest, RegionsCoverTrackedSpace) {
+  VmConfig config;
+  config.total_memory_bytes = 16 * kMiB;
+  Vm& vm = hyper_.CreateVm(config);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  proc.HeapAlloc(4 * kMiB);
+  proc.MmapAlloc(2 * kMiB);
+  DamonPolicy policy;
+  policy.Attach(vm, proc, 0);
+  uint64_t covered = 0;
+  for (const auto& region : policy.regions()) {
+    covered += region.end - region.start;
+  }
+  EXPECT_GE(covered, 6 * kMiB);
+}
+
+// ---- Demeter ablation configurations --------------------------------------------
+
+MachineConfig AblationHost() {
+  MachineConfig config;
+  config.tiers = {TierSpec::LocalDram(10 * kMiB), TierSpec::Pmem(64 * kMiB)};
+  return config;
+}
+
+VmSetup AblationVm(const DemeterConfig& dconfig) {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = 32 * kMiB;
+  setup.vm.num_vcpus = 2;
+  setup.workload = "gups";
+  setup.footprint_bytes = 24 * kMiB;
+  setup.target_transactions = 400000;
+  setup.policy = PolicyKind::kDemeter;
+  setup.demeter = dconfig;
+  return setup;
+}
+
+DemeterConfig ScaledConfig() {
+  DemeterConfig config;
+  config.range.epoch_length = 10 * kMillisecond;
+  config.range.split_threshold = 4.0;
+  config.sample_period = 97;
+  return config;
+}
+
+TEST(DemeterAblation, SequentialMigrationStillCorrectButPaysMore) {
+  DemeterConfig sequential = ScaledConfig();
+  sequential.relocator.balanced_swap = false;
+  Machine machine(AblationHost());
+  const int i = machine.AddVm(AblationVm(sequential));
+  machine.Run();
+  EXPECT_GT(machine.result(i).vm_stats.pages_promoted, 300u) << "still converges";
+
+  Machine balanced(AblationHost());
+  const int j = balanced.AddVm(AblationVm(ScaledConfig()));
+  balanced.Run();
+  EXPECT_GT(ToSeconds(machine.result(i).mgmt.ForStage(TmmStage::kMigration)),
+            ToSeconds(balanced.result(j).mgmt.ForStage(TmmStage::kMigration)))
+      << "sequential migration costs more CPU than balanced swaps";
+}
+
+TEST(DemeterAblation, PhysicalClassificationIsWorse) {
+  DemeterConfig physical = ScaledConfig();
+  physical.classify_virtual = false;
+  Machine phys_machine(AblationHost());
+  const int i = phys_machine.AddVm(AblationVm(physical));
+  phys_machine.Run();
+
+  Machine virt_machine(AblationHost());
+  const int j = virt_machine.AddVm(AblationVm(ScaledConfig()));
+  virt_machine.Run();
+
+  // The Figure 4 insight, quantified: fragmented gPA space carries no
+  // locality, so the classifier targets fewer of the right pages.
+  EXPECT_GT(phys_machine.result(i).elapsed_s, virt_machine.result(j).elapsed_s);
+  EXPECT_LT(phys_machine.result(i).fmem_access_fraction,
+            virt_machine.result(j).fmem_access_fraction);
+}
+
+TEST(DemeterAblation, PollingModeStillConverges) {
+  DemeterConfig polling = ScaledConfig();
+  polling.drain_on_context_switch = false;
+  Machine machine(AblationHost());
+  const int i = machine.AddVm(AblationVm(polling));
+  machine.Run();
+  EXPECT_GT(machine.result(i).vm_stats.pages_promoted, 300u);
+  EXPECT_GT(machine.result(i).mgmt.ForStage(TmmStage::kTracking), 0u)
+      << "the polling thread charges tracking time";
+}
+
+// ---- Custom policies through the harness ----------------------------------------
+
+class CountingPolicy : public TmmPolicy {
+ public:
+  const char* name() const override { return "counting"; }
+  void Attach(Vm& vm, GuestProcess& process, Nanos start) override {
+    (void)process;
+    attached_vm_id = vm.id();
+    attach_time = start;
+  }
+  int attached_vm_id = -1;
+  Nanos attach_time = 0;
+};
+
+TEST(MachineCustomPolicy, AttachedAndReported) {
+  Machine machine(AblationHost());
+  VmSetup setup = AblationVm(ScaledConfig());
+  setup.target_transactions = 50000;
+  const int i = machine.AddVm(setup);
+  auto policy = std::make_unique<CountingPolicy>();
+  CountingPolicy* raw = policy.get();
+  machine.SetCustomPolicy(i, std::move(policy));
+  machine.Run();
+  EXPECT_EQ(raw->attached_vm_id, i);
+  EXPECT_EQ(machine.result(i).policy, "counting");
+}
+
+TEST(MachineProvisioning, HotplugModeRuns) {
+  Machine machine(AblationHost());
+  VmSetup setup = AblationVm(ScaledConfig());
+  setup.target_transactions = 50000;
+  setup.provision = ProvisionMode::kHotplug;
+  const int i = machine.AddVm(setup);
+  machine.Run();
+  EXPECT_GE(machine.result(i).transactions, 50000u);
+  // Hotplug reached (approximately) the 1:5 composition in whole blocks.
+  const uint64_t fmem = machine.vm(i).kernel().node(0).present_pages();
+  EXPECT_NEAR(static_cast<double>(fmem), 1638.0, 128.0);
+}
+
+TEST(MachineDamon, RunsViaPolicyKind) {
+  Machine machine(AblationHost());
+  VmSetup setup = AblationVm(ScaledConfig());
+  setup.policy = PolicyKind::kDamon;
+  setup.target_transactions = 200000;
+  setup.policy_period = 10 * kMillisecond;
+  const int i = machine.AddVm(setup);
+  machine.Run();
+  EXPECT_GE(machine.result(i).transactions, 200000u);
+  EXPECT_EQ(machine.result(i).policy, "damon");
+  EXPECT_GT(machine.result(i).mgmt.Total(), 0u);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/guest/address_space.h"
+#include "src/guest/kernel.h"
+#include "src/guest/mpsc_channel.h"
+#include "src/guest/numa_node.h"
+
+namespace demeter {
+namespace {
+
+// ---- NumaNode --------------------------------------------------------------
+
+TEST(NumaNode, AllocWithinRange) {
+  NumaNode node(0, 1000, 100, 50);
+  auto gpa = node.AllocPage();
+  ASSERT_TRUE(gpa.has_value());
+  EXPECT_TRUE(node.ContainsGpa(*gpa));
+  EXPECT_EQ(node.free_pages(), 49u);
+  EXPECT_EQ(node.used_pages(), 1u);
+}
+
+TEST(NumaNode, ExhaustsAtPresentNotSpan) {
+  NumaNode node(0, 0, 100, 10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(node.AllocPage().has_value());
+  }
+  EXPECT_FALSE(node.AllocPage().has_value());
+}
+
+TEST(NumaNode, FreeRecycles) {
+  NumaNode node(0, 0, 10, 1);
+  auto gpa = node.AllocPage();
+  EXPECT_FALSE(node.AllocPage().has_value());
+  node.FreePage(*gpa);
+  auto gpa2 = node.AllocPage();
+  ASSERT_TRUE(gpa2.has_value());
+  EXPECT_EQ(*gpa, *gpa2);
+}
+
+TEST(NumaNode, BalloonTakeShrinksPresent) {
+  NumaNode node(0, 0, 100, 50);
+  std::vector<PageNum> taken;
+  EXPECT_EQ(node.BalloonTake(20, &taken), 20u);
+  EXPECT_EQ(taken.size(), 20u);
+  EXPECT_EQ(node.present_pages(), 30u);
+  EXPECT_EQ(node.free_pages(), 30u);
+}
+
+TEST(NumaNode, BalloonTakeLimitedByFreePages) {
+  NumaNode node(0, 0, 100, 50);
+  for (int i = 0; i < 45; ++i) {
+    node.AllocPage();
+  }
+  std::vector<PageNum> taken;
+  EXPECT_EQ(node.BalloonTake(20, &taken), 5u) << "only free pages can inflate";
+  EXPECT_EQ(node.present_pages(), 45u);
+}
+
+TEST(NumaNode, BalloonReturnGrowsPresent) {
+  NumaNode node(0, 0, 100, 50);
+  std::vector<PageNum> taken;
+  node.BalloonTake(30, &taken);
+  node.BalloonReturn(taken);
+  EXPECT_EQ(node.present_pages(), 50u);
+  EXPECT_EQ(node.free_pages(), 50u);
+}
+
+TEST(NumaNode, Watermarks) {
+  NumaNode node(0, 0, 6400, 6400);
+  EXPECT_EQ(node.watermark_min(), 100u);
+  EXPECT_EQ(node.watermark_low(), 200u);
+  EXPECT_EQ(node.watermark_high(), 400u);
+  EXPECT_FALSE(node.BelowLow());
+  for (int i = 0; i < 6300; ++i) {
+    node.AllocPage();
+  }
+  EXPECT_TRUE(node.BelowLow());
+  EXPECT_FALSE(node.BelowMin());
+}
+
+// ---- AddressSpace ----------------------------------------------------------
+
+TEST(AddressSpace, InitialLayout) {
+  AddressSpace space;
+  ASSERT_EQ(space.vmas().size(), 4u);  // code, data, stack, empty heap.
+  EXPECT_EQ(space.brk(), AddressSpace::kStartBrk);
+  uint64_t tracked = space.TrackedBytes();
+  EXPECT_EQ(tracked, 0u) << "heap empty, no mmap yet";
+}
+
+TEST(AddressSpace, SbrkGrowsHeapUpward) {
+  AddressSpace space;
+  const uint64_t a = space.Sbrk(10 * kPageSize);
+  EXPECT_EQ(a, AddressSpace::kStartBrk);
+  const uint64_t b = space.Sbrk(5 * kPageSize);
+  EXPECT_EQ(b, a + 10 * kPageSize);
+  EXPECT_EQ(space.TrackedBytes(), 15 * kPageSize);
+  const Vma* vma = space.FindVma(a);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_EQ(vma->kind, VmaKind::kHeap);
+  EXPECT_TRUE(vma->tracked);
+}
+
+TEST(AddressSpace, SbrkRoundsToPages) {
+  AddressSpace space;
+  space.Sbrk(1);
+  EXPECT_EQ(space.brk(), AddressSpace::kStartBrk + kPageSize);
+}
+
+TEST(AddressSpace, MmapGrowsDownward) {
+  AddressSpace space;
+  const uint64_t a = space.Mmap(16 * kPageSize);
+  const uint64_t b = space.Mmap(kPageSize);
+  EXPECT_LT(b, a);
+  EXPECT_LT(a + 16 * kPageSize, AddressSpace::kMmapBase + 1);
+  const Vma* vma = space.FindVma(b);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_EQ(vma->kind, VmaKind::kMmap);
+  EXPECT_TRUE(vma->tracked);
+}
+
+TEST(AddressSpace, UntrackedSegmentsExcluded) {
+  AddressSpace space;
+  const Vma* code = space.FindVma(AddressSpace::kCodeStart);
+  ASSERT_NE(code, nullptr);
+  EXPECT_EQ(code->kind, VmaKind::kCode);
+  EXPECT_FALSE(code->tracked);
+  const Vma* stack = space.FindVma(AddressSpace::kStackTop - kPageSize);
+  ASSERT_NE(stack, nullptr);
+  EXPECT_EQ(stack->kind, VmaKind::kStack);
+  EXPECT_FALSE(stack->tracked);
+}
+
+TEST(AddressSpace, FindVmaMissReturnsNull) {
+  AddressSpace space;
+  EXPECT_EQ(space.FindVma(0x1000), nullptr);
+}
+
+// ---- GuestKernel -----------------------------------------------------------
+
+GuestKernelConfig SmallKernelConfig(uint64_t fmem = 64, uint64_t smem = 256) {
+  GuestKernelConfig config;
+  config.num_nodes = 2;
+  config.node_span_pages = {fmem + smem, fmem + smem};
+  config.node_present_pages = {fmem, smem};
+  return config;
+}
+
+TEST(GuestKernel, NodeLayout) {
+  GuestKernel kernel(SmallKernelConfig());
+  EXPECT_EQ(kernel.num_nodes(), 2);
+  EXPECT_EQ(kernel.node(0).gpa_base(), 0u);
+  EXPECT_EQ(kernel.node(1).gpa_base(), 320u);
+  EXPECT_EQ(kernel.NodeOfGpa(5), 0);
+  EXPECT_EQ(kernel.NodeOfGpa(321), 1);
+  EXPECT_EQ(kernel.NodeOfGpa(100000), -1);
+}
+
+TEST(GuestKernel, FaultAllocatesFmemFirst) {
+  GuestKernel kernel(SmallKernelConfig());
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    auto gpa = kernel.HandleFault(proc, static_cast<PageNum>(1000 + i), &cost);
+    ASSERT_TRUE(gpa.has_value());
+    EXPECT_EQ(kernel.NodeOfGpa(*gpa), 0) << "fault " << i;
+  }
+  // FMEM node exhausted: falls back to SMEM.
+  auto gpa = kernel.HandleFault(proc, 2000, &cost);
+  ASSERT_TRUE(gpa.has_value());
+  EXPECT_EQ(kernel.NodeOfGpa(*gpa), 1);
+  EXPECT_EQ(kernel.stats().fallback_allocs, 1u);
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(GuestKernel, FaultMapsGptAndRmap) {
+  GuestKernel kernel(SmallKernelConfig());
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  auto gpa = kernel.HandleFault(proc, 777, &cost);
+  ASSERT_TRUE(gpa.has_value());
+  EXPECT_EQ(proc.gpt().Lookup(777).target, *gpa);
+  const RmapEntry* rmap = kernel.Rmap(*gpa);
+  ASSERT_NE(rmap, nullptr);
+  EXPECT_EQ(rmap->pid, proc.pid());
+  EXPECT_EQ(rmap->vpn, 777u);
+  EXPECT_EQ(kernel.mapped_pages(), 1u);
+}
+
+TEST(GuestKernel, OomWhenAllNodesDry) {
+  GuestKernel kernel(SmallKernelConfig(2, 2));
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(kernel.HandleFault(proc, static_cast<PageNum>(i), &cost).has_value());
+  }
+  EXPECT_FALSE(kernel.HandleFault(proc, 99, &cost).has_value());
+  EXPECT_EQ(kernel.stats().oom_failures, 1u);
+}
+
+TEST(GuestKernel, OnPageMovedUpdatesRmap) {
+  GuestKernel kernel(SmallKernelConfig());
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  auto old_gpa = kernel.HandleFault(proc, 10, &cost);
+  auto new_gpa = kernel.AllocGpa(1, false, &cost);
+  ASSERT_TRUE(new_gpa.has_value());
+  kernel.OnPageMoved(*old_gpa, *new_gpa);
+  EXPECT_EQ(kernel.Rmap(*old_gpa), nullptr);
+  const RmapEntry* rmap = kernel.Rmap(*new_gpa);
+  ASSERT_NE(rmap, nullptr);
+  EXPECT_EQ(rmap->vpn, 10u);
+}
+
+TEST(GuestKernel, OnPagesSwappedExchangesOwners) {
+  GuestKernel kernel(SmallKernelConfig());
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  auto gpa_a = kernel.HandleFault(proc, 1, &cost);
+  auto gpa_b = kernel.HandleFault(proc, 2, &cost);
+  kernel.OnPagesSwapped(*gpa_a, *gpa_b);
+  EXPECT_EQ(kernel.Rmap(*gpa_a)->vpn, 2u);
+  EXPECT_EQ(kernel.Rmap(*gpa_b)->vpn, 1u);
+}
+
+TEST(GuestKernel, PickVictimFifoOrder) {
+  GuestKernel kernel(SmallKernelConfig());
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  auto first = kernel.HandleFault(proc, 100, &cost);
+  kernel.HandleFault(proc, 101, &cost);
+  auto victim = kernel.PickVictim(0);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, *first) << "oldest allocation demoted first";
+}
+
+TEST(GuestKernel, PickVictimSkipsFreedPages) {
+  GuestKernel kernel(SmallKernelConfig());
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  auto first = kernel.HandleFault(proc, 100, &cost);
+  auto second = kernel.HandleFault(proc, 101, &cost);
+  proc.gpt().Unmap(100);
+  kernel.FreeGpa(*first);
+  auto victim = kernel.PickVictim(0);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, *second);
+}
+
+TEST(GuestKernel, PickVictimEmptyNode) {
+  GuestKernel kernel(SmallKernelConfig());
+  EXPECT_FALSE(kernel.PickVictim(0).has_value());
+}
+
+TEST(GuestKernel, ContextSwitchHooksCharge) {
+  GuestKernel kernel(SmallKernelConfig());
+  int calls = 0;
+  kernel.RegisterContextSwitchHook([&](int vcpu, Nanos now) {
+    EXPECT_EQ(vcpu, 3);
+    EXPECT_EQ(now, 500u);
+    ++calls;
+    return 123.0;
+  });
+  kernel.RegisterContextSwitchHook([&](int, Nanos) { return 1.0; });
+  EXPECT_DOUBLE_EQ(kernel.OnContextSwitch(3, 500), 124.0);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- MpscChannel -----------------------------------------------------------
+
+TEST(MpscChannel, PushPopSingleThread) {
+  MpscChannel<int> ch(8);
+  EXPECT_FALSE(ch.Pop().has_value());
+  EXPECT_TRUE(ch.Push(1));
+  EXPECT_TRUE(ch.Push(2));
+  EXPECT_EQ(ch.Pop().value(), 1);
+  EXPECT_EQ(ch.Pop().value(), 2);
+  EXPECT_FALSE(ch.Pop().has_value());
+}
+
+TEST(MpscChannel, FullDropsAndCounts) {
+  MpscChannel<int> ch(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ch.Push(i));
+  }
+  EXPECT_FALSE(ch.Push(99));
+  EXPECT_EQ(ch.dropped(), 1u);
+  ch.Pop();
+  EXPECT_TRUE(ch.Push(100));
+}
+
+TEST(MpscChannel, PopBatch) {
+  MpscChannel<int> ch(16);
+  for (int i = 0; i < 10; ++i) {
+    ch.Push(i);
+  }
+  std::vector<int> out;
+  EXPECT_EQ(ch.PopBatch(&out, 6), 6u);
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(ch.PopBatch(&out, 100), 4u);
+  EXPECT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(MpscChannel, MultiProducerStress) {
+  MpscChannel<uint64_t> ch(1 << 14);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = (static_cast<uint64_t>(p) << 32) | i;
+        while (!ch.Push(value)) {
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> per_producer_next(kProducers, 0);
+  uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    auto v = ch.Pop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int p = static_cast<int>(*v >> 32);
+    const uint64_t seq = *v & 0xffffffff;
+    // Per-producer FIFO ordering must hold.
+    EXPECT_EQ(seq, per_producer_next[static_cast<size_t>(p)]);
+    ++per_producer_next[static_cast<size_t>(p)];
+    ++received;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(received, kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/harness/machine.h"
+#include "src/harness/table.h"
+
+namespace demeter {
+namespace {
+
+MachineConfig SmallHost(int vms = 1) {
+  MachineConfig config;
+  // Host sized so each VM's FMEM node fits its share of DRAM.
+  const uint64_t per_vm = 32 * kMiB;
+  config.tiers = {TierSpec::LocalDram(per_vm * static_cast<uint64_t>(vms)),
+                  TierSpec::Pmem(3 * per_vm * static_cast<uint64_t>(vms))};
+  return config;
+}
+
+VmSetup SmallVm(PolicyKind policy, const std::string& workload = "gups") {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = 32 * kMiB;
+  setup.vm.fmem_ratio = 0.2;
+  setup.vm.num_vcpus = 2;
+  setup.workload = workload;
+  setup.footprint_bytes = 24 * kMiB;
+  setup.target_transactions = 800000;
+  setup.policy = policy;
+  setup.demeter.range.epoch_length = 10 * kMillisecond;
+  setup.demeter.sample_period = 97;  // Scaled-down run: denser sampling.
+  setup.demeter.range.split_threshold = 4.0;  // Margin scaled with sample rate.
+  setup.policy_period = 15 * kMillisecond;
+  return setup;
+}
+
+TEST(Machine, RunsToTransactionTarget) {
+  Machine machine(SmallHost());
+  const int i = machine.AddVm(SmallVm(PolicyKind::kStatic));
+  machine.Run();
+  const VmRunResult& result = machine.result(i);
+  EXPECT_GE(result.transactions, 800000u);
+  EXPECT_GT(result.elapsed_s, 0.0);
+  EXPECT_GT(result.vm_stats.accesses, 1600000u);
+  EXPECT_EQ(result.policy, "static");
+  EXPECT_EQ(result.workload, "gups");
+  EXPECT_FALSE(result.timeline.empty());
+}
+
+TEST(Machine, DeterministicResults) {
+  double elapsed[2];
+  for (int run = 0; run < 2; ++run) {
+    Machine machine(SmallHost());
+    const int i = machine.AddVm(SmallVm(PolicyKind::kDemeter));
+    machine.Run();
+    elapsed[run] = machine.result(i).elapsed_s;
+  }
+  EXPECT_DOUBLE_EQ(elapsed[0], elapsed[1]);
+}
+
+TEST(Machine, DemeterBeatsStaticOnGups) {
+  // The headline sanity check: with the hot set born in SMEM, Demeter must
+  // outperform no-management by promoting it into FMEM.
+  Machine static_machine(SmallHost());
+  const int s = static_machine.AddVm(SmallVm(PolicyKind::kStatic));
+  static_machine.Run();
+
+  Machine demeter_machine(SmallHost());
+  const int d = demeter_machine.AddVm(SmallVm(PolicyKind::kDemeter));
+  demeter_machine.Run();
+
+  const double static_s = static_machine.result(s).elapsed_s;
+  const double demeter_s = demeter_machine.result(d).elapsed_s;
+  EXPECT_LT(demeter_s, static_s * 0.9)
+      << "Demeter should be >10% faster (static=" << static_s << "s demeter=" << demeter_s << "s)";
+  // And the FMEM hit fraction must be visibly higher.
+  EXPECT_GT(demeter_machine.result(d).fmem_access_fraction,
+            static_machine.result(s).fmem_access_fraction + 0.1);
+}
+
+TEST(Machine, GuestPoliciesAvoidFullFlushes) {
+  Machine machine(SmallHost());
+  const int i = machine.AddVm(SmallVm(PolicyKind::kDemeter));
+  machine.Run();
+  EXPECT_EQ(machine.result(i).tlb.full_flushes, 0u);
+  EXPECT_GT(machine.result(i).tlb.single_flushes, 0u);
+}
+
+TEST(Machine, HypervisorPolicyFullFlushes) {
+  Machine machine(SmallHost());
+  const int i = machine.AddVm(SmallVm(PolicyKind::kHTpp));
+  machine.Run();
+  EXPECT_GT(machine.result(i).tlb.full_flushes, 0u) << "invept per MMU-notifier scan";
+}
+
+TEST(Machine, MultiVmAllFinish) {
+  Machine machine(SmallHost(3));
+  for (int v = 0; v < 3; ++v) {
+    machine.AddVm(SmallVm(PolicyKind::kTpp));
+  }
+  machine.Run();
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_GE(machine.result(v).transactions, 800000u);
+  }
+  EXPECT_GT(machine.TotalMgmtCores(), 0.0);
+  EXPECT_GT(machine.MeanElapsedSeconds(), 0.0);
+}
+
+TEST(Machine, DemeterBalloonProvisioningMatchesStaticSizes) {
+  Machine machine(SmallHost());
+  VmSetup setup = SmallVm(PolicyKind::kStatic);
+  setup.provision = ProvisionMode::kDemeterBalloon;
+  const int i = machine.AddVm(setup);
+  machine.Run();
+  Vm& vm = machine.vm(i);
+  EXPECT_EQ(vm.kernel().node(0).present_pages(), setup.vm.fmem_pages());
+  EXPECT_EQ(vm.kernel().node(1).present_pages(), setup.vm.smem_pages());
+  EXPECT_GE(machine.result(i).transactions, 800000u);
+}
+
+TEST(Machine, VirtioBalloonUnderProvisionsFmem) {
+  Machine machine(SmallHost());
+  VmSetup setup = SmallVm(PolicyKind::kStatic);
+  setup.provision = ProvisionMode::kVirtioBalloon;
+  const int i = machine.AddVm(setup);
+  machine.Run();
+  Vm& vm = machine.vm(i);
+  // Tier-blind inflation ate FMEM: far below the intended 20% share.
+  EXPECT_LT(vm.kernel().node(0).present_pages(), setup.vm.fmem_pages() / 2);
+}
+
+TEST(Machine, VirtioBalloonSlowerThanDemeterBalloon) {
+  double elapsed[2];
+  const ProvisionMode modes[2] = {ProvisionMode::kVirtioBalloon, ProvisionMode::kDemeterBalloon};
+  for (int m = 0; m < 2; ++m) {
+    Machine machine(SmallHost());
+    VmSetup setup = SmallVm(PolicyKind::kDemeter);
+    setup.provision = modes[m];
+    const int i = machine.AddVm(setup);
+    machine.Run();
+    elapsed[m] = machine.result(i).elapsed_s;
+  }
+  EXPECT_GT(elapsed[0], elapsed[1] * 1.1) << "FMEM under-provisioning must hurt";
+}
+
+TEST(Machine, SiloLatencyPercentilesPopulated) {
+  Machine machine(SmallHost());
+  VmSetup setup = SmallVm(PolicyKind::kDemeter, "silo");
+  setup.target_transactions = 20000;
+  const int i = machine.AddVm(setup);
+  machine.Run();
+  const Histogram& lat = machine.result(i).txn_latency_ns;
+  EXPECT_GE(lat.count(), 20000u);
+  EXPECT_GT(lat.Percentile(99), lat.Percentile(50));
+}
+
+TEST(Machine, PolicyNamesRoundTrip) {
+  for (PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kDemeter, PolicyKind::kTpp,
+                          PolicyKind::kHTpp, PolicyKind::kMemtis, PolicyKind::kNomad}) {
+    EXPECT_EQ(PolicyKindFromName(PolicyKindName(kind)), kind);
+  }
+  EXPECT_DEATH(PolicyKindFromName("bogus"), "unknown policy");
+}
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hyper/hypervisor.h"
+#include "src/hyper/vm.h"
+#include "src/mem/host_memory.h"
+#include "src/sim/event_queue.h"
+
+namespace demeter {
+namespace {
+
+class HyperTest : public ::testing::Test {
+ protected:
+  HyperTest()
+      : memory_({TierSpec::LocalDram(32 * kMiB), TierSpec::Pmem(128 * kMiB)}),
+        hyper_(&memory_, &events_) {}
+
+  Vm& MakeVm(uint64_t total_bytes = 8 * kMiB, double fmem_ratio = 0.25,
+             double cache_hit_rate = 0.0) {
+    VmConfig config;
+    config.id = hyper_.num_vms();
+    config.num_vcpus = 2;
+    config.total_memory_bytes = total_bytes;
+    config.fmem_ratio = fmem_ratio;
+    config.cache_hit_rate = cache_hit_rate;
+    return hyper_.CreateVm(config);
+  }
+
+  HostMemory memory_;
+  EventQueue events_;
+  Hypervisor hyper_;
+};
+
+TEST_F(HyperTest, VmNodeSizing) {
+  Vm& vm = MakeVm(8 * kMiB, 0.25);
+  EXPECT_EQ(vm.kernel().node(0).present_pages(), 512u);   // 2 MiB FMEM.
+  EXPECT_EQ(vm.kernel().node(1).present_pages(), 1536u);  // 6 MiB SMEM.
+  // Node spans are each 100% of VM memory.
+  EXPECT_EQ(vm.kernel().node(0).span_pages(), 2048u);
+  EXPECT_EQ(vm.kernel().node(1).span_pages(), 2048u);
+}
+
+TEST_F(HyperTest, FirstAccessFaultsThenHits) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+
+  AccessResult first = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_EQ(vm.stats().guest_faults, 1u);
+  EXPECT_EQ(vm.stats().ept_faults, 1u);
+  EXPECT_GT(first.ns, 10000.0) << "first touch pays both faults";
+  EXPECT_EQ(first.tier, kFmemTier) << "fault allocates FMEM first";
+
+  AccessResult second = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_EQ(vm.stats().guest_faults, 1u);
+  EXPECT_LT(second.ns, 100.0) << "TLB hit plus DRAM latency";
+}
+
+TEST_F(HyperTest, SpillToSmemWhenFmemNodeFull) {
+  Vm& vm = MakeVm(8 * kMiB, 0.25);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = proc.HeapAlloc(2048 * kPageSize);
+  // Touch every page: 512 land in FMEM, the rest in SMEM.
+  for (uint64_t i = 0; i < 2048; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, true);
+  }
+  EXPECT_EQ(vm.kernel().node(0).free_pages(), 0u);
+  EXPECT_EQ(vm.stats().fmem_accesses, 512u);
+  EXPECT_EQ(vm.stats().smem_accesses, 1536u);
+}
+
+TEST_F(HyperTest, EptPopulatesMatchingTier) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, false);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  EXPECT_EQ(hyper_.NodeOfGpa(vm, gpa), 0);
+  const FrameId frame = vm.ept().Lookup(gpa).target;
+  EXPECT_EQ(memory_.TierOf(frame), kFmemTier);
+}
+
+TEST_F(HyperTest, LazyBacking) {
+  Vm& vm = MakeVm();
+  EXPECT_EQ(memory_.UsedPages(kFmemTier), 0u) << "no eager backing";
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = proc.HeapAlloc(10 * kPageSize);
+  for (int i = 0; i < 3; ++i) {
+    vm.ExecuteAccess(0, proc, base + static_cast<uint64_t>(i) * kPageSize, false);
+  }
+  EXPECT_EQ(memory_.UsedPages(kFmemTier), 3u) << "only touched pages backed";
+}
+
+TEST_F(HyperTest, MovePagePreservesContentsAndChangesTier) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, true);
+  const PageNum vpn = PageOf(addr);
+  const PageNum old_gpa = proc.gpt().Lookup(vpn).target;
+  const FrameId old_frame = vm.ept().Lookup(old_gpa).target;
+  memory_.WriteToken(old_frame, 0xfeed);
+
+  double cost = 0.0;
+  ASSERT_TRUE(vm.MovePage(proc, vpn, /*dst_node=*/1, /*now=*/0, &cost));
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(vm.NodeOfVpn(proc, vpn), 1);
+  const PageNum new_gpa = proc.gpt().Lookup(vpn).target;
+  EXPECT_NE(new_gpa, old_gpa);
+  const FrameId new_frame = vm.ept().Lookup(new_gpa).target;
+  EXPECT_EQ(memory_.TierOf(new_frame), kSmemTier);
+  EXPECT_EQ(memory_.ReadToken(new_frame), 0xfeedu) << "contents must move";
+  EXPECT_EQ(vm.stats().pages_demoted, 1u);
+  // Old backing was released to the host.
+  EXPECT_FALSE(vm.ept().Lookup(old_gpa).present);
+}
+
+TEST_F(HyperTest, MovePageFlushesGvaOnAllVcpus) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, false);
+  vm.ExecuteAccess(1, proc, addr, false);
+  const auto before = vm.AggregateTlbStats();
+  double cost = 0.0;
+  ASSERT_TRUE(vm.MovePage(proc, PageOf(addr), 1, 0, &cost));
+  const auto after = vm.AggregateTlbStats();
+  EXPECT_EQ(after.single_flushes - before.single_flushes, 2u) << "one invlpg per vCPU";
+  EXPECT_EQ(after.full_flushes, before.full_flushes);
+  // Post-move access resolves to the new tier.
+  AccessResult r = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_EQ(r.tier, kSmemTier);
+}
+
+TEST_F(HyperTest, MovePageFailsWhenDstNodeFull) {
+  Vm& vm = MakeVm(8 * kMiB, 0.25);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = proc.HeapAlloc(2048 * kPageSize);
+  for (uint64_t i = 0; i < 2048; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, false);
+  }
+  // Both nodes fully allocated: no free page in node 1.
+  double cost = 0.0;
+  EXPECT_FALSE(vm.MovePage(proc, PageOf(base), 1, 0, &cost));
+}
+
+TEST_F(HyperTest, SwapPagesExchangesTiersAndContents) {
+  Vm& vm = MakeVm(8 * kMiB, 0.25);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = proc.HeapAlloc(2048 * kPageSize);
+  for (uint64_t i = 0; i < 2048; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, false);
+  }
+  const PageNum vpn_fast = PageOf(base);                      // First touch: FMEM.
+  const PageNum vpn_slow = PageOf(base + 1000 * kPageSize);   // Later: SMEM.
+  ASSERT_EQ(vm.NodeOfVpn(proc, vpn_fast), 0);
+  ASSERT_EQ(vm.NodeOfVpn(proc, vpn_slow), 1);
+
+  const FrameId frame_fast = vm.ept().Lookup(proc.gpt().Lookup(vpn_fast).target).target;
+  const FrameId frame_slow = vm.ept().Lookup(proc.gpt().Lookup(vpn_slow).target).target;
+  memory_.WriteToken(frame_fast, 0xaaaa);
+  memory_.WriteToken(frame_slow, 0xbbbb);
+
+  const uint64_t fmem_used_before = memory_.UsedPages(kFmemTier);
+  double cost = 0.0;
+  ASSERT_TRUE(vm.SwapPages(proc, vpn_slow, proc, vpn_fast, 0, &cost));
+
+  EXPECT_EQ(vm.NodeOfVpn(proc, vpn_slow), 0) << "hot page promoted";
+  EXPECT_EQ(vm.NodeOfVpn(proc, vpn_fast), 1) << "cold page demoted";
+  // No allocation: host usage unchanged (the paper's balanced property).
+  EXPECT_EQ(memory_.UsedPages(kFmemTier), fmem_used_before);
+  // Contents followed their virtual pages.
+  const FrameId new_frame_slow = vm.ept().Lookup(proc.gpt().Lookup(vpn_slow).target).target;
+  const FrameId new_frame_fast = vm.ept().Lookup(proc.gpt().Lookup(vpn_fast).target).target;
+  EXPECT_EQ(memory_.ReadToken(new_frame_slow), 0xbbbbu);
+  EXPECT_EQ(memory_.ReadToken(new_frame_fast), 0xaaaau);
+  EXPECT_EQ(vm.stats().pages_promoted, 1u);
+  EXPECT_EQ(vm.stats().pages_demoted, 1u);
+}
+
+TEST_F(HyperTest, SwapUnmappedFails) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(2 * kPageSize);
+  vm.ExecuteAccess(0, proc, addr, false);
+  double cost = 0.0;
+  EXPECT_FALSE(vm.SwapPages(proc, PageOf(addr), proc, PageOf(addr) + 1, 0, &cost));
+}
+
+TEST_F(HyperTest, HostMigrationUsesFullFlush) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, true);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  const FrameId old_frame = vm.ept().Lookup(gpa).target;
+  memory_.WriteToken(old_frame, 0x1234);
+
+  double cost = 0.0;
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kSmemTier, 0, &cost));
+  vm.FullFlushAll();  // Hypervisor-side designs batch-flush with invept.
+  EXPECT_EQ(vm.AggregateTlbStats().full_flushes, 2u);
+
+  const FrameId new_frame = vm.ept().Lookup(gpa).target;
+  EXPECT_EQ(memory_.TierOf(new_frame), kSmemTier);
+  EXPECT_EQ(memory_.ReadToken(new_frame), 0x1234u);
+  // Guest view is unchanged: same gPA.
+  EXPECT_EQ(proc.gpt().Lookup(PageOf(addr)).target, gpa);
+  // Access now lands in SMEM even though the guest did nothing.
+  AccessResult r = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_EQ(r.tier, kSmemTier);
+}
+
+TEST_F(HyperTest, MigrateGpaRejectsSameTierAndUnbacked) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, false);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  double cost = 0.0;
+  EXPECT_FALSE(hyper_.MigrateGpa(vm, gpa, kFmemTier, 0, &cost)) << "already in FMEM";
+  EXPECT_FALSE(hyper_.MigrateGpa(vm, gpa + 1, kSmemTier, 0, &cost)) << "unbacked";
+}
+
+TEST_F(HyperTest, EptScanSeesAccessedBitsAndFullFlushes) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = proc.HeapAlloc(10 * kPageSize);
+  for (int i = 0; i < 10; ++i) {
+    vm.ExecuteAccess(0, proc, base + static_cast<uint64_t>(i) * kPageSize, false);
+  }
+  int accessed = 0;
+  hyper_.ScanEptAccessedAndFlush(vm, [&](PageNum, FrameId, bool a) {
+    if (a) {
+      ++accessed;
+    }
+  });
+  EXPECT_EQ(accessed, 10);
+  EXPECT_EQ(vm.AggregateTlbStats().full_flushes, 2u) << "invept on every vCPU";
+
+  // Without re-access, a second scan sees nothing.
+  accessed = 0;
+  hyper_.ScanEptAccessedAndFlush(vm, [&](PageNum, FrameId, bool a) {
+    if (a) {
+      ++accessed;
+    }
+  });
+  EXPECT_EQ(accessed, 0);
+
+  // Re-access (after the full flush forces a re-walk) re-arms the bits.
+  vm.ExecuteAccess(0, proc, base, false);
+  accessed = 0;
+  hyper_.ScanEptAccessedAndFlush(vm, [&](PageNum, FrameId, bool a) {
+    if (a) {
+      ++accessed;
+    }
+  });
+  EXPECT_EQ(accessed, 1);
+}
+
+TEST_F(HyperTest, WithoutFullFlushAbitsStayDark) {
+  // The core of §2.3.1: TLB hits skip the page-table walk, so A bits are
+  // not re-set unless the translations are flushed.
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, false);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  // Clear A bit without flushing the TLB.
+  vm.ept().TestAndClearAccessed(gpa);
+  vm.ExecuteAccess(0, proc, addr, false);  // TLB hit.
+  EXPECT_FALSE(vm.ept().Lookup(gpa).was_accessed) << "TLB hit leaves A bit clear";
+}
+
+TEST_F(HyperTest, CacheHitsBypassMemory) {
+  Vm& vm = MakeVm(8 * kMiB, 0.25, /*cache_hit_rate=*/1.0);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  AccessResult r = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_DOUBLE_EQ(r.ns, kL2HitLatencyNs);
+  EXPECT_EQ(vm.stats().guest_faults, 0u) << "cache hit never reaches the MMU model";
+}
+
+TEST_F(HyperTest, ContextSwitchChargesAndCounts) {
+  Vm& vm = MakeVm();
+  const double cost = vm.OnContextSwitch(0, 1000);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(vm.stats().context_switches, 1u);
+}
+
+TEST_F(HyperTest, PebsIsolationAcrossVms) {
+  // §2.3.2: samples generated by one VM land only in that VM's buffers.
+  VmConfig config_a;
+  config_a.id = 0;
+  config_a.total_memory_bytes = 4 * kMiB;
+  config_a.cache_hit_rate = 0.0;
+  config_a.pebs.sample_period = 1;
+  VmConfig config_b = config_a;
+  config_b.id = 1;
+  Vm& vm_a = hyper_.CreateVm(config_a);
+  Vm& vm_b = hyper_.CreateVm(config_b);
+  vm_a.vcpu(0).pebs->set_enabled(true);
+  vm_b.vcpu(0).pebs->set_enabled(true);
+
+  GuestProcess& proc_a = vm_a.kernel().CreateProcess();
+  const uint64_t addr = proc_a.HeapAlloc(kPageSize);
+  vm_a.ExecuteAccess(0, proc_a, addr, false);
+  vm_a.ExecuteAccess(0, proc_a, addr, false);
+
+  EXPECT_GT(vm_a.vcpu(0).pebs->stats().records_written, 0u);
+  EXPECT_EQ(vm_b.vcpu(0).pebs->stats().records_written, 0u)
+      << "guest-private buffers must not leak across VMs";
+}
+
+TEST_F(HyperTest, HostTierFallbackUnderPressure) {
+  // A VM whose FMEM node exceeds the host FMEM tier spills to SMEM frames.
+  VmConfig config;
+  config.id = 0;
+  config.total_memory_bytes = 64 * kMiB;
+  config.fmem_ratio = 1.0;  // Wants everything in FMEM; host has 32 MiB.
+  config.cache_hit_rate = 0.0;
+  Vm& vm = hyper_.CreateVm(config);
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t pages = 12 * kMiB / kPageSize;
+  const uint64_t base = proc.HeapAlloc(pages * kPageSize);
+  for (uint64_t i = 0; i < pages; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, false);
+  }
+  Vm& vm2 = MakeVm(64 * kMiB, 1.0);
+  GuestProcess& proc2 = vm2.kernel().CreateProcess();
+  const uint64_t pages2 = 24 * kMiB / kPageSize;
+  const uint64_t base2 = proc2.HeapAlloc(pages2 * kPageSize);
+  for (uint64_t i = 0; i < pages2; ++i) {
+    vm2.ExecuteAccess(0, proc2, base2 + i * kPageSize, false);
+  }
+  EXPECT_GT(hyper_.stats().host_tier_fallbacks, 0u);
+  EXPECT_EQ(vm.stats().accesses + vm2.stats().accesses, pages + pages2);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/mmu/page_table.h"
+#include "src/mmu/tlb.h"
+#include "src/mmu/walker.h"
+
+namespace demeter {
+namespace {
+
+TEST(PageTable, MapLookupUnmap) {
+  PageTable pt;
+  EXPECT_TRUE(pt.Map(100, 555, true));
+  EXPECT_FALSE(pt.Map(100, 777, true)) << "remap via Map must fail";
+  auto r = pt.Lookup(100);
+  EXPECT_TRUE(r.present);
+  EXPECT_EQ(r.target, 555u);
+  EXPECT_EQ(pt.mapped_count(), 1u);
+  EXPECT_EQ(pt.Unmap(100), 555u);
+  EXPECT_FALSE(pt.Lookup(100).present);
+  EXPECT_EQ(pt.mapped_count(), 0u);
+  EXPECT_EQ(pt.Unmap(100), ~0ULL);
+}
+
+TEST(PageTable, RemapChangesTarget) {
+  PageTable pt;
+  pt.Map(7, 1, true);
+  EXPECT_TRUE(pt.Remap(7, 2));
+  EXPECT_EQ(pt.Lookup(7).target, 2u);
+  EXPECT_FALSE(pt.Remap(8, 3));
+}
+
+TEST(PageTable, TranslateSetsAccessedAndDirty) {
+  PageTable pt;
+  pt.Map(42, 9, true);
+  auto r1 = pt.Translate(42, /*is_write=*/false, /*set_bits=*/true);
+  EXPECT_TRUE(r1.present);
+  EXPECT_FALSE(r1.was_accessed) << "first walk sees clear A bit";
+  auto r2 = pt.Translate(42, /*is_write=*/true, /*set_bits=*/true);
+  EXPECT_TRUE(r2.was_accessed);
+  EXPECT_FALSE(r2.was_dirty);
+  auto r3 = pt.Lookup(42);
+  EXPECT_TRUE(r3.was_accessed);
+  EXPECT_TRUE(r3.was_dirty);
+}
+
+TEST(PageTable, TranslateWithoutSetBitsIsPure) {
+  PageTable pt;
+  pt.Map(42, 9, true);
+  pt.Translate(42, true, /*set_bits=*/false);
+  EXPECT_FALSE(pt.Lookup(42).was_accessed);
+  EXPECT_FALSE(pt.Lookup(42).was_dirty);
+}
+
+TEST(PageTable, TestAndClearAccessed) {
+  PageTable pt;
+  pt.Map(1, 2, true);
+  EXPECT_FALSE(pt.TestAndClearAccessed(1));
+  pt.Translate(1, false, true);
+  EXPECT_TRUE(pt.TestAndClearAccessed(1));
+  EXPECT_FALSE(pt.TestAndClearAccessed(1)) << "clear must stick";
+  EXPECT_FALSE(pt.TestAndClearAccessed(999)) << "unmapped";
+}
+
+TEST(PageTable, TestAndClearDirty) {
+  PageTable pt;
+  pt.Map(1, 2, true);
+  pt.Translate(1, true, true);
+  EXPECT_TRUE(pt.TestAndClearDirty(1));
+  EXPECT_FALSE(pt.TestAndClearDirty(1));
+}
+
+TEST(PageTable, LevelsTouched) {
+  PageTable pt;
+  pt.Map(0, 1, true);
+  EXPECT_EQ(pt.Translate(0, false, false).levels_touched, PageTable::kLevels);
+  // A page in a completely unpopulated subtree stops at level 1.
+  EXPECT_EQ(pt.Translate(PageTable::kMaxPage - 1, false, false).levels_touched, 1);
+}
+
+TEST(PageTable, ForEachPresentVisitsRange) {
+  PageTable pt;
+  for (PageNum p = 10; p < 20; ++p) {
+    pt.Map(p, p * 2, true);
+  }
+  pt.Map(1000000, 5, true);
+  std::vector<PageNum> seen;
+  pt.ForEachPresent(0, 100, [&](PageNum vpn, uint64_t target, bool, bool) {
+    seen.push_back(vpn);
+    EXPECT_EQ(target, vpn * 2);
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 10u);
+  EXPECT_EQ(seen.back(), 19u);
+}
+
+TEST(PageTable, ForEachPresentRespectsBounds) {
+  PageTable pt;
+  for (PageNum p = 0; p < 100; ++p) {
+    pt.Map(p, p, true);
+  }
+  int count = 0;
+  pt.ForEachPresent(25, 75, [&](PageNum, uint64_t, bool, bool) { ++count; });
+  EXPECT_EQ(count, 50);
+}
+
+TEST(PageTable, ScanAndClearAccessedReportsAndClears) {
+  PageTable pt;
+  for (PageNum p = 0; p < 50; ++p) {
+    pt.Map(p, p, true);
+  }
+  for (PageNum p = 0; p < 50; p += 2) {
+    pt.Translate(p, false, true);
+  }
+  int accessed = 0;
+  pt.ScanAndClearAccessed(0, 50, [&](PageNum, uint64_t, bool a, bool) {
+    if (a) {
+      ++accessed;
+    }
+  });
+  EXPECT_EQ(accessed, 25);
+  // Second scan: all clear.
+  accessed = 0;
+  pt.ScanAndClearAccessed(0, 50, [&](PageNum, uint64_t, bool a, bool) {
+    if (a) {
+      ++accessed;
+    }
+  });
+  EXPECT_EQ(accessed, 0);
+}
+
+TEST(PageTable, ScanCostScalesWithMappedPages) {
+  PageTable small;
+  PageTable large;
+  for (PageNum p = 0; p < 10; ++p) {
+    small.Map(p, p, true);
+  }
+  for (PageNum p = 0; p < 10000; ++p) {
+    large.Map(p, p, true);
+  }
+  const uint64_t small_cost = small.ScanAndClearAccessed(0, PageTable::kMaxPage,
+                                                         [](PageNum, uint64_t, bool, bool) {});
+  const uint64_t large_cost = large.ScanAndClearAccessed(0, PageTable::kMaxPage,
+                                                         [](PageNum, uint64_t, bool, bool) {});
+  // 10 pages fit in one 512-entry leaf node; 10000 pages span ~20 leaf
+  // nodes, each scanned in full (as hardware page-table scans do).
+  EXPECT_GT(large_cost, small_cost * 15);
+}
+
+TEST(PageTable, SparseRandomPropertyCheck) {
+  PageTable pt;
+  std::map<PageNum, uint64_t> model;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const PageNum vpn = rng.NextBelow(PageTable::kMaxPage);
+    const uint64_t target = rng.Next() & 0xffffffffff;
+    if (pt.Map(vpn, target, true)) {
+      EXPECT_TRUE(model.emplace(vpn, target).second);
+    } else {
+      EXPECT_TRUE(model.count(vpn));
+    }
+  }
+  EXPECT_EQ(pt.mapped_count(), model.size());
+  for (const auto& [vpn, target] : model) {
+    auto r = pt.Lookup(vpn);
+    ASSERT_TRUE(r.present);
+    EXPECT_EQ(r.target, target);
+  }
+  // Full-range visitation sees exactly the model.
+  size_t visited = 0;
+  pt.ForEachPresent(0, PageTable::kMaxPage, [&](PageNum vpn, uint64_t target, bool, bool) {
+    ++visited;
+    auto it = model.find(vpn);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(it->second, target);
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+TEST(Tlb, HitAfterInsert) {
+  Tlb tlb;
+  EXPECT_EQ(tlb.Lookup(5), kInvalidFrame);
+  tlb.Insert(5, 99);
+  EXPECT_EQ(tlb.Lookup(5), 99u);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, InsertUpdatesExisting) {
+  Tlb tlb;
+  tlb.Insert(5, 1);
+  tlb.Insert(5, 2);
+  EXPECT_EQ(tlb.Lookup(5), 2u);
+}
+
+TEST(Tlb, InvalidatePageCountsAndEvicts) {
+  Tlb tlb;
+  tlb.Insert(5, 99);
+  tlb.InvalidatePage(5);
+  EXPECT_EQ(tlb.stats().single_flushes, 1u);
+  EXPECT_EQ(tlb.Lookup(5), kInvalidFrame);
+  // Invalidating an absent page still costs an instruction.
+  tlb.InvalidatePage(123);
+  EXPECT_EQ(tlb.stats().single_flushes, 2u);
+}
+
+TEST(Tlb, InvalidateAllFlushesEverything) {
+  Tlb tlb;
+  for (PageNum p = 0; p < 100; ++p) {
+    tlb.Insert(p, p);
+  }
+  tlb.InvalidateAll();
+  EXPECT_EQ(tlb.stats().full_flushes, 1u);
+  for (PageNum p = 0; p < 100; ++p) {
+    EXPECT_EQ(tlb.Lookup(p), kInvalidFrame);
+  }
+}
+
+TEST(Tlb, CapacityEvictsLru) {
+  Tlb tlb(2, 2);  // 4 entries.
+  EXPECT_EQ(tlb.capacity(), 4);
+  for (PageNum p = 0; p < 100; ++p) {
+    tlb.Insert(p, p);
+  }
+  int resident = 0;
+  for (PageNum p = 0; p < 100; ++p) {
+    if (tlb.Lookup(p) != kInvalidFrame) {
+      ++resident;
+    }
+  }
+  EXPECT_LE(resident, 4);
+  EXPECT_GT(resident, 0);
+}
+
+TEST(Tlb, StatsMerge) {
+  TlbStats a;
+  TlbStats b;
+  a.hits = 1;
+  b.hits = 2;
+  b.full_flushes = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.hits, 3u);
+  EXPECT_EQ(a.full_flushes, 3u);
+}
+
+class WalkerTest : public ::testing::Test {
+ protected:
+  Tlb tlb_;
+  PageTable gpt_;
+  PageTable ept_;
+  MmuCosts costs_;
+};
+
+TEST_F(WalkerTest, FullTranslationAndTlbFill) {
+  gpt_.Map(10, 200, true);
+  ept_.Map(200, 3000, true);
+  auto r = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  EXPECT_EQ(r.status, TranslateStatus::kOk);
+  EXPECT_EQ(r.gpa_page, 200u);
+  EXPECT_EQ(r.frame, 3000u);
+  EXPECT_FALSE(r.tlb_hit);
+  EXPECT_GT(r.cost_ns, costs_.tlb_hit_ns);
+
+  // Second translation hits the TLB and is much cheaper.
+  auto r2 = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  EXPECT_TRUE(r2.tlb_hit);
+  EXPECT_EQ(r2.frame, 3000u);
+  EXPECT_DOUBLE_EQ(r2.cost_ns, costs_.tlb_hit_ns);
+}
+
+TEST_F(WalkerTest, GuestFaultWhenGptUnmapped) {
+  auto r = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  EXPECT_EQ(r.status, TranslateStatus::kGuestFault);
+}
+
+TEST_F(WalkerTest, EptFaultWhenEptUnmapped) {
+  gpt_.Map(10, 200, true);
+  auto r = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  EXPECT_EQ(r.status, TranslateStatus::kEptFault);
+  EXPECT_EQ(r.gpa_page, 200u);
+}
+
+TEST_F(WalkerTest, WalkSetsBitsInBothDimensions) {
+  gpt_.Map(10, 200, true);
+  ept_.Map(200, 3000, true);
+  Translate2D(tlb_, gpt_, ept_, 10, /*is_write=*/true, costs_);
+  EXPECT_TRUE(gpt_.Lookup(10).was_accessed);
+  EXPECT_TRUE(gpt_.Lookup(10).was_dirty);
+  EXPECT_TRUE(ept_.Lookup(200).was_accessed);
+  EXPECT_TRUE(ept_.Lookup(200).was_dirty);
+}
+
+TEST_F(WalkerTest, MissCostExceedsHitCostSubstantially) {
+  gpt_.Map(10, 200, true);
+  ept_.Map(200, 3000, true);
+  auto miss = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  auto hit = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  EXPECT_GT(miss.cost_ns, hit.cost_ns * 20);
+}
+
+TEST_F(WalkerTest, FullFlushForcesRewalk) {
+  gpt_.Map(10, 200, true);
+  ept_.Map(200, 3000, true);
+  Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  tlb_.InvalidateAll();
+  auto r = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  EXPECT_FALSE(r.tlb_hit);
+}
+
+}  // namespace
+}  // namespace demeter

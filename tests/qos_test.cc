@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/balloon/balloon.h"
+#include "src/hyper/hypervisor.h"
+#include "src/qos/qos_manager.h"
+#include "src/sim/event_queue.h"
+
+namespace demeter {
+namespace {
+
+class QosTest : public ::testing::Test {
+ protected:
+  QosTest()
+      : memory_({TierSpec::LocalDram(64 * kMiB), TierSpec::Pmem(256 * kMiB)}),
+        hyper_(&memory_, &events_) {}
+
+  Vm& MakeVm() {
+    VmConfig config;
+    config.id = hyper_.num_vms();
+    config.total_memory_bytes = 16 * kMiB;
+    config.fmem_ratio = 0.25;  // 1024 FMEM pages.
+    config.cache_hit_rate = 0.0;
+    return hyper_.CreateVm(config);
+  }
+
+  // Makes `vm` look demanding: FMEM full, promotions happening.
+  void MakeDemanding(Vm& vm) {
+    GuestProcess& proc = vm.kernel().CreateProcess();
+    const uint64_t pages = vm.config().total_pages() * 3 / 4;
+    const uint64_t base = proc.HeapAlloc(pages * kPageSize);
+    for (uint64_t i = 0; i < pages; ++i) {
+      vm.ExecuteAccess(0, proc, base + i * kPageSize, true);
+    }
+    vm.stats().pages_promoted += 100;  // Simulated recent promotion activity.
+  }
+
+  void Settle() {
+    while (!events_.empty()) {
+      events_.RunUntil(events_.NextEventTime());
+    }
+  }
+
+  HostMemory memory_;
+  EventQueue events_;
+  Hypervisor hyper_;
+};
+
+TEST_F(QosTest, ShiftsFmemFromIdleToDemanding) {
+  Vm& busy = MakeVm();
+  Vm& idle = MakeVm();
+  MakeDemanding(busy);
+  DemeterBalloon busy_balloon(&busy);
+  DemeterBalloon idle_balloon(&idle);
+
+  QosConfig config;
+  config.period = 10 * kMillisecond;
+  QosManager qos(2048, config);
+  qos.AddTenant(&busy, &busy_balloon, /*weight=*/2.0);
+  qos.AddTenant(&idle, &idle_balloon, /*weight=*/1.0);
+
+  // Two rounds: the first gathers telemetry, the second acts on it.
+  qos.Rebalance(0);
+  Settle();
+  qos.Rebalance(kSecond);
+  Settle();
+
+  EXPECT_GT(qos.pages_shifted(), 0u);
+  EXPECT_GT(busy.kernel().node(0).present_pages(), 1024u) << "receiver grew";
+  EXPECT_LT(idle.kernel().node(0).present_pages(), 1024u) << "donor shrank";
+}
+
+TEST_F(QosTest, NoShiftWhenNobodyDemands) {
+  Vm& a = MakeVm();
+  Vm& b = MakeVm();
+  DemeterBalloon balloon_a(&a);
+  DemeterBalloon balloon_b(&b);
+  QosManager qos(2048);
+  qos.AddTenant(&a, &balloon_a, 1.0);
+  qos.AddTenant(&b, &balloon_b, 1.0);
+  qos.Rebalance(0);
+  Settle();
+  qos.Rebalance(kSecond);
+  Settle();
+  EXPECT_EQ(qos.pages_shifted(), 0u);
+  EXPECT_EQ(a.kernel().node(0).present_pages(), 1024u);
+  EXPECT_EQ(b.kernel().node(0).present_pages(), 1024u);
+}
+
+TEST_F(QosTest, NoShiftWhenEveryoneDemands) {
+  Vm& a = MakeVm();
+  Vm& b = MakeVm();
+  MakeDemanding(a);
+  MakeDemanding(b);
+  DemeterBalloon balloon_a(&a);
+  DemeterBalloon balloon_b(&b);
+  QosManager qos(2048);
+  qos.AddTenant(&a, &balloon_a, 1.0);
+  qos.AddTenant(&b, &balloon_b, 1.0);
+  qos.Rebalance(0);
+  Settle();
+  qos.Rebalance(kSecond);
+  Settle();
+  EXPECT_EQ(qos.pages_shifted(), 0u) << "no slack to redistribute";
+}
+
+TEST_F(QosTest, DonorKeepsGuarantee) {
+  Vm& busy = MakeVm();
+  Vm& idle = MakeVm();
+  MakeDemanding(busy);
+  DemeterBalloon busy_balloon(&busy);
+  DemeterBalloon idle_balloon(&idle);
+  QosConfig config;
+  config.guaranteed_fraction = 0.5;
+  config.max_shift_fraction = 1.0;  // No per-round cap: test the guarantee.
+  QosManager qos(2048, config);
+  qos.AddTenant(&busy, &busy_balloon, 1.0);
+  qos.AddTenant(&idle, &idle_balloon, 1.0);
+  for (int round = 0; round < 8; ++round) {
+    qos.Rebalance(static_cast<Nanos>(round) * kSecond);
+    Settle();
+  }
+  // Fair share 1024, guarantee 512: the idle donor never dips below it.
+  EXPECT_GE(idle.kernel().node(0).present_pages(), 512u);
+}
+
+TEST_F(QosTest, PeriodicOperationViaEventQueue) {
+  Vm& busy = MakeVm();
+  Vm& idle = MakeVm();
+  MakeDemanding(busy);
+  DemeterBalloon busy_balloon(&busy);
+  DemeterBalloon idle_balloon(&idle);
+  QosConfig config;
+  config.period = 10 * kMillisecond;
+  QosManager qos(2048, config);
+  qos.AddTenant(&busy, &busy_balloon, 4.0);
+  qos.AddTenant(&idle, &idle_balloon, 1.0);
+  qos.Start(&events_, 0);
+  events_.RunUntil(100 * kMillisecond);
+  EXPECT_GE(qos.rebalance_rounds(), 5u);
+  qos.Stop();
+  const uint64_t rounds = qos.rebalance_rounds();
+  events_.RunUntil(kSecond);
+  EXPECT_EQ(qos.rebalance_rounds(), rounds) << "stopped manager stays stopped";
+}
+
+}  // namespace
+}  // namespace demeter

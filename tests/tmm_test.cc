@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/hyper/hypervisor.h"
+#include "src/mem/host_memory.h"
+#include "src/sim/event_queue.h"
+#include "src/tmm/htpp.h"
+#include "src/tmm/memtis.h"
+#include "src/tmm/nomad.h"
+#include "src/tmm/policy_util.h"
+#include "src/tmm/static_policy.h"
+#include "src/tmm/tpp.h"
+
+namespace demeter {
+namespace {
+
+class TmmTest : public ::testing::Test {
+ protected:
+  TmmTest()
+      : memory_({TierSpec::LocalDram(64 * kMiB), TierSpec::Pmem(256 * kMiB)}),
+        hyper_(&memory_, &events_) {}
+
+  Vm& MakeVm() {
+    VmConfig config;
+    config.id = hyper_.num_vms();
+    config.total_memory_bytes = 16 * kMiB;
+    config.fmem_ratio = 0.25;
+    config.cache_hit_rate = 0.0;
+    config.num_vcpus = 2;
+    return hyper_.CreateVm(config);
+  }
+
+  // Touches all pages of a freshly allocated heap region, returns base.
+  uint64_t FillHeap(Vm& vm, GuestProcess& proc, uint64_t pages) {
+    const uint64_t base = proc.HeapAlloc(pages * kPageSize);
+    for (uint64_t i = 0; i < pages; ++i) {
+      vm.ExecuteAccess(0, proc, base + i * kPageSize, true);
+    }
+    return base;
+  }
+
+  // Drives `rounds` of: access the hot region `reps` times, advance time,
+  // run due policy events.
+  void DriveHot(Vm& vm, GuestProcess& proc, uint64_t hot_base, uint64_t hot_pages, int rounds,
+                int reps = 4) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int rep = 0; rep < reps; ++rep) {
+        for (uint64_t i = 0; i < hot_pages; ++i) {
+          const auto res = vm.ExecuteAccess(0, proc, hot_base + i * kPageSize, false);
+          vm.vcpu(0).clock_ns += res.ns + 500;  // Pace out virtual time.
+        }
+      }
+      vm.vcpu(0).clock_ns += 30 * kMillisecond;
+      events_.RunUntil(vm.vcpu(0).now());
+    }
+  }
+
+  HostMemory memory_;
+  EventQueue events_;
+  Hypervisor hyper_;
+};
+
+TEST_F(TmmTest, PolicyUtilTrackedRanges) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  proc.HeapAlloc(8 * kPageSize);
+  proc.MmapAlloc(4 * kPageSize);
+  auto ranges = TrackedPageRanges(proc);
+  ASSERT_EQ(ranges.size(), 2u);
+}
+
+TEST_F(TmmTest, DemoteForHeadroomMovesOldestPages) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = FillHeap(vm, proc, 1024);  // FMEM holds 1024 pages.
+  ASSERT_EQ(vm.kernel().node(0).free_pages(), 0u);
+  double cost = 0.0;
+  EXPECT_EQ(DemoteForHeadroom(vm, 10, 0, &cost), 10u);
+  EXPECT_EQ(vm.kernel().node(0).free_pages(), 10u);
+  EXPECT_GT(cost, 0.0);
+  // The first touched (oldest) pages were demoted.
+  EXPECT_EQ(vm.NodeOfVpn(proc, PageOf(base)), 1);
+}
+
+TEST_F(TmmTest, StaticPolicyDoesNothing) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  StaticPolicy policy;
+  policy.Attach(vm, proc, 0);
+  EXPECT_TRUE(events_.empty());
+  EXPECT_STREQ(policy.name(), "static");
+}
+
+TEST_F(TmmTest, TppPromotesRepeatedlyAccessedSmemPages) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t total = vm.config().total_pages() * 7 / 8;
+  const uint64_t base = FillHeap(vm, proc, total);
+  // Hot: 128 pages near the end (SMEM after first touch).
+  const uint64_t hot_base = base + (total - 256) * kPageSize;
+  ASSERT_EQ(vm.NodeOfVpn(proc, PageOf(hot_base)), 1);
+
+  TppPolicy policy;
+  policy.Attach(vm, proc, vm.vcpu(0).now());
+  DriveHot(vm, proc, hot_base, 128, 50);
+
+  EXPECT_GT(policy.scans_run(), 5u);
+  EXPECT_GT(policy.total_promoted(), 64u);
+  EXPECT_EQ(vm.NodeOfVpn(proc, PageOf(hot_base)), 0) << "hot page promoted to FMEM";
+  // Guest-side: single flushes only.
+  EXPECT_EQ(vm.AggregateTlbStats().full_flushes, 0u);
+  EXPECT_GT(vm.AggregateTlbStats().single_flushes, 0u);
+  EXPECT_GT(vm.mgmt_account().ForStage(TmmStage::kTracking), 0u);
+  EXPECT_GT(vm.mgmt_account().ForStage(TmmStage::kMigration), 0u);
+}
+
+TEST_F(TmmTest, HTppPromotesViaEptMigration) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t total = vm.config().total_pages() * 7 / 8;
+  const uint64_t base = FillHeap(vm, proc, total);
+  const uint64_t hot_base = base + (total - 256) * kPageSize;
+
+  HTppPolicy policy;
+  policy.Attach(vm, proc, vm.vcpu(0).now());
+  DriveHot(vm, proc, hot_base, 128, 50);
+
+  EXPECT_GT(policy.scans_run(), 5u);
+  EXPECT_GT(policy.total_promoted(), 32u);
+  // Guest mapping unchanged, but the backing frame moved to the DRAM tier.
+  const PageNum gpa = proc.gpt().Lookup(PageOf(hot_base)).target;
+  EXPECT_EQ(vm.kernel().NodeOfGpa(gpa), 1) << "guest still thinks it is SMEM";
+  const FrameId frame = vm.ept().Lookup(gpa).target;
+  EXPECT_EQ(memory_.TierOf(frame), kFmemTier) << "host moved it under the covers";
+  // Hypervisor-based: full flushes, many of them.
+  EXPECT_GT(vm.AggregateTlbStats().full_flushes, 10u);
+}
+
+TEST_F(TmmTest, MemtisSamplesAndPromotes) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t total = vm.config().total_pages() * 7 / 8;
+  const uint64_t base = FillHeap(vm, proc, total);
+  const uint64_t hot_base = base + (total - 256) * kPageSize;
+
+  MemtisConfig config;
+  config.sample_period = 19;  // Dense for a short test.
+  config.classify_period = 100 * kMillisecond;
+  config.hot_count_threshold = 1.0;
+  MemtisPolicy policy(config);
+  policy.Attach(vm, proc, vm.vcpu(0).now());
+  DriveHot(vm, proc, hot_base, 128, 50);
+
+  EXPECT_GT(policy.samples_processed(), 500u);
+  EXPECT_GT(policy.total_promoted(), 32u);
+  EXPECT_EQ(vm.NodeOfVpn(proc, PageOf(hot_base)), 0);
+  EXPECT_GT(vm.mgmt_account().ForStage(TmmStage::kTracking), 0u)
+      << "dedicated polling thread burns CPU";
+}
+
+TEST_F(TmmTest, NomadTransactionsAbortAndRetry) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t total = vm.config().total_pages() * 7 / 8;
+  const uint64_t base = FillHeap(vm, proc, total);
+  const uint64_t hot_base = base + (total - 256) * kPageSize;
+
+  NomadConfig config;
+  config.dirty_abort_probability = 0.5;  // Force visible abort traffic.
+  NomadPolicy policy(config);
+  policy.Attach(vm, proc, vm.vcpu(0).now());
+  DriveHot(vm, proc, hot_base, 128, 50);
+
+  EXPECT_GT(policy.total_promoted(), 16u);
+  EXPECT_GT(policy.transaction_aborts(), 0u) << "shadow copies race writers";
+}
+
+TEST_F(TmmTest, NomadMigrationCostExceedsTpp) {
+  // Same scenario under both policies: Nomad's shadow copies and aborts must
+  // cost more migration CPU per promoted page.
+  double tpp_cost_per_page;
+  double nomad_cost_per_page;
+  {
+    Vm& vm = MakeVm();
+    GuestProcess& proc = vm.kernel().CreateProcess();
+    const uint64_t total = vm.config().total_pages() * 7 / 8;
+    const uint64_t base = FillHeap(vm, proc, total);
+    TppPolicy policy;
+    policy.Attach(vm, proc, vm.vcpu(0).now());
+    DriveHot(vm, proc, base + (total - 256) * kPageSize, 128, 25);
+    tpp_cost_per_page = static_cast<double>(vm.mgmt_account().ForStage(TmmStage::kMigration)) /
+                        std::max<uint64_t>(1, policy.total_promoted() + policy.total_demoted());
+  }
+  {
+    Vm& vm = MakeVm();
+    GuestProcess& proc = vm.kernel().CreateProcess();
+    const uint64_t total = vm.config().total_pages() * 7 / 8;
+    const uint64_t base = FillHeap(vm, proc, total);
+    NomadPolicy policy;
+    policy.Attach(vm, proc, vm.vcpu(0).now());
+    DriveHot(vm, proc, base + (total - 256) * kPageSize, 128, 25);
+    nomad_cost_per_page = static_cast<double>(vm.mgmt_account().ForStage(TmmStage::kMigration)) /
+                          std::max<uint64_t>(1, policy.total_promoted() + policy.total_demoted());
+  }
+  EXPECT_GT(nomad_cost_per_page, tpp_cost_per_page);
+}
+
+TEST_F(TmmTest, StoppedPoliciesCeaseWork) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  FillHeap(vm, proc, 512);
+  TppPolicy policy;
+  policy.Attach(vm, proc, 0);
+  policy.Stop();
+  vm.vcpu(0).clock_ns += static_cast<double>(10 * kSecond);
+  events_.RunUntil(vm.vcpu(0).now());
+  EXPECT_LE(policy.scans_run(), 1u);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/virtio/virtqueue.h"
+
+namespace demeter {
+namespace {
+
+TEST(Virtqueue, DeliversAfterNotifyLatency) {
+  EventQueue events;
+  Virtqueue<int> q(&events);
+  std::vector<std::pair<int, Nanos>> delivered;
+  q.set_consumer([&](int msg, Nanos now) { delivered.emplace_back(msg, now); });
+
+  const double cost = q.Push(7, 100);
+  EXPECT_GT(cost, 0.0) << "kick must cost CPU";
+  EXPECT_EQ(q.pending(), 1u);
+
+  events.RunUntil(100 + q.costs().notify_latency_ns - 1);
+  EXPECT_TRUE(delivered.empty());
+  events.RunUntil(100 + q.costs().notify_latency_ns);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, 7);
+  EXPECT_EQ(delivered[0].second, 100 + q.costs().notify_latency_ns);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(Virtqueue, PreservesFifoOrder) {
+  EventQueue events;
+  Virtqueue<int> q(&events);
+  std::vector<int> seen;
+  q.set_consumer([&](int msg, Nanos) { seen.push_back(msg); });
+  for (int i = 0; i < 10; ++i) {
+    q.Push(i, static_cast<Nanos>(i));
+  }
+  events.RunUntil(1000000);
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Virtqueue, StatsCount) {
+  EventQueue events;
+  Virtqueue<std::string> q(&events);
+  q.set_consumer([](std::string, Nanos) {});
+  q.Push("a", 0);
+  q.Push("b", 0);
+  EXPECT_EQ(q.stats().pushed, 2u);
+  EXPECT_EQ(q.stats().kicks, 2u);
+  EXPECT_EQ(q.stats().delivered, 0u);
+  events.RunUntil(1000000);
+  EXPECT_EQ(q.stats().delivered, 2u);
+}
+
+TEST(Virtqueue, ConsumerCanPushToAnotherQueue) {
+  // Round trip: request queue -> driver -> completion queue -> device.
+  EventQueue events;
+  Virtqueue<int> requests(&events);
+  Virtqueue<int> completions(&events);
+  int completed = -1;
+  requests.set_consumer([&](int msg, Nanos now) { completions.Push(msg * 2, now); });
+  completions.set_consumer([&](int msg, Nanos) { completed = msg; });
+  requests.Push(21, 0);
+  events.RunUntil(1000000);
+  EXPECT_EQ(completed, 42);
+}
+
+TEST(Virtqueue, NoConsumerDropsSilently) {
+  EventQueue events;
+  Virtqueue<int> q(&events);
+  q.Push(1, 0);
+  events.RunUntil(1000000);
+  EXPECT_EQ(q.stats().delivered, 1u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,0 +1,153 @@
+// demeter_sim: command-line front end for one-off experiments.
+//
+//   demeter_sim [--workload NAME] [--policy NAME] [--vms N] [--vm-mib N]
+//               [--footprint-mib N] [--txns N] [--smem pmem|cxl]
+//               [--provision static|virtio-balloon|demeter-balloon|hotplug]
+//               [--seed N]
+//
+// Prints one result row per VM plus aggregates. Example:
+//
+//   ./build/tools/demeter_sim --workload silo --policy demeter --vms 3
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/harness/machine.h"
+#include "src/harness/table.h"
+
+namespace demeter {
+namespace {
+
+struct Options {
+  std::string workload = "gups";
+  std::string policy = "demeter";
+  int vms = 1;
+  uint64_t vm_mib = 32;
+  uint64_t footprint_mib = 24;
+  uint64_t txns = 400000;
+  std::string smem = "pmem";
+  std::string provision = "static";
+  uint64_t seed = 42;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) {
+        return nullptr;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = next("--workload")) {
+      options->workload = v;
+    } else if (const char* v = next("--policy")) {
+      options->policy = v;
+    } else if (const char* v = next("--vms")) {
+      options->vms = std::atoi(v);
+    } else if (const char* v = next("--vm-mib")) {
+      options->vm_mib = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = next("--footprint-mib")) {
+      options->footprint_mib = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = next("--txns")) {
+      options->txns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = next("--smem")) {
+      options->smem = v;
+    } else if (const char* v = next("--provision")) {
+      options->provision = v;
+    } else if (const char* v = next("--seed")) {
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+ProvisionMode ParseProvision(const std::string& name) {
+  if (name == "static") {
+    return ProvisionMode::kStatic;
+  }
+  if (name == "virtio-balloon") {
+    return ProvisionMode::kVirtioBalloon;
+  }
+  if (name == "demeter-balloon") {
+    return ProvisionMode::kDemeterBalloon;
+  }
+  if (name == "hotplug") {
+    return ProvisionMode::kHotplug;
+  }
+  std::fprintf(stderr, "unknown provision mode: %s\n", name.c_str());
+  std::exit(2);
+}
+
+int Run(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    return 2;
+  }
+
+  MachineConfig host;
+  host.seed = options.seed;
+  const uint64_t n = static_cast<uint64_t>(options.vms);
+  const uint64_t fmem = PageCeil(static_cast<uint64_t>(
+      static_cast<double>(options.vm_mib * kMiB * n) * 0.2 * 1.25));
+  const uint64_t smem_bytes = options.vm_mib * kMiB * n * 2;
+  host.tiers = {TierSpec::LocalDram(fmem), options.smem == "cxl"
+                                               ? TierSpec::RemoteDram(smem_bytes)
+                                               : TierSpec::Pmem(smem_bytes)};
+  Machine machine(host);
+  for (int v = 0; v < options.vms; ++v) {
+    VmSetup setup;
+    setup.vm.total_memory_bytes = options.vm_mib * kMiB;
+    setup.vm.num_vcpus = 2;
+    setup.workload = options.workload;
+    setup.footprint_bytes = options.footprint_mib * kMiB;
+    setup.target_transactions = options.txns;
+    setup.policy = PolicyKindFromName(options.policy);
+    setup.provision = ParseProvision(options.provision);
+    setup.policy_period = 15 * kMillisecond;
+    setup.demeter.range.epoch_length = 10 * kMillisecond;
+    setup.demeter.range.split_threshold = 4.0;
+    setup.demeter.sample_period = 97;
+    machine.AddVm(setup);
+  }
+  machine.Run();
+
+  std::printf("workload=%s policy=%s vms=%d vm=%lluMiB footprint=%lluMiB smem=%s "
+              "provision=%s seed=%llu\n\n",
+              options.workload.c_str(), options.policy.c_str(), options.vms,
+              static_cast<unsigned long long>(options.vm_mib),
+              static_cast<unsigned long long>(options.footprint_mib), options.smem.c_str(),
+              options.provision.c_str(), static_cast<unsigned long long>(options.seed));
+
+  TablePrinter table({"vm", "elapsed-s", "txn/s", "fmem-hit", "promoted", "demoted",
+                      "tlb-single", "tlb-full", "mgmt-cores", "p99-lat-us"});
+  for (int v = 0; v < machine.num_vms(); ++v) {
+    const VmRunResult& r = machine.result(v);
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(v)),
+                  TablePrinter::Fmt(r.elapsed_s, 3), TablePrinter::Fmt(r.ThroughputTps(), 0),
+                  TablePrinter::Fmt(r.fmem_access_fraction * 100, 1) + "%",
+                  TablePrinter::Fmt(r.vm_stats.pages_promoted),
+                  TablePrinter::Fmt(r.vm_stats.pages_demoted),
+                  TablePrinter::Fmt(r.tlb.single_flushes), TablePrinter::Fmt(r.tlb.full_flushes),
+                  TablePrinter::Fmt(r.MgmtCores(), 3),
+                  TablePrinter::Fmt(static_cast<double>(r.txn_latency_ns.Percentile(99)) / 1000.0,
+                                    2)});
+  }
+  table.Print();
+  std::printf("\nmean elapsed %.3fs, total mgmt cores %.3f\n", machine.MeanElapsedSeconds(),
+              machine.TotalMgmtCores());
+  return 0;
+}
+
+}  // namespace
+}  // namespace demeter
+
+int main(int argc, char** argv) { return demeter::Run(argc, argv); }
