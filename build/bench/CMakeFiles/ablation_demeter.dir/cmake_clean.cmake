@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_demeter.dir/ablation_demeter.cc.o"
+  "CMakeFiles/ablation_demeter.dir/ablation_demeter.cc.o.d"
+  "ablation_demeter"
+  "ablation_demeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_demeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qos_guest_schemes.dir/ext_qos_guest_schemes.cc.o"
+  "CMakeFiles/ext_qos_guest_schemes.dir/ext_qos_guest_schemes.cc.o.d"
+  "ext_qos_guest_schemes"
+  "ext_qos_guest_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qos_guest_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_workloads_pmem.dir/fig10_workloads_pmem.cc.o"
+  "CMakeFiles/fig10_workloads_pmem.dir/fig10_workloads_pmem.cc.o.d"
+  "fig10_workloads_pmem"
+  "fig10_workloads_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_workloads_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_workloads_cxl.dir/fig11_workloads_cxl.cc.o"
+  "CMakeFiles/fig11_workloads_cxl.dir/fig11_workloads_cxl.cc.o.d"
+  "fig11_workloads_cxl"
+  "fig11_workloads_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_workloads_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_locality_heatmap.dir/fig4_locality_heatmap.cc.o"
+  "CMakeFiles/fig4_locality_heatmap.dir/fig4_locality_heatmap.cc.o.d"
+  "fig4_locality_heatmap"
+  "fig4_locality_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_locality_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

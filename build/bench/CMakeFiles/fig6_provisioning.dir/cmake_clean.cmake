@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_provisioning.dir/fig6_provisioning.cc.o"
+  "CMakeFiles/fig6_provisioning.dir/fig6_provisioning.cc.o.d"
+  "fig6_provisioning"
+  "fig6_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

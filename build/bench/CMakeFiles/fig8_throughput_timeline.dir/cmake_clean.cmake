@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_throughput_timeline.dir/fig8_throughput_timeline.cc.o"
+  "CMakeFiles/fig8_throughput_timeline.dir/fig8_throughput_timeline.cc.o.d"
+  "fig8_throughput_timeline"
+  "fig8_throughput_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_throughput_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

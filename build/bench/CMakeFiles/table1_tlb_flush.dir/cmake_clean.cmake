@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tlb_flush.dir/table1_tlb_flush.cc.o"
+  "CMakeFiles/table1_tlb_flush.dir/table1_tlb_flush.cc.o.d"
+  "table1_tlb_flush"
+  "table1_tlb_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tlb_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_latency_matrix.dir/table2_latency_matrix.cc.o"
+  "CMakeFiles/table2_latency_matrix.dir/table2_latency_matrix.cc.o.d"
+  "table2_latency_matrix"
+  "table2_latency_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_latency_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_tiering.dir/database_tiering.cc.o"
+  "CMakeFiles/database_tiering.dir/database_tiering.cc.o.d"
+  "database_tiering"
+  "database_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("mem")
+subdirs("mmu")
+subdirs("pebs")
+subdirs("virtio")
+subdirs("guest")
+subdirs("hyper")
+subdirs("balloon")
+subdirs("core")
+subdirs("tmm")
+subdirs("workloads")
+subdirs("harness")
+subdirs("qos")

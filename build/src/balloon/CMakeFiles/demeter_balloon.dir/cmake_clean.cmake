@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_balloon.dir/balloon.cc.o"
+  "CMakeFiles/demeter_balloon.dir/balloon.cc.o.d"
+  "libdemeter_balloon.a"
+  "libdemeter_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_base.dir/histogram.cc.o"
+  "CMakeFiles/demeter_base.dir/histogram.cc.o.d"
+  "CMakeFiles/demeter_base.dir/logging.cc.o"
+  "CMakeFiles/demeter_base.dir/logging.cc.o.d"
+  "CMakeFiles/demeter_base.dir/rng.cc.o"
+  "CMakeFiles/demeter_base.dir/rng.cc.o.d"
+  "CMakeFiles/demeter_base.dir/stats.cc.o"
+  "CMakeFiles/demeter_base.dir/stats.cc.o.d"
+  "libdemeter_base.a"
+  "libdemeter_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_core.dir/demeter_policy.cc.o"
+  "CMakeFiles/demeter_core.dir/demeter_policy.cc.o.d"
+  "CMakeFiles/demeter_core.dir/range_tree.cc.o"
+  "CMakeFiles/demeter_core.dir/range_tree.cc.o.d"
+  "CMakeFiles/demeter_core.dir/relocator.cc.o"
+  "CMakeFiles/demeter_core.dir/relocator.cc.o.d"
+  "libdemeter_core.a"
+  "libdemeter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_guest.dir/address_space.cc.o"
+  "CMakeFiles/demeter_guest.dir/address_space.cc.o.d"
+  "CMakeFiles/demeter_guest.dir/kernel.cc.o"
+  "CMakeFiles/demeter_guest.dir/kernel.cc.o.d"
+  "CMakeFiles/demeter_guest.dir/numa_node.cc.o"
+  "CMakeFiles/demeter_guest.dir/numa_node.cc.o.d"
+  "libdemeter_guest.a"
+  "libdemeter_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_harness.dir/machine.cc.o"
+  "CMakeFiles/demeter_harness.dir/machine.cc.o.d"
+  "CMakeFiles/demeter_harness.dir/table.cc.o"
+  "CMakeFiles/demeter_harness.dir/table.cc.o.d"
+  "libdemeter_harness.a"
+  "libdemeter_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

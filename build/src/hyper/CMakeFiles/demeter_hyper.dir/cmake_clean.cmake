@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_hyper.dir/hypervisor.cc.o"
+  "CMakeFiles/demeter_hyper.dir/hypervisor.cc.o.d"
+  "CMakeFiles/demeter_hyper.dir/vm.cc.o"
+  "CMakeFiles/demeter_hyper.dir/vm.cc.o.d"
+  "libdemeter_hyper.a"
+  "libdemeter_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

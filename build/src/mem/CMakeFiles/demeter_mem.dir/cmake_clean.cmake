@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_mem.dir/host_memory.cc.o"
+  "CMakeFiles/demeter_mem.dir/host_memory.cc.o.d"
+  "CMakeFiles/demeter_mem.dir/tier.cc.o"
+  "CMakeFiles/demeter_mem.dir/tier.cc.o.d"
+  "libdemeter_mem.a"
+  "libdemeter_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

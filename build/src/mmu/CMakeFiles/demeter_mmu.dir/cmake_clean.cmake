@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_mmu.dir/page_table.cc.o"
+  "CMakeFiles/demeter_mmu.dir/page_table.cc.o.d"
+  "CMakeFiles/demeter_mmu.dir/tlb.cc.o"
+  "CMakeFiles/demeter_mmu.dir/tlb.cc.o.d"
+  "CMakeFiles/demeter_mmu.dir/walker.cc.o"
+  "CMakeFiles/demeter_mmu.dir/walker.cc.o.d"
+  "libdemeter_mmu.a"
+  "libdemeter_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_pebs.dir/pebs.cc.o"
+  "CMakeFiles/demeter_pebs.dir/pebs.cc.o.d"
+  "libdemeter_pebs.a"
+  "libdemeter_pebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_pebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for demeter_pebs.
+# This may be replaced when dependencies are built.

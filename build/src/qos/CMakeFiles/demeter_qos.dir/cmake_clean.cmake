@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_qos.dir/qos_manager.cc.o"
+  "CMakeFiles/demeter_qos.dir/qos_manager.cc.o.d"
+  "libdemeter_qos.a"
+  "libdemeter_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

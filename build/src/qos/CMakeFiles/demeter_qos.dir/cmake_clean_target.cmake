@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemeter_qos.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_sim.dir/cpu_account.cc.o"
+  "CMakeFiles/demeter_sim.dir/cpu_account.cc.o.d"
+  "CMakeFiles/demeter_sim.dir/event_queue.cc.o"
+  "CMakeFiles/demeter_sim.dir/event_queue.cc.o.d"
+  "libdemeter_sim.a"
+  "libdemeter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

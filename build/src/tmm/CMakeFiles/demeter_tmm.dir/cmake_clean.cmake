@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_tmm.dir/damon.cc.o"
+  "CMakeFiles/demeter_tmm.dir/damon.cc.o.d"
+  "CMakeFiles/demeter_tmm.dir/htpp.cc.o"
+  "CMakeFiles/demeter_tmm.dir/htpp.cc.o.d"
+  "CMakeFiles/demeter_tmm.dir/memtis.cc.o"
+  "CMakeFiles/demeter_tmm.dir/memtis.cc.o.d"
+  "CMakeFiles/demeter_tmm.dir/nomad.cc.o"
+  "CMakeFiles/demeter_tmm.dir/nomad.cc.o.d"
+  "CMakeFiles/demeter_tmm.dir/policy_util.cc.o"
+  "CMakeFiles/demeter_tmm.dir/policy_util.cc.o.d"
+  "CMakeFiles/demeter_tmm.dir/tpp.cc.o"
+  "CMakeFiles/demeter_tmm.dir/tpp.cc.o.d"
+  "libdemeter_tmm.a"
+  "libdemeter_tmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_tmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for demeter_tmm.
+# This may be replaced when dependencies are built.

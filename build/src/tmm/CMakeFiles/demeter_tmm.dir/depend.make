@@ -1,0 +1,2 @@
+# Empty dependencies file for demeter_tmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/db_workloads.cc" "src/workloads/CMakeFiles/demeter_workloads.dir/db_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/demeter_workloads.dir/db_workloads.cc.o.d"
+  "/root/repo/src/workloads/graph_workloads.cc" "src/workloads/CMakeFiles/demeter_workloads.dir/graph_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/demeter_workloads.dir/graph_workloads.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/workloads/CMakeFiles/demeter_workloads.dir/gups.cc.o" "gcc" "src/workloads/CMakeFiles/demeter_workloads.dir/gups.cc.o.d"
+  "/root/repo/src/workloads/hpc_workloads.cc" "src/workloads/CMakeFiles/demeter_workloads.dir/hpc_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/demeter_workloads.dir/hpc_workloads.cc.o.d"
+  "/root/repo/src/workloads/ml_workloads.cc" "src/workloads/CMakeFiles/demeter_workloads.dir/ml_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/demeter_workloads.dir/ml_workloads.cc.o.d"
+  "/root/repo/src/workloads/workload_factory.cc" "src/workloads/CMakeFiles/demeter_workloads.dir/workload_factory.cc.o" "gcc" "src/workloads/CMakeFiles/demeter_workloads.dir/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/demeter_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/demeter_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/demeter_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/demeter_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

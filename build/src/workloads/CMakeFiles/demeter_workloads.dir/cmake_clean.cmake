@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_workloads.dir/db_workloads.cc.o"
+  "CMakeFiles/demeter_workloads.dir/db_workloads.cc.o.d"
+  "CMakeFiles/demeter_workloads.dir/graph_workloads.cc.o"
+  "CMakeFiles/demeter_workloads.dir/graph_workloads.cc.o.d"
+  "CMakeFiles/demeter_workloads.dir/gups.cc.o"
+  "CMakeFiles/demeter_workloads.dir/gups.cc.o.d"
+  "CMakeFiles/demeter_workloads.dir/hpc_workloads.cc.o"
+  "CMakeFiles/demeter_workloads.dir/hpc_workloads.cc.o.d"
+  "CMakeFiles/demeter_workloads.dir/ml_workloads.cc.o"
+  "CMakeFiles/demeter_workloads.dir/ml_workloads.cc.o.d"
+  "CMakeFiles/demeter_workloads.dir/workload_factory.cc.o"
+  "CMakeFiles/demeter_workloads.dir/workload_factory.cc.o.d"
+  "libdemeter_workloads.a"
+  "libdemeter_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemeter_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_test.dir/hyper_test.cc.o"
+  "CMakeFiles/hyper_test.dir/hyper_test.cc.o.d"
+  "hyper_test"
+  "hyper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmm_test.dir/tmm_test.cc.o"
+  "CMakeFiles/tmm_test.dir/tmm_test.cc.o.d"
+  "tmm_test"
+  "tmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

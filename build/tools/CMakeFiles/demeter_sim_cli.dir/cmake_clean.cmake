@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demeter_sim_cli.dir/demeter_sim.cc.o"
+  "CMakeFiles/demeter_sim_cli.dir/demeter_sim.cc.o.d"
+  "demeter-sim"
+  "demeter-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demeter_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
