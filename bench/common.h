@@ -4,15 +4,24 @@
 // host; this simulation runs on one core, so every bench uses a scaled-down
 // geometry that preserves the paper's *ratios*: FMEM:total = 1:5, footprint
 // close to VM capacity, hot-set fractions, and epoch:run-length proportions.
-// Pass --full to any bench for a larger (slower) configuration.
+//
+// Flags accepted by every bench (unknown flags are rejected with a usage
+// message):
+//   --full        larger (slower) configuration closer to paper scale
+//   --jobs=N      worker threads for runner-based benches (default: all cores)
+//   --out=FILE    also write results as JSON lines to FILE
+//   --help        print usage and exit
 
 #ifndef DEMETER_BENCH_COMMON_H_
 #define DEMETER_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "src/harness/machine.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/runner.h"
 
 namespace demeter {
 
@@ -31,15 +40,61 @@ struct BenchScale {
   Nanos timeline_bucket = 25 * kMillisecond;
   // Concurrent VMs for the multi-VM experiments (the paper runs nine).
   int concurrent_vms = 3;
+  // Runner controls (see flags above).
+  int jobs = 0;               // <= 0: hardware_concurrency.
+  std::string out;            // JSON-lines output path; empty = none.
 
+  static void Usage(const char* prog, std::FILE* stream) {
+    std::fprintf(stream,
+                 "usage: %s [--full] [--jobs=N] [--out=FILE] [--help]\n"
+                 "  --full      paper-scale (slower) configuration\n"
+                 "  --jobs=N    parallel experiment jobs (default: all cores)\n"
+                 "  --out=FILE  also write JSON-lines results to FILE\n",
+                 prog);
+  }
+
+  // Parses the shared bench flags. Unknown arguments are an error: print
+  // usage and exit(2) rather than silently ignoring a typo.
   static BenchScale FromArgs(int argc, char** argv) {
     BenchScale scale;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--full") == 0) {
         scale.vm_bytes = 128 * kMiB;
         scale.transactions = 2000000;
         scale.vcpus = 4;
         scale.concurrent_vms = 9;
+      } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+        char* end = nullptr;
+        const long jobs = std::strtol(arg + 7, &end, 10);
+        if (end == arg + 7 || *end != '\0' || jobs < 1) {
+          std::fprintf(stderr, "%s: --jobs needs a positive integer, got '%s'\n", argv[0],
+                       arg + 7);
+          std::exit(2);
+        }
+        scale.jobs = static_cast<int>(jobs);
+      } else if (std::strncmp(arg, "--out=", 6) == 0) {
+        scale.out = arg + 6;
+        if (scale.out.empty()) {
+          std::fprintf(stderr, "%s: --out needs a file path\n", argv[0]);
+          std::exit(2);
+        }
+        // Fail before the sweep, not after: an unwritable path must not
+        // cost minutes of simulation first.
+        std::FILE* probe = std::fopen(scale.out.c_str(), "w");
+        if (probe == nullptr) {
+          std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                       scale.out.c_str());
+          std::exit(2);
+        }
+        std::fclose(probe);
+      } else if (std::strcmp(arg, "--help") == 0) {
+        Usage(argv[0], stdout);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unrecognized argument '%s'\n", argv[0], arg);
+        Usage(argv[0], stderr);
+        std::exit(2);
       }
     }
     return scale;
@@ -51,6 +106,10 @@ struct BenchScale {
 };
 
 enum class SmemKind { kPmem, kCxl };
+
+inline const char* SmemKindName(SmemKind smem) {
+  return smem == SmemKind::kPmem ? "pmem" : "cxl";
+}
 
 inline MachineConfig HostFor(const BenchScale& scale, int num_vms,
                              SmemKind smem = SmemKind::kPmem) {
@@ -83,6 +142,38 @@ inline VmSetup SetupFor(const BenchScale& scale, const std::string& workload, Po
   setup.demeter.range.split_threshold = scale.demeter_split_threshold;
   setup.timeline_bucket = scale.timeline_bucket;
   return setup;
+}
+
+// One homogeneous experiment: `num_vms` identical VMs running `workload`
+// under `policy` on a HostFor host. The building block of every sweep.
+inline ExperimentSpec SpecFor(const BenchScale& scale, const std::string& workload,
+                              PolicyKind policy, int num_vms, SmemKind smem = SmemKind::kPmem) {
+  ExperimentSpec spec;
+  spec.name = workload + "/" + PolicyKindName(policy) + "/" + SmemKindName(smem);
+  spec.tag = workload;
+  spec.config = HostFor(scale, num_vms, smem);
+  for (int v = 0; v < num_vms; ++v) {
+    spec.vms.push_back(SetupFor(scale, workload, policy));
+  }
+  return spec;
+}
+
+inline RunnerOptions RunnerOptionsFor(const BenchScale& scale) {
+  RunnerOptions options;
+  options.jobs = scale.jobs;
+  return options;
+}
+
+// Writes results to --out as JSON lines when the flag was given.
+inline void MaybeWriteJsonl(const BenchScale& scale,
+                            const std::vector<ExperimentResult>& results) {
+  if (scale.out.empty()) {
+    return;
+  }
+  JsonLinesSink sink(scale.out);
+  EmitResults(results, {&sink});
+  std::fprintf(stderr, "wrote %zu experiment results to %s\n", results.size(),
+               scale.out.c_str());
 }
 
 }  // namespace demeter

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/base/logging.h"
 #include "src/base/stats.h"
 #include "src/harness/table.h"
 
@@ -25,16 +26,22 @@ int Run(int argc, char** argv) {
 
   TablePrinter table({"workload", "static", "demeter", "tpp", "memtis", "nomad",
                       "demeter-vs-next-best"});
-  std::map<std::string, std::map<std::string, double>> elapsed;
 
+  ExperimentRunner runner(RunnerOptionsFor(scale));
   for (const std::string& workload : RealWorldWorkloadNames()) {
     for (PolicyKind policy : policies) {
-      Machine machine(HostFor(scale, scale.concurrent_vms, SmemKind::kCxl));
-      for (int v = 0; v < scale.concurrent_vms; ++v) {
-        machine.AddVm(SetupFor(scale, workload, policy));
-      }
-      machine.Run();
-      elapsed[workload][PolicyKindName(policy)] = machine.MeanElapsedSeconds();
+      runner.Submit(SpecFor(scale, workload, policy, scale.concurrent_vms, SmemKind::kCxl));
+    }
+  }
+  const std::vector<ExperimentResult> results = runner.RunAll();
+
+  std::map<std::string, std::map<std::string, double>> elapsed;
+  size_t next = 0;
+  for (const std::string& workload : RealWorldWorkloadNames()) {
+    for (PolicyKind policy : policies) {
+      const ExperimentResult& result = results[next++];
+      DEMETER_CHECK(result.ok) << result.spec.name << ": " << result.error;
+      elapsed[workload][PolicyKindName(policy)] = result.MeanElapsedSeconds();
     }
     const auto& row = elapsed[workload];
     double next_best = 1e300;
@@ -59,6 +66,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("  vs %-8s %.2fx\n", other, GeometricMean(ratios));
   }
+  MaybeWriteJsonl(scale, results);
   return 0;
 }
 

@@ -7,13 +7,18 @@
 // Demeter stays flat and low (<0.2 cores).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "src/base/logging.h"
 #include "src/harness/table.h"
 
 namespace demeter {
 namespace {
+
+constexpr int kVmCounts[] = {1, 3, 5, 7, 9};
+constexpr PolicyKind kPolicies[] = {PolicyKind::kTpp, PolicyKind::kMemtis, PolicyKind::kDemeter};
 
 int Run(int argc, char** argv) {
   const BenchScale base_scale = BenchScale::FromArgs(argc, argv);
@@ -23,9 +28,10 @@ int Run(int argc, char** argv) {
   // Fixed total footprint split across VMs, like the paper's fixed 126 GiB.
   const uint64_t total_footprint = base_scale.footprint() * 3;
 
-  for (int vms : {1, 3, 5, 7, 9}) {
-    std::vector<double> cores;
-    for (PolicyKind policy : {PolicyKind::kTpp, PolicyKind::kMemtis, PolicyKind::kDemeter}) {
+  // All fifteen (vms, policy) points are independent simulations.
+  ExperimentRunner runner(RunnerOptionsFor(base_scale));
+  for (int vms : kVmCounts) {
+    for (PolicyKind policy : kPolicies) {
       BenchScale scale = base_scale;
       // Constant per-VM work: "cores wasted" is an intensive metric, and a
       // run must be long enough for one-time convergence migration to
@@ -35,20 +41,35 @@ int Run(int argc, char** argv) {
       // divides 126 GiB across however many VMs are running).
       const uint64_t per_vm_footprint = PageFloor(total_footprint / static_cast<uint64_t>(vms));
       scale.vm_bytes = PageCeil(per_vm_footprint * 4 / 3);
-      Machine machine(HostFor(scale, vms));
+      ExperimentSpec spec;
+      spec.name = "vms" + std::to_string(vms) + "/" + PolicyKindName(policy);
+      spec.tag = "gups";
+      spec.config = HostFor(scale, vms);
       for (int v = 0; v < vms; ++v) {
         VmSetup setup = SetupFor(scale, "gups", policy);
         setup.footprint_bytes = per_vm_footprint;
-        machine.AddVm(setup);
+        spec.vms.push_back(setup);
       }
-      machine.Run();
-      cores.push_back(machine.TotalMgmtCores());
+      runner.Submit(spec);
+    }
+  }
+  const std::vector<ExperimentResult> results = runner.RunAll();
+
+  size_t next = 0;
+  for (int vms : kVmCounts) {
+    std::vector<double> cores;
+    for (PolicyKind policy : kPolicies) {
+      (void)policy;
+      const ExperimentResult& result = results[next++];
+      DEMETER_CHECK(result.ok) << result.spec.name << ": " << result.error;
+      cores.push_back(result.TotalMgmtCores());
     }
     table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(vms)), TablePrinter::Fmt(cores[0], 3),
                   TablePrinter::Fmt(cores[1], 3), TablePrinter::Fmt(cores[2], 3)});
   }
   table.Print();
   std::printf("\nExpected shape (paper): tpp >> memtis >> demeter, with demeter flat.\n");
+  MaybeWriteJsonl(base_scale, results);
   return 0;
 }
 

@@ -7,6 +7,12 @@
 // fraction (and throughput) improved against a no-management run.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// This example drives two Machines by hand to stay readable. For anything
+// beyond a couple of configurations, prefer the src/runner experiment
+// orchestrator: describe each run as an ExperimentSpec and let
+// ExperimentRunner execute them in parallel with deterministic seeds and
+// spec-ordered results (see "Running experiments" in README.md).
 
 #include <cstdio>
 

@@ -1,0 +1,67 @@
+// Order-sensitive content hashing for deterministic seed derivation.
+//
+// HashStream folds a sequence of typed values into one 64-bit digest via
+// FNV-1a over the value bytes, with a SplitMix64 finalizer for avalanche.
+// Doubles are hashed by bit pattern (after normalizing -0.0 to 0.0) so that
+// equal configurations always hash equally. The experiment runner uses this
+// to derive every job's RNG seed from its spec's *content*, never from
+// submission order or scheduling.
+
+#ifndef DEMETER_SRC_BASE_HASH_H_
+#define DEMETER_SRC_BASE_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/base/rng.h"
+
+namespace demeter {
+
+class HashStream {
+ public:
+  static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+  HashStream& Bytes(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      state_ = (state_ ^ p[i]) * kFnvPrime;
+    }
+    return *this;
+  }
+
+  HashStream& U64(uint64_t v) { return Bytes(&v, sizeof(v)); }
+  HashStream& I64(int64_t v) { return U64(static_cast<uint64_t>(v)); }
+  HashStream& I32(int v) { return I64(v); }
+  HashStream& Bool(bool v) { return U64(v ? 1 : 0); }
+
+  HashStream& F64(double v) {
+    if (v == 0.0) {
+      v = 0.0;  // Collapse -0.0 and +0.0 to one bit pattern.
+    }
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return U64(bits);
+  }
+
+  // Length-prefixed so ("ab","c") and ("a","bc") hash differently.
+  HashStream& Str(std::string_view s) {
+    U64(s.size());
+    return Bytes(s.data(), s.size());
+  }
+
+  // Finalized digest; the stream remains usable for further folding.
+  uint64_t Digest() const {
+    uint64_t sm = state_;
+    return SplitMix64(sm);
+  }
+
+ private:
+  uint64_t state_ = kFnvOffset;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_BASE_HASH_H_

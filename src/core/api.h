@@ -17,7 +17,11 @@
 //   demeter.Attach(vm, proc, /*start=*/0);
 //   ... drive accesses via vm.ExecuteAccess() or the harness Machine ...
 //
-// See examples/quickstart.cc for the full flow.
+// See examples/quickstart.cc for the full flow. For multi-configuration
+// sweeps (many workloads/policies/VM counts), the preferred entry point is
+// the src/runner experiment orchestrator: build ExperimentSpecs and submit
+// them to an ExperimentRunner (src/runner/runner.h), which runs them on a
+// worker pool with content-hash-derived seeds and spec-ordered results.
 
 #ifndef DEMETER_SRC_CORE_API_H_
 #define DEMETER_SRC_CORE_API_H_

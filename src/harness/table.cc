@@ -25,7 +25,9 @@ std::string TablePrinter::Fmt(uint64_t value) {
   return buf;
 }
 
-void TablePrinter::Print() const {
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::ToString() const {
   std::vector<size_t> widths(headers_.size());
   for (size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();
@@ -33,24 +35,25 @@ void TablePrinter::Print() const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
-                  c + 1 == row.size() ? "\n" : "  ");
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');  // %-*s pads every cell.
+      out += c + 1 == row.size() ? "\n" : "  ";
     }
   };
-  print_row(headers_);
+  append_row(headers_);
   size_t total = 0;
   for (size_t w : widths) {
     total += w + 2;
   }
-  for (size_t i = 0; i + 2 < total; ++i) {
-    std::printf("-");
-  }
-  std::printf("\n");
+  out.append(total >= 2 ? total - 2 : 0, '-');
+  out += '\n';
   for (const auto& row : rows_) {
-    print_row(row);
+    append_row(row);
   }
+  return out;
 }
 
 void PrintSeries(const std::string& title, const std::vector<std::string>& labels,

@@ -16,6 +16,9 @@ class TablePrinter {
   void AddRow(std::vector<std::string> cells);
   // Prints to stdout with column alignment and a header rule.
   void Print() const;
+  // The same rendering as Print(), returned as a string (for result sinks
+  // that write tables to files).
+  std::string ToString() const;
 
   static std::string Fmt(double value, int precision = 2);
   static std::string Fmt(uint64_t value);

@@ -1,0 +1,118 @@
+#include "src/runner/experiment.h"
+
+#include "src/base/hash.h"
+
+namespace demeter {
+namespace {
+
+void HashTierSpec(HashStream& h, const TierSpec& tier) {
+  h.I32(static_cast<int>(tier.media))
+      .F64(tier.read_latency_ns)
+      .F64(tier.write_latency_ns)
+      .F64(tier.read_bw_mbps)
+      .F64(tier.write_bw_mbps)
+      .U64(tier.capacity_bytes);
+}
+
+void HashMachineConfig(HashStream& h, const MachineConfig& config) {
+  h.U64(config.tiers.size());
+  for (const TierSpec& tier : config.tiers) {
+    HashTierSpec(h, tier);
+  }
+  h.U64(config.quantum).U64(config.batch_ops).U64(config.seed);
+}
+
+void HashDemeterConfig(HashStream& h, const DemeterConfig& d) {
+  h.U64(d.range.epoch_length)
+      .F64(d.range.alpha)
+      .F64(d.range.split_threshold)
+      .I32(d.range.merge_threshold)
+      .U64(d.range.min_range_bytes)
+      .U64(d.relocator.max_batch_pages)
+      .U64(d.relocator.fmem_free_reserve_pages)
+      .F64(d.relocator.demote_margin)
+      .Bool(d.relocator.balanced_swap)
+      .U64(d.sample_period)
+      .F64(d.latency_threshold_ns)
+      .F64(d.drain_ns_per_record)
+      .F64(d.classify_ns_per_sample)
+      .F64(d.classify_ns_per_range)
+      .Bool(d.drain_on_context_switch)
+      .U64(d.poll_period)
+      .F64(d.poll_fixed_ns)
+      .Bool(d.classify_virtual)
+      .F64(d.translate_ns_per_sample);
+}
+
+void HashVmSetup(HashStream& h, const VmSetup& setup) {
+  // VmConfig: id/start_full/rng_seed are assigned by Machine::AddVm, so the
+  // caller-controlled fields are the content.
+  h.I32(setup.vm.num_vcpus)
+      .U64(setup.vm.total_memory_bytes)
+      .F64(setup.vm.fmem_ratio)
+      .U64(setup.vm.context_switch_period)
+      .F64(setup.vm.cache_hit_rate)
+      .Bool(setup.vm.lazily_backed);
+  h.Str(setup.workload)
+      .U64(setup.footprint_bytes)
+      .U64(setup.target_transactions)
+      .I32(static_cast<int>(setup.policy))
+      .I32(static_cast<int>(setup.provision))
+      .U64(setup.policy_period)
+      .U64(setup.timeline_bucket);
+  HashDemeterConfig(h, setup.demeter);
+}
+
+}  // namespace
+
+uint64_t SpecContentHash(const ExperimentSpec& spec) {
+  HashStream h;
+  h.Str(spec.name).Str(spec.tag);
+  HashMachineConfig(h, spec.config);
+  h.U64(spec.vms.size());
+  for (const VmSetup& setup : spec.vms) {
+    HashVmSetup(h, setup);
+  }
+  return h.Digest();
+}
+
+uint64_t DeriveSeed(const ExperimentSpec& spec) { return SpecContentHash(spec); }
+
+double ExperimentResult::MeanElapsedSeconds() const {
+  double total = 0.0;
+  for (const VmRunResult& vm : vms) {
+    total += vm.elapsed_s;
+  }
+  return vms.empty() ? 0.0 : total / static_cast<double>(vms.size());
+}
+
+double ExperimentResult::TotalMgmtCores() const {
+  double total = 0.0;
+  for (const VmRunResult& vm : vms) {
+    total += vm.MgmtCores();
+  }
+  return total;
+}
+
+ExperimentResult RunExperiment(const ExperimentSpec& spec) {
+  ExperimentResult result;
+  result.spec = spec;
+  result.seed = DeriveSeed(spec);
+
+  MachineConfig config = spec.config;
+  config.seed = result.seed;
+  Machine machine(config);
+  for (const VmSetup& setup : spec.vms) {
+    machine.AddVm(setup);
+  }
+  machine.Run();
+
+  result.vms.reserve(spec.vms.size());
+  for (int i = 0; i < machine.num_vms(); ++i) {
+    result.vms.push_back(machine.result(i));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace demeter

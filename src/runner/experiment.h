@@ -1,0 +1,60 @@
+// Declarative experiment descriptions for the parallel runner.
+//
+// An ExperimentSpec is one independent simulation: a host (MachineConfig),
+// the VMs to boot on it (VmSetup list), and a name/tag for reporting. Specs
+// are pure data — the runner turns each one into a Machine, runs it to
+// completion, and collects the per-VM results.
+//
+// Seed-derivation rule: every job's RNG seed is derived from the spec's
+// *content* (SpecContentHash folds every field that influences the
+// simulation, including the user-chosen base seed), never from submission
+// order, worker identity, or completion order. Two identical specs always
+// produce bit-identical results; any field change reseeds the run. This is
+// what makes `--jobs=1` and `--jobs=8` byte-identical.
+
+#ifndef DEMETER_SRC_RUNNER_EXPERIMENT_H_
+#define DEMETER_SRC_RUNNER_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/machine.h"
+
+namespace demeter {
+
+struct ExperimentSpec {
+  std::string name;           // Unique-ish label, used in reports and sinks.
+  std::string tag;            // Free-form grouping key (e.g. workload or row).
+  MachineConfig config;       // config.seed is the user-chosen base seed.
+  std::vector<VmSetup> vms;
+};
+
+// Content hash of every simulation-relevant field (see the rule above).
+uint64_t SpecContentHash(const ExperimentSpec& spec);
+
+// The seed the runner hands to the Machine for this spec; currently the
+// content hash itself, exposed separately so callers never bake in that
+// equivalence.
+uint64_t DeriveSeed(const ExperimentSpec& spec);
+
+struct ExperimentResult {
+  ExperimentSpec spec;
+  uint64_t seed = 0;              // Derived seed the Machine actually used.
+  std::vector<VmRunResult> vms;   // One entry per spec.vms element.
+  bool ok = false;
+  int attempts = 0;               // 1 = first try succeeded.
+  std::string error;              // Set when !ok.
+
+  double MeanElapsedSeconds() const;
+  double TotalMgmtCores() const;
+};
+
+// Runs one spec synchronously on the calling thread: builds the Machine with
+// the derived seed, boots the VMs, runs to the transaction targets, and
+// copies out the per-VM results. Throws (or aborts on simulation-invariant
+// violation) rather than returning a partial result.
+ExperimentResult RunExperiment(const ExperimentSpec& spec);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_RUNNER_EXPERIMENT_H_

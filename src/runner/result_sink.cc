@@ -1,0 +1,217 @@
+#include "src/runner/result_sink.h"
+
+#include <cinttypes>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendKey(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void AppendStr(std::string& out, const char* key, const std::string& value) {
+  AppendKey(out, key);
+  out += '"';
+  AppendEscaped(out, value);
+  out += '"';
+}
+
+void AppendU64(std::string& out, const char* key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  AppendKey(out, key);
+  out += buf;
+}
+
+// Fixed %.9g formatting: deterministic for a given build, compact, and more
+// precision than any simulated metric is meaningful to.
+void AppendF64(std::string& out, const char* key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  AppendKey(out, key);
+  out += buf;
+}
+
+}  // namespace
+
+std::string JsonLinesSink::ToJsonLines(const ExperimentResult& result) {
+  std::string out;
+  if (!result.ok) {
+    out += '{';
+    AppendStr(out, "experiment", result.spec.name);
+    out += ',';
+    AppendStr(out, "tag", result.spec.tag);
+    out += ',';
+    AppendU64(out, "seed", result.seed);
+    out += ",\"ok\":false,";
+    AppendU64(out, "attempts", static_cast<uint64_t>(result.attempts));
+    out += ',';
+    AppendStr(out, "error", result.error);
+    out += "}\n";
+    return out;
+  }
+  for (size_t v = 0; v < result.vms.size(); ++v) {
+    const VmRunResult& vm = result.vms[v];
+    out += '{';
+    AppendStr(out, "experiment", result.spec.name);
+    out += ',';
+    AppendStr(out, "tag", result.spec.tag);
+    out += ',';
+    AppendU64(out, "seed", result.seed);
+    out += ",\"ok\":true,";
+    AppendU64(out, "attempts", static_cast<uint64_t>(result.attempts));
+    out += ',';
+    AppendU64(out, "vm", v);
+    out += ',';
+    AppendStr(out, "workload", vm.workload);
+    out += ',';
+    AppendStr(out, "policy", vm.policy);
+    out += ',';
+    AppendU64(out, "transactions", vm.transactions);
+    out += ',';
+    AppendF64(out, "elapsed_s", vm.elapsed_s);
+    out += ',';
+    AppendF64(out, "throughput_tps", vm.ThroughputTps());
+    out += ',';
+    AppendF64(out, "mgmt_cores", vm.MgmtCores());
+    out += ',';
+    AppendF64(out, "fmem_access_fraction", vm.fmem_access_fraction);
+    out += ",\"tlb\":{";
+    AppendU64(out, "hits", vm.tlb.hits);
+    out += ',';
+    AppendU64(out, "misses", vm.tlb.misses);
+    out += ',';
+    AppendU64(out, "single_flushes", vm.tlb.single_flushes);
+    out += ',';
+    AppendU64(out, "full_flushes", vm.tlb.full_flushes);
+    out += "},\"stats\":{";
+    AppendU64(out, "accesses", vm.vm_stats.accesses);
+    out += ',';
+    AppendU64(out, "writes", vm.vm_stats.writes);
+    out += ',';
+    AppendU64(out, "guest_faults", vm.vm_stats.guest_faults);
+    out += ',';
+    AppendU64(out, "ept_faults", vm.vm_stats.ept_faults);
+    out += ',';
+    AppendU64(out, "fmem_accesses", vm.vm_stats.fmem_accesses);
+    out += ',';
+    AppendU64(out, "smem_accesses", vm.vm_stats.smem_accesses);
+    out += ',';
+    AppendU64(out, "pages_promoted", vm.vm_stats.pages_promoted);
+    out += ',';
+    AppendU64(out, "pages_demoted", vm.vm_stats.pages_demoted);
+    out += "},\"txn_latency_ns\":{";
+    AppendF64(out, "mean", vm.txn_latency_ns.Mean());
+    out += ',';
+    AppendU64(out, "p50", vm.txn_latency_ns.Percentile(50));
+    out += ',';
+    AppendU64(out, "p90", vm.txn_latency_ns.Percentile(90));
+    out += ',';
+    AppendU64(out, "p99", vm.txn_latency_ns.Percentile(99));
+    out += ',';
+    AppendU64(out, "p999", vm.txn_latency_ns.Percentile(99.9));
+    out += ',';
+    AppendU64(out, "max", vm.txn_latency_ns.max());
+    out += "}}\n";
+  }
+  return out;
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : out_(std::fopen(path.c_str(), "w")), owns_(true) {
+  DEMETER_CHECK(out_ != nullptr) << "cannot open " << path << " for writing";
+}
+
+JsonLinesSink::JsonLinesSink(std::FILE* out) : out_(out), owns_(false) {
+  DEMETER_CHECK(out_ != nullptr);
+}
+
+JsonLinesSink::~JsonLinesSink() {
+  if (owns_ && out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
+void JsonLinesSink::Consume(const ExperimentResult& result) {
+  const std::string lines = ToJsonLines(result);
+  std::fwrite(lines.data(), 1, lines.size(), out_);
+}
+
+void JsonLinesSink::Finish() {
+  std::fflush(out_);
+  if (owns_) {
+    std::fclose(out_);
+    out_ = nullptr;
+    owns_ = false;
+  }
+}
+
+TableSink::TableSink()
+    : table_({"experiment", "workload", "policy", "vms", "elapsed-s", "txn/s", "mgmt-cores",
+              "fmem%"}) {}
+
+void TableSink::Consume(const ExperimentResult& result) {
+  if (!result.ok || result.vms.empty()) {
+    table_.AddRow({result.spec.name, "-", "-", "-", result.ok ? "-" : "FAILED", "-", "-", "-"});
+    return;
+  }
+  double tps = 0.0;
+  double fmem = 0.0;
+  for (const VmRunResult& vm : result.vms) {
+    tps += vm.ThroughputTps();
+    fmem += vm.fmem_access_fraction;
+  }
+  const double n = result.vms.empty() ? 1.0 : static_cast<double>(result.vms.size());
+  const VmRunResult& first = result.vms.front();
+  table_.AddRow({result.spec.name, first.workload, first.policy,
+                 TablePrinter::Fmt(static_cast<uint64_t>(result.vms.size())),
+                 TablePrinter::Fmt(result.MeanElapsedSeconds(), 3), TablePrinter::Fmt(tps, 0),
+                 TablePrinter::Fmt(result.TotalMgmtCores(), 3),
+                 TablePrinter::Fmt(fmem / n * 100.0, 1)});
+}
+
+void TableSink::Finish() { table_.Print(); }
+
+void EmitResults(const std::vector<ExperimentResult>& results,
+                 const std::vector<ResultSink*>& sinks) {
+  for (ResultSink* sink : sinks) {
+    for (const ExperimentResult& result : results) {
+      sink->Consume(result);
+    }
+    sink->Finish();
+  }
+}
+
+}  // namespace demeter

@@ -1,0 +1,93 @@
+#include "src/runner/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/runner/thread_pool.h"
+
+namespace demeter {
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options) : options_(std::move(options)) {
+  if (options_.max_attempts < 1) {
+    options_.max_attempts = 1;
+  }
+  if (!options_.run_fn) {
+    options_.run_fn = RunExperiment;
+  }
+}
+
+size_t ExperimentRunner::Submit(ExperimentSpec spec) {
+  DEMETER_CHECK(!ran_) << "Submit after RunAll";
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+void ExperimentRunner::SubmitAll(std::vector<ExperimentSpec> specs) {
+  for (ExperimentSpec& spec : specs) {
+    Submit(std::move(spec));
+  }
+}
+
+ExperimentResult ExperimentRunner::RunWithRetry(const ExperimentSpec& spec) {
+  ExperimentResult result;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    try {
+      result = options_.run_fn(spec);
+    } catch (const std::exception& e) {
+      result = ExperimentResult{};
+      result.spec = spec;
+      result.seed = DeriveSeed(spec);
+      result.ok = false;
+      result.error = e.what();
+    }
+    result.attempts = attempt;
+    if (result.ok) {
+      break;
+    }
+    if (result.error.empty()) {
+      result.error = "run function reported failure";
+    }
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> ExperimentRunner::RunAll() {
+  DEMETER_CHECK(!ran_) << "RunAll is one-shot";
+  ran_ = true;
+
+  std::vector<ExperimentResult> results(specs_.size());
+  std::atomic<size_t> done{0};
+  std::mutex progress_mu;
+
+  ThreadPool pool(options_.jobs);
+  std::vector<std::future<void>> futures;
+  futures.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    futures.push_back(pool.Submit([this, i, &results, &done, &progress_mu] {
+      // Each job owns exactly its submission-indexed slot; completion order
+      // never reorders results.
+      results[i] = RunWithRetry(specs_[i]);
+      const size_t finished = done.fetch_add(1) + 1;
+      if (options_.progress && options_.progress_stream != nullptr) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        std::fprintf(options_.progress_stream, "[runner %zu/%zu] %s %s (attempt %d)\n", finished,
+                     specs_.size(), specs_[i].name.c_str(), results[i].ok ? "ok" : "FAILED",
+                     results[i].attempts);
+        std::fflush(options_.progress_stream);
+      }
+    }));
+  }
+  // RunWithRetry never lets a job exception escape, so these futures only
+  // signal completion; get() also surfaces any unexpected infrastructure
+  // error instead of swallowing it.
+  for (std::future<void>& future : futures) {
+    future.get();
+  }
+  return results;
+}
+
+}  // namespace demeter

@@ -1,0 +1,65 @@
+// Fixed-size worker thread pool with per-job exception isolation.
+//
+// A small mutex/condvar task queue drained by N std::jthread workers. Jobs
+// are submitted as callables and observed through std::future: a job that
+// throws poisons only its own future (the worker survives and moves on).
+// Pending-but-unstarted jobs can be cancelled in bulk; their futures fail
+// with std::future_error(broken_promise). Destruction cancels pending jobs
+// and joins after in-flight jobs finish.
+//
+// The pool imposes no ordering semantics of its own — deterministic result
+// ordering is the ExperimentRunner's job (results land in submission-indexed
+// slots, and seeds derive from spec content, so scheduling cannot leak into
+// results).
+
+#ifndef DEMETER_SRC_RUNNER_THREAD_POOL_H_
+#define DEMETER_SRC_RUNNER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace demeter {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job. The future reports completion or rethrows the job's
+  // exception. Must not be called after the destructor has begun.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Drops every queued job that no worker has started; returns how many were
+  // dropped. In-flight jobs are unaffected.
+  size_t CancelPending();
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Queue gained work / shutdown.
+  std::condition_variable idle_cv_;   // Queue drained and workers idle.
+  std::deque<std::packaged_task<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_RUNNER_THREAD_POOL_H_
