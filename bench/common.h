@@ -8,8 +8,10 @@
 // Flags accepted by every bench (unknown flags are rejected with a usage
 // message):
 //   --full        larger (slower) configuration closer to paper scale
+//   --smoke       tiny configuration for CI smoke runs (seconds, not minutes)
 //   --jobs=N      worker threads for runner-based benches (default: all cores)
 //   --out=FILE    also write results as JSON lines to FILE
+//   --trace=FILE  write a Chrome trace_event JSON trace of every run to FILE
 //   --help        print usage and exit
 
 #ifndef DEMETER_BENCH_COMMON_H_
@@ -43,13 +45,16 @@ struct BenchScale {
   // Runner controls (see flags above).
   int jobs = 0;               // <= 0: hardware_concurrency.
   std::string out;            // JSON-lines output path; empty = none.
+  std::string trace;          // Chrome trace output path; empty = no tracing.
 
   static void Usage(const char* prog, std::FILE* stream) {
     std::fprintf(stream,
-                 "usage: %s [--full] [--jobs=N] [--out=FILE] [--help]\n"
-                 "  --full      paper-scale (slower) configuration\n"
-                 "  --jobs=N    parallel experiment jobs (default: all cores)\n"
-                 "  --out=FILE  also write JSON-lines results to FILE\n",
+                 "usage: %s [--full] [--smoke] [--jobs=N] [--out=FILE] [--trace=FILE] [--help]\n"
+                 "  --full        paper-scale (slower) configuration\n"
+                 "  --smoke       tiny CI configuration (completes in seconds)\n"
+                 "  --jobs=N      parallel experiment jobs (default: all cores)\n"
+                 "  --out=FILE    also write JSON-lines results to FILE\n"
+                 "  --trace=FILE  write Chrome trace_event JSON to FILE\n",
                  prog);
   }
 
@@ -64,6 +69,13 @@ struct BenchScale {
         scale.transactions = 2000000;
         scale.vcpus = 4;
         scale.concurrent_vms = 9;
+      } else if (std::strcmp(arg, "--smoke") == 0) {
+        // CI-sized: small enough that a full sweep finishes in seconds while
+        // still exercising every policy/provisioning code path.
+        scale.vm_bytes = 8 * kMiB;
+        scale.transactions = 20000;
+        scale.vcpus = 2;
+        scale.concurrent_vms = 2;
       } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
         char* end = nullptr;
         const long jobs = std::strtol(arg + 7, &end, 10);
@@ -85,6 +97,19 @@ struct BenchScale {
         if (probe == nullptr) {
           std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
                        scale.out.c_str());
+          std::exit(2);
+        }
+        std::fclose(probe);
+      } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+        scale.trace = arg + 8;
+        if (scale.trace.empty()) {
+          std::fprintf(stderr, "%s: --trace needs a file path\n", argv[0]);
+          std::exit(2);
+        }
+        std::FILE* probe = std::fopen(scale.trace.c_str(), "w");
+        if (probe == nullptr) {
+          std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                       scale.trace.c_str());
           std::exit(2);
         }
         std::fclose(probe);
@@ -124,6 +149,9 @@ inline MachineConfig HostFor(const BenchScale& scale, int num_vms,
   config.tiers = {TierSpec::LocalDram(fmem), smem == SmemKind::kPmem
                                                  ? TierSpec::Pmem(smem_bytes)
                                                  : TierSpec::RemoteDram(smem_bytes)};
+  // Observability only — excluded from the spec content hash, so results
+  // are identical with or without --trace.
+  config.capture_trace = !scale.trace.empty();
   return config;
 }
 
@@ -174,6 +202,24 @@ inline void MaybeWriteJsonl(const BenchScale& scale,
   EmitResults(results, {&sink});
   std::fprintf(stderr, "wrote %zu experiment results to %s\n", results.size(),
                scale.out.c_str());
+}
+
+// Writes the merged Chrome trace to --trace when the flag was given.
+// Results are traversed in submission order, so the file is byte-identical
+// across --jobs values.
+inline void MaybeWriteTrace(const BenchScale& scale,
+                            const std::vector<ExperimentResult>& results) {
+  if (scale.trace.empty()) {
+    return;
+  }
+  std::vector<NamedTrace> traces;
+  for (const ExperimentResult& result : results) {
+    if (!result.trace.empty()) {
+      traces.push_back(NamedTrace{result.spec.name, &result.trace});
+    }
+  }
+  WriteChromeTraceFile(scale.trace, traces);
+  std::fprintf(stderr, "wrote %zu traces to %s\n", traces.size(), scale.trace.c_str());
 }
 
 }  // namespace demeter

@@ -75,6 +75,7 @@ int Run(int argc, char** argv) {
     std::printf("  vs %-8s %.2fx\n", other, GeometricMean(ratios));
   }
   MaybeWriteJsonl(scale, results);
+  MaybeWriteTrace(scale, results);
   return 0;
 }
 

@@ -67,6 +67,7 @@ int Run(int argc, char** argv) {
     }
   }
   MaybeWriteJsonl(scale, results);
+  MaybeWriteTrace(scale, results);
   return 0;
 }
 

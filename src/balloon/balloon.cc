@@ -144,6 +144,14 @@ void DemeterBalloon::HandleCompletion(BalloonCompletion completion, Nanos now) {
   ++stats_.completions;
   DEMETER_CHECK_GT(inflight_, 0u);
   --inflight_;
+  Tracer* tracer = vm_->host().tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    tracer->Instant("balloon", completion.inflate ? "inflate" : "deflate", now, vm_->id(), 0,
+                    TraceArgs()
+                        .Add("node", static_cast<uint64_t>(completion.node))
+                        .Add("pages", static_cast<uint64_t>(completion.pages.size()))
+                        .str());
+  }
   if (completion.inflate) {
     // Release host backing of every reserved page; one batched invept.
     for (PageNum gpa : completion.pages) {

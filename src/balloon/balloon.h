@@ -101,6 +101,17 @@ class DemeterBalloon {
   uint64_t inflight() const { return inflight_; }
   const BalloonStats& stats() const { return stats_; }
 
+  // Registers balloon counters under `scope` (the harness passes
+  // "vm<i>/balloon").
+  void RegisterMetrics(MetricScope scope) {
+    scope.RegisterCounter("requests", &stats_.requests);
+    scope.RegisterCounter("completions", &stats_.completions);
+    scope.RegisterCounter("pages_inflated", &stats_.pages_inflated);
+    scope.RegisterCounter("pages_deflated", &stats_.pages_deflated);
+    scope.RegisterCounter("pages_short", &stats_.pages_short);
+    scope.RegisterCounter("demotions_for_inflate", &stats_.demotions_for_inflate);
+  }
+
  private:
   void HandleRequest(BalloonRequest request, Nanos now);
   void HandleCompletion(BalloonCompletion completion, Nanos now);

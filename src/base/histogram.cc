@@ -1,5 +1,6 @@
 #include "src/base/histogram.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/base/logging.h"
@@ -19,7 +20,8 @@ int Histogram::BucketIndex(uint64_t value) {
   }
   const int log2 = 63 - std::countl_zero(value);
   // Position within the power-of-two range, scaled to kSubBuckets slots.
-  const int sub = static_cast<int>((value >> (log2 - 4)) & (kSubBuckets - 1));
+  const int sub =
+      static_cast<int>((value >> (log2 - kSubBucketShift)) & (kSubBuckets - 1));
   const int index = log2 * kSubBuckets + sub;
   return index < kMaxBuckets ? index : kMaxBuckets - 1;
 }
@@ -30,18 +32,34 @@ uint64_t Histogram::BucketUpperEdge(int index) {
   }
   const int log2 = index / kSubBuckets;
   const int sub = index % kSubBuckets;
-  return (1ULL << log2) + (static_cast<uint64_t>(sub + 1) << (log2 - 4)) - 1;
+  return (1ULL << log2) +
+         (static_cast<uint64_t>(sub + 1) << (log2 - kSubBucketShift)) - 1;
 }
 
 void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+namespace {
+
+// a + b, saturating at UINT64_MAX instead of wrapping.
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t out = 0;
+  return __builtin_add_overflow(a, b, &out) ? ~0ULL : out;
+}
+
+}  // namespace
 
 void Histogram::RecordN(uint64_t value, uint64_t count) {
   if (count == 0) {
     return;
   }
-  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
-  count_ += count;
-  sum_ += value * count;
+  uint64_t& bucket = buckets_[static_cast<size_t>(BucketIndex(value))];
+  bucket = SaturatingAdd(bucket, count);
+  count_ = SaturatingAdd(count_, count);
+  uint64_t weighted = 0;
+  if (__builtin_mul_overflow(value, count, &weighted)) {
+    weighted = ~0ULL;
+  }
+  sum_ = SaturatingAdd(sum_, weighted);
   if (value < min_) {
     min_ = value;
   }
@@ -60,13 +78,20 @@ uint64_t Histogram::Percentile(double p) const {
   }
   DEMETER_CHECK_GE(p, 0.0);
   DEMETER_CHECK_LE(p, 100.0);
+  // p = 0 asks for the smallest recorded value; the bucket upper edge would
+  // overstate it by up to one sub-bucket width.
+  if (p == 0.0) {
+    return min_;
+  }
   const double target = p / 100.0 * static_cast<double>(count_);
   uint64_t seen = 0;
   for (int i = 0; i < kMaxBuckets; ++i) {
     seen += buckets_[static_cast<size_t>(i)];
     if (static_cast<double>(seen) >= target && seen > 0) {
-      const uint64_t edge = BucketUpperEdge(i);
-      return edge > max_ ? max_ : edge;
+      // Clamp: a bucket's upper edge can lie below min_ (low percentile of a
+      // sparse histogram) or above max_ (the recorded maximum sits inside
+      // its bucket); neither is a value that was ever recorded.
+      return std::clamp(BucketUpperEdge(i), min_, max_);
     }
   }
   return max_;
@@ -82,10 +107,11 @@ void Histogram::Clear() {
 
 void Histogram::Merge(const Histogram& other) {
   for (int i = 0; i < kMaxBuckets; ++i) {
-    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+    uint64_t& bucket = buckets_[static_cast<size_t>(i)];
+    bucket = SaturatingAdd(bucket, other.buckets_[static_cast<size_t>(i)]);
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  count_ = SaturatingAdd(count_, other.count_);
+  sum_ = SaturatingAdd(sum_, other.sum_);
   if (other.count_ > 0 && other.min_ < min_) {
     min_ = other.min_;
   }

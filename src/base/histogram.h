@@ -8,6 +8,7 @@
 #ifndef DEMETER_SRC_BASE_HISTOGRAM_H_
 #define DEMETER_SRC_BASE_HISTOGRAM_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -18,10 +19,20 @@ class Histogram {
   // Sub-bucket resolution: each power of two is divided into kSubBuckets
   // linear sub-buckets, bounding relative error to 1/kSubBuckets.
   static constexpr int kSubBuckets = 16;
+  // Shift that implements "divide a power-of-two range into kSubBuckets":
+  // derived, not hard-coded, so the bucket math can never desync from
+  // kSubBuckets.
+  static constexpr int kSubBucketShift =
+      std::bit_width(static_cast<unsigned>(kSubBuckets)) - 1;
+  static_assert((1 << kSubBucketShift) == kSubBuckets,
+                "kSubBuckets must be a power of two");
 
   Histogram();
 
   void Record(uint64_t value);
+  // Records `value` `count` times. The running sum saturates at UINT64_MAX
+  // instead of silently wrapping when value * count (or the accumulated
+  // total) overflows; count() stays exact until UINT64_MAX samples.
   void RecordN(uint64_t value, uint64_t count);
 
   uint64_t count() const { return count_; }
@@ -31,12 +42,15 @@ class Histogram {
   double Mean() const;
 
   // Value at percentile p in [0, 100]. Returns the upper edge of the bucket
-  // containing the p-th sample; 0 when empty.
+  // containing the p-th sample, clamped to [min(), max()] so a query can
+  // never report a value outside the recorded range; Percentile(0) is
+  // exactly min(). Returns 0 when empty.
   uint64_t Percentile(double p) const;
 
   void Clear();
 
-  // Merge another histogram into this one.
+  // Merge another histogram into this one. Sums saturate at UINT64_MAX like
+  // RecordN rather than wrapping.
   void Merge(const Histogram& other);
 
  private:

@@ -236,6 +236,8 @@ void DemeterPolicy::RunEpoch(Nanos now) {
   vm_->mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(tracking_ns));
   vm_->mgmt_account().Charge(TmmStage::kClassification, static_cast<Nanos>(classify_ns));
   vm_->mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(migrate_ns));
+  TraceMigrationBatch(*vm_, name(), now, migrate_ns, last_relocation_.promoted,
+                      last_relocation_.demoted);
 
   ScheduleNext(now);
 }

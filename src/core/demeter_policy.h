@@ -61,6 +61,12 @@ class DemeterPolicy : public TmmPolicy {
   const char* name() const override { return "demeter"; }
   void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
 
+  void RegisterMetrics(MetricScope scope) override {
+    scope.RegisterCounter("epochs_run", &epochs_run_);
+    scope.RegisterCounter("pages_promoted", &total_promoted_);
+    scope.RegisterCounter("pages_demoted", &total_demoted_);
+  }
+
   const RangeTree& tree() const { return *tree_; }
   const RelocationResult& last_relocation() const { return last_relocation_; }
   uint64_t total_promoted() const { return total_promoted_; }

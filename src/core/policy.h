@@ -15,9 +15,26 @@
 
 #include "src/base/units.h"
 #include "src/guest/process.h"
+#include "src/hyper/hypervisor.h"
 #include "src/hyper/vm.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/tracer.h"
 
 namespace demeter {
+
+// Emits a migration-batch span on the VM's tracer for one policy epoch or
+// scan round: `ts` is the batch start, `dur_ns` its charged CPU time, and
+// promoted/demoted the batch's page counts. Empty batches are skipped; the
+// whole call is a no-op when the VM is not tracing.
+inline void TraceMigrationBatch(Vm& vm, const char* policy, Nanos ts, double dur_ns,
+                                uint64_t promoted, uint64_t demoted) {
+  Tracer* tracer = vm.host().tracer();
+  if (tracer == nullptr || !tracer->enabled() || (promoted == 0 && demoted == 0)) {
+    return;
+  }
+  tracer->Span("tmm", policy, ts, dur_ns, vm.id(), 0,
+               TraceArgs().Add("promoted", promoted).Add("demoted", demoted).str());
+}
 
 class TmmPolicy {
  public:
@@ -27,6 +44,11 @@ class TmmPolicy {
 
   // Attaches to `vm`, managing `process`. Periodic work begins at `start`.
   virtual void Attach(Vm& vm, GuestProcess& process, Nanos start) = 0;
+
+  // Registers the policy's counters under `scope` (the harness passes
+  // "vm<i>/policy"). Called after Attach; registered cells/callbacks must
+  // stay valid for the policy's lifetime. Default: nothing to export.
+  virtual void RegisterMetrics(MetricScope scope) { (void)scope; }
 
   // Stops periodic work (the attached VM's workload finished).
   virtual void Stop() { stopped_ = true; }

@@ -117,6 +117,10 @@ std::unique_ptr<TmmPolicy> MakePolicy(PolicyKind kind, const DemeterConfig& deme
 Machine::Machine(MachineConfig config) : config_(config), rng_(config.seed) {
   memory_ = std::make_unique<HostMemory>(config.tiers);
   hyper_ = std::make_unique<Hypervisor>(memory_.get(), &events_);
+  tracer_.set_enabled(config.capture_trace);
+  // Installed before any VM exists so VM-internal units (PEBS) can bind it
+  // at construction; disabled tracers make every record call a no-op.
+  hyper_->set_tracer(&tracer_);
 }
 
 Machine::~Machine() = default;
@@ -304,6 +308,8 @@ void Machine::FinishVm(int i, Nanos now) {
       mem_accesses == 0
           ? 0.0
           : static_cast<double>(result.vm_stats.fmem_accesses) / static_cast<double>(mem_accesses);
+  result.metrics =
+      registry_.Snapshot().FilterPrefix("vm" + std::to_string(i) + "/", /*strip=*/true);
 }
 
 void Machine::Run() {
@@ -362,6 +368,7 @@ void Machine::Run() {
                    static_cast<Nanos>(global_start));
     policies_[static_cast<size_t>(i)] = std::move(policy);
   }
+  RegisterAllMetrics();
 
   // Phase 5: main loop — lock-stepped quanta + due events.
   for (;;) {
@@ -376,6 +383,20 @@ void Machine::Run() {
       break;
     }
     events_.RunUntil(MinActiveClock());
+  }
+}
+
+void Machine::RegisterAllMetrics() {
+  hyper_->RegisterMetrics(MetricScope(&registry_, "host"));
+  for (int i = 0; i < num_vms(); ++i) {
+    MetricScope scope(&registry_, "vm" + std::to_string(i));
+    vm(i).RegisterMetrics(scope);
+    if (policies_[static_cast<size_t>(i)] != nullptr) {
+      policies_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("policy"));
+    }
+    if (demeter_balloons_[static_cast<size_t>(i)] != nullptr) {
+      demeter_balloons_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("balloon"));
+    }
   }
 }
 

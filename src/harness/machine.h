@@ -17,6 +17,8 @@
 #include "src/balloon/balloon.h"
 #include "src/base/histogram.h"
 #include "src/core/api.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/tracer.h"
 #include "src/workloads/workload.h"
 
 namespace demeter {
@@ -48,6 +50,11 @@ struct MachineConfig {
   Nanos quantum = 1 * kMillisecond;
   size_t batch_ops = 512;  // Ops fetched from the workload generator at a time.
   uint64_t seed = 42;
+  // Record trace events (TLB flushes, PMI drains, migration batches,
+  // balloon completions, QoS rounds). Pure observability: MUST NOT affect
+  // simulation results, and is therefore excluded from the runner's
+  // spec content hash.
+  bool capture_trace = false;
 };
 
 struct VmSetup {
@@ -79,6 +86,9 @@ struct VmRunResult {
   std::vector<uint64_t> timeline;
   Nanos timeline_bucket = 0;
   double fmem_access_fraction = 0.0;
+  // Registry snapshot scoped to this VM ("vm<i>/" prefix stripped), taken
+  // when the VM reaches its transaction target.
+  MetricSnapshot metrics;
 
   double ThroughputTps() const { return elapsed_s > 0 ? transactions / elapsed_s : 0.0; }
   // Management cores consumed over the run (Figure 2's metric).
@@ -118,6 +128,18 @@ class Machine {
   double TotalMgmtCores() const;
   double MeanElapsedSeconds() const;
 
+  // The machine-wide registry. Subsystems register during Run(); callers
+  // may add their own metrics (or snapshot) at any point.
+  MetricRegistry& metrics_registry() { return registry_; }
+  // Full-registry snapshot ("host/..." + every "vm<i>/...").
+  MetricSnapshot SnapshotMetrics() const { return registry_.Snapshot(); }
+
+  // The machine's tracer (enabled iff config.capture_trace). Events use
+  // VM ids as pids. TakeTrace moves the recorded events out (e.g. into a
+  // NamedTrace for ChromeTraceJson).
+  Tracer& tracer() { return tracer_; }
+  std::vector<TraceEvent> TakeTrace() { return tracer_.TakeEvents(); }
+
  private:
   struct VmRuntime {
     GuestProcess* process = nullptr;
@@ -135,8 +157,13 @@ class Machine {
   void RunVmQuantum(int i);
   Nanos MinActiveClock() const;
   void FinishVm(int i, Nanos now);
+  // One-time registration of every subsystem's metrics (host, VMs,
+  // policies, balloons) — called from Run() once policies are attached.
+  void RegisterAllMetrics();
 
   MachineConfig config_;
+  MetricRegistry registry_;
+  Tracer tracer_;
   std::unique_ptr<HostMemory> memory_;
   EventQueue events_;
   std::unique_ptr<Hypervisor> hyper_;

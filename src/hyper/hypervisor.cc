@@ -81,6 +81,22 @@ bool Hypervisor::MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, 
   return true;
 }
 
+void Hypervisor::RegisterMetrics(MetricScope scope) {
+  MetricScope hyper = scope.Sub("hyper");
+  hyper.RegisterCounter("ept_populates", &stats_.ept_populates);
+  hyper.RegisterCounter("ept_unbacks", &stats_.ept_unbacks);
+  hyper.RegisterCounter("tier_fallbacks", &stats_.host_tier_fallbacks);
+  hyper.RegisterCounter("migrations", &stats_.host_migrations);
+  for (TierIndex t = 0; t < memory_->num_tiers(); ++t) {
+    MetricScope tier = scope.Sub("tier" + std::to_string(t));
+    HostMemory* memory = memory_;
+    tier.RegisterGaugeFn("used_pages",
+                         [memory, t] { return static_cast<double>(memory->UsedPages(t)); });
+    tier.RegisterGaugeFn("free_pages",
+                         [memory, t] { return static_cast<double>(memory->FreePages(t)); });
+  }
+}
+
 uint64_t Hypervisor::ScanEptAccessedAndFlush(Vm& vm, const EptVisitor& visitor) {
   const uint64_t touched = vm.ept().ScanAndClearAccessed(
       0, PageTable::kMaxPage, [&](PageNum gpa, uint64_t frame, bool accessed, bool) {

@@ -14,6 +14,8 @@
 #include "src/hyper/vm.h"
 #include "src/mem/host_memory.h"
 #include "src/sim/event_queue.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/tracer.h"
 
 namespace demeter {
 
@@ -68,9 +70,19 @@ class Hypervisor {
 
   const Stats& stats() const { return stats_; }
 
+  // Optional tracer shared by the host and every VM-side subsystem (set by
+  // the owning harness before VMs are created; null = not tracing).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  // Registers host-side counters under `scope` (the harness passes "host"):
+  // hypervisor stats plus per-tier used/free page gauges.
+  void RegisterMetrics(MetricScope scope);
+
  private:
   HostMemory* memory_;
   EventQueue* events_;
+  Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Vm>> vms_;
   Stats stats_;
 };

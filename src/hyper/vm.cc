@@ -1,5 +1,8 @@
 #include "src/hyper/vm.h"
 
+#include <algorithm>
+#include <string>
+
 #include "src/base/logging.h"
 #include "src/hyper/hypervisor.h"
 #include "src/mem/tier.h"
@@ -29,6 +32,7 @@ Vm::Vm(const VmConfig& config, Hypervisor* host)
     auto vcpu = std::make_unique<Vcpu>();
     vcpu->id = i;
     vcpu->pebs = std::make_unique<PebsUnit>(config.pebs);
+    vcpu->pebs->BindTrace(host->tracer(), config.id, i);
     vcpu->next_context_switch = config.context_switch_period;
     vcpus_.push_back(std::move(vcpu));
   }
@@ -57,6 +61,9 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   for (int attempt = 0;; ++attempt) {
     tr = Translate2D(v.tlb, process.gpt(), ept_, vpn, is_write, config_.mmu_costs);
     total += tr.cost_ns;
+    if (!tr.tlb_hit) {
+      walk_cost_ns_.Record(static_cast<uint64_t>(tr.cost_ns));
+    }
     if (tr.status == TranslateStatus::kOk) {
       break;
     }
@@ -98,6 +105,16 @@ void Vm::FlushGvaAll(PageNum vpn) {
 void Vm::FullFlushAll() {
   for (auto& v : vcpus_) {
     v->tlb.InvalidateAll();
+  }
+  Tracer* tracer = host_->tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    // The flush hits every vCPU; stamp it with the most-advanced clock.
+    Nanos now = 0;
+    for (const auto& v : vcpus_) {
+      now = std::max(now, v->now());
+    }
+    tracer->Instant("tlb", "full_flush", now, id(), 0,
+                    TraceArgs().Add("vcpus", static_cast<uint64_t>(num_vcpus())).str());
   }
 }
 
@@ -236,6 +253,68 @@ bool Vm::SwapPages(GuestProcess& proc_a, PageNum vpn_a, GuestProcess& proc_b, Pa
     ++stats_.pages_demoted;
   }
   return true;
+}
+
+void Vm::RegisterMetrics(MetricScope scope) {
+  MetricScope stats = scope.Sub("stats");
+  stats.RegisterCounter("accesses", &stats_.accesses);
+  stats.RegisterCounter("writes", &stats_.writes);
+  stats.RegisterCounter("cache_hits", &stats_.cache_hits);
+  stats.RegisterCounter("guest_faults", &stats_.guest_faults);
+  stats.RegisterCounter("ept_faults", &stats_.ept_faults);
+  stats.RegisterCounter("fmem_accesses", &stats_.fmem_accesses);
+  stats.RegisterCounter("smem_accesses", &stats_.smem_accesses);
+  stats.RegisterCounter("pages_promoted", &stats_.pages_promoted);
+  stats.RegisterCounter("pages_demoted", &stats_.pages_demoted);
+  stats.RegisterCounter("context_switches", &stats_.context_switches);
+  stats.RegisterGauge("total_access_ns", &stats_.total_access_ns);
+
+  for (const auto& v : vcpus_) {
+    MetricScope vscope = scope.Sub("vcpu" + std::to_string(v->id));
+    MetricScope tlb = vscope.Sub("tlb");
+    const TlbStats& ts = v->tlb.stats();
+    tlb.RegisterCounter("hits", &ts.hits);
+    tlb.RegisterCounter("misses", &ts.misses);
+    tlb.RegisterCounter("single_flushes", &ts.single_flushes);
+    tlb.RegisterCounter("full_flushes", &ts.full_flushes);
+    MetricScope pebs = vscope.Sub("pebs");
+    const PebsUnit::Stats& ps = v->pebs->stats();
+    pebs.RegisterCounter("events_counted", &ps.events_counted);
+    pebs.RegisterCounter("records_written", &ps.records_written);
+    pebs.RegisterCounter("records_dropped", &ps.records_dropped);
+    pebs.RegisterCounter("pmis", &ps.pmis);
+  }
+
+  // Aggregates over all vCPUs, recomputed at snapshot time.
+  MetricScope tlb = scope.Sub("tlb");
+  const Vm* self = this;
+  tlb.RegisterCounterFn("hits", [self] { return self->AggregateTlbStats().hits; });
+  tlb.RegisterCounterFn("misses", [self] { return self->AggregateTlbStats().misses; });
+  tlb.RegisterCounterFn("single_flushes",
+                        [self] { return self->AggregateTlbStats().single_flushes; });
+  tlb.RegisterCounterFn("full_flushes",
+                        [self] { return self->AggregateTlbStats().full_flushes; });
+
+  MetricScope kernel = scope.Sub("kernel");
+  const GuestKernel::Stats& ks = kernel_->stats();
+  kernel.RegisterCounter("faults", &ks.faults);
+  kernel.RegisterCounter("fallback_allocs", &ks.fallback_allocs);
+  kernel.RegisterCounter("reclaim_events", &ks.reclaim_events);
+  kernel.RegisterCounter("oom_failures", &ks.oom_failures);
+
+  MetricScope mgmt = scope.Sub("mgmt");
+  const CpuAccount* account = &mgmt_account_;
+  for (int s = 0; s < kNumTmmStages; ++s) {
+    const TmmStage stage = static_cast<TmmStage>(s);
+    mgmt.RegisterCounterFn(std::string(TmmStageName(stage)) + "_ns", [account, stage] {
+      return static_cast<uint64_t>(account->ForStage(stage));
+    });
+  }
+  mgmt.RegisterCounterFn("total_ns",
+                         [account] { return static_cast<uint64_t>(account->Total()); });
+
+  MetricScope mmu = scope.Sub("mmu");
+  mmu.RegisterDistribution("walk_cost_ns", &walk_cost_ns_);
 }
 
 double Vm::OnContextSwitch(int vcpu_id, Nanos now) {

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/histogram.h"
 #include "src/base/rng.h"
 #include "src/base/units.h"
 #include "src/guest/kernel.h"
@@ -27,6 +28,7 @@
 #include "src/mmu/walker.h"
 #include "src/pebs/pebs.h"
 #include "src/sim/cpu_account.h"
+#include "src/telemetry/metrics.h"
 
 namespace demeter {
 
@@ -140,6 +142,17 @@ class Vm {
   // Per-VM management-CPU account (all TMM policy work).
   CpuAccount& mgmt_account() { return mgmt_account_; }
 
+  // Distribution of 2D-walk MMU costs for TLB misses (the walker's
+  // per-level touch costs aggregate here; full-flush refills show up as the
+  // cold-walk tail).
+  const Histogram& walk_cost_histogram() const { return walk_cost_ns_; }
+
+  // Registers this VM's counters under `scope` (the harness passes
+  // "vm<id>"): VmStats, per-vCPU TLB and PEBS stats plus TLB aggregates,
+  // guest-kernel stats, per-stage management CPU time, the walk-cost
+  // distribution, and the MMU cost model as gauges.
+  void RegisterMetrics(MetricScope scope);
+
   // Context switch on a vCPU: charges the base cost plus hook work.
   double OnContextSwitch(int vcpu_id, Nanos now);
 
@@ -154,6 +167,7 @@ class Vm {
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
   VmStats stats_;
   CpuAccount mgmt_account_;
+  Histogram walk_cost_ns_;
   Rng rng_;
 };
 

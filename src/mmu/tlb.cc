@@ -1,7 +1,5 @@
 #include "src/mmu/tlb.h"
 
-#include <algorithm>
-
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 
@@ -74,10 +72,11 @@ void Tlb::InvalidateAll() {
     e.valid = false;
   }
   // Paging-structure caches are gone too; the next ~capacity misses walk
-  // cold. Back-to-back invalidations (chunked MMU-notifier scans) stack, up
-  // to a bound.
-  const uint64_t cap = static_cast<uint64_t>(capacity());
-  cold_walks_ = std::min<uint64_t>(cold_walks_ + cap, 4 * cap);
+  // cold. A second invalidation before the rewarm completes cannot make the
+  // caches any colder — it only restarts the rewarm window — so the budget
+  // RESETS to one capacity instead of stacking (back-to-back chunked
+  // MMU-notifier scans used to accumulate up to 4x, overcharging refills).
+  cold_walks_ = static_cast<uint64_t>(capacity());
 }
 
 double Tlb::ConsumeWalkFactor() {

@@ -40,6 +40,10 @@ double PebsUnit::OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos 
 
   // Buffer overshoot: PMI fires.
   ++stats_.pmis;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("pebs", "pmi_drain", now, trace_pid_, trace_tid_,
+                     TraceArgs().Add("records", static_cast<uint64_t>(buffer_.size())).str());
+  }
   if (pmi_handler_) {
     std::vector<PebsRecord> drained;
     drained.swap(buffer_);

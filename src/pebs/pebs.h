@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/base/units.h"
+#include "src/telemetry/tracer.h"
 
 namespace demeter {
 
@@ -69,6 +70,14 @@ class PebsUnit {
 
   void set_pmi_handler(PmiHandler handler) { pmi_handler_ = std::move(handler); }
 
+  // Attaches an optional tracer; PMI drains emit instant events stamped with
+  // the owning VM (`pid`) and vCPU (`tid`). Null disables tracing.
+  void BindTrace(Tracer* tracer, int pid, int tid) {
+    tracer_ = tracer;
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
   // Observes one memory access by the owning vCPU while in guest mode.
   // Returns the PMI cost in ns when this access triggered a PMI, else 0.
   double OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos now);
@@ -93,6 +102,9 @@ class PebsUnit {
   std::vector<PebsRecord> buffer_;
   PmiHandler pmi_handler_;
   Stats stats_;
+  Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
 };
 
 }  // namespace demeter

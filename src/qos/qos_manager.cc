@@ -46,6 +46,28 @@ uint64_t QosManager::FairShare(size_t i) const {
 
 void QosManager::Rebalance(Nanos now) {
   ++rounds_;
+  const uint64_t shifted_before = pages_shifted_;
+  // Marks rebalance activity in the trace (pid 0 slots host-level events
+  // next to the VMs' lanes). Emitted on exit so the shift total is known.
+  struct RoundTrace {
+    QosManager* self;
+    Nanos now;
+    uint64_t before;
+    ~RoundTrace() {
+      if (self->tenants_.empty()) {
+        return;
+      }
+      Tracer* tracer = self->tenants_.front().vm->host().tracer();
+      if (tracer == nullptr || !tracer->enabled()) {
+        return;
+      }
+      tracer->Instant("qos", "rebalance", now, /*pid=*/0, /*tid=*/0,
+                      TraceArgs()
+                          .Add("round", self->rounds_)
+                          .Add("pages_shifted", self->pages_shifted_ - before)
+                          .str());
+    }
+  } round_trace{this, now, shifted_before};
   // Refresh telemetry. The stats queue is asynchronous; we use the snapshot
   // that arrives by the next round (one-period-old data, as a real
   // cluster-level controller would).

@@ -78,6 +78,12 @@ class QosManager {
   uint64_t rebalance_rounds() const { return rounds_; }
   uint64_t pages_shifted() const { return pages_shifted_; }
 
+  // Registers QoS counters under `scope` (the harness passes "qos").
+  void RegisterMetrics(MetricScope scope) {
+    scope.RegisterCounter("rounds", &rounds_);
+    scope.RegisterCounter("pages_shifted", &pages_shifted_);
+  }
+
  private:
   // Fair share of tenant i under current weights (pages).
   uint64_t FairShare(size_t i) const;

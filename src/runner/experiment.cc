@@ -19,6 +19,8 @@ void HashMachineConfig(HashStream& h, const MachineConfig& config) {
   for (const TierSpec& tier : config.tiers) {
     HashTierSpec(h, tier);
   }
+  // capture_trace is deliberately NOT hashed: tracing is pure observability
+  // and must not reseed (and thereby change) the simulation it observes.
   h.U64(config.quantum).U64(config.batch_ops).U64(config.seed);
 }
 
@@ -110,6 +112,10 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
   result.vms.reserve(spec.vms.size());
   for (int i = 0; i < machine.num_vms(); ++i) {
     result.vms.push_back(machine.result(i));
+  }
+  result.host_metrics = machine.SnapshotMetrics().FilterPrefix("host/", /*strip=*/true);
+  if (spec.config.capture_trace) {
+    result.trace = machine.TakeTrace();
   }
   result.ok = true;
   return result;

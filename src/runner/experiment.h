@@ -41,6 +41,12 @@ struct ExperimentResult {
   ExperimentSpec spec;
   uint64_t seed = 0;              // Derived seed the Machine actually used.
   std::vector<VmRunResult> vms;   // One entry per spec.vms element.
+  // Host-side registry snapshot ("host/" prefix stripped).
+  MetricSnapshot host_metrics;
+  // Trace events recorded during the run (spec.config.capture_trace only).
+  // Merged across specs in submission order by the sinks, so trace files
+  // stay deterministic regardless of --jobs.
+  std::vector<TraceEvent> trace;
   bool ok = false;
   int attempts = 0;               // 1 = first try succeeded.
   std::string error;              // Set when !ok.

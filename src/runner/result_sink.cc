@@ -1,149 +1,96 @@
 #include "src/runner/result_sink.h"
 
-#include <cinttypes>
-
 #include "src/base/logging.h"
+#include "src/telemetry/json.h"
 
 namespace demeter {
-namespace {
-
-void AppendEscaped(std::string& out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-void AppendKey(std::string& out, const char* key) {
-  out += '"';
-  out += key;
-  out += "\":";
-}
-
-void AppendStr(std::string& out, const char* key, const std::string& value) {
-  AppendKey(out, key);
-  out += '"';
-  AppendEscaped(out, value);
-  out += '"';
-}
-
-void AppendU64(std::string& out, const char* key, uint64_t value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-  AppendKey(out, key);
-  out += buf;
-}
-
-// Fixed %.9g formatting: deterministic for a given build, compact, and more
-// precision than any simulated metric is meaningful to.
-void AppendF64(std::string& out, const char* key, double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", value);
-  AppendKey(out, key);
-  out += buf;
-}
-
-}  // namespace
 
 std::string JsonLinesSink::ToJsonLines(const ExperimentResult& result) {
   std::string out;
   if (!result.ok) {
     out += '{';
-    AppendStr(out, "experiment", result.spec.name);
+    AppendJsonStr(out, "experiment", result.spec.name);
     out += ',';
-    AppendStr(out, "tag", result.spec.tag);
+    AppendJsonStr(out, "tag", result.spec.tag);
     out += ',';
-    AppendU64(out, "seed", result.seed);
+    AppendJsonU64(out, "seed", result.seed);
     out += ",\"ok\":false,";
-    AppendU64(out, "attempts", static_cast<uint64_t>(result.attempts));
+    AppendJsonU64(out, "attempts", static_cast<uint64_t>(result.attempts));
     out += ',';
-    AppendStr(out, "error", result.error);
+    AppendJsonStr(out, "error", result.error);
     out += "}\n";
     return out;
   }
   for (size_t v = 0; v < result.vms.size(); ++v) {
     const VmRunResult& vm = result.vms[v];
     out += '{';
-    AppendStr(out, "experiment", result.spec.name);
+    AppendJsonStr(out, "experiment", result.spec.name);
     out += ',';
-    AppendStr(out, "tag", result.spec.tag);
+    AppendJsonStr(out, "tag", result.spec.tag);
     out += ',';
-    AppendU64(out, "seed", result.seed);
+    AppendJsonU64(out, "seed", result.seed);
     out += ",\"ok\":true,";
-    AppendU64(out, "attempts", static_cast<uint64_t>(result.attempts));
+    AppendJsonU64(out, "attempts", static_cast<uint64_t>(result.attempts));
     out += ',';
-    AppendU64(out, "vm", v);
+    AppendJsonU64(out, "vm", v);
     out += ',';
-    AppendStr(out, "workload", vm.workload);
+    AppendJsonStr(out, "workload", vm.workload);
     out += ',';
-    AppendStr(out, "policy", vm.policy);
+    AppendJsonStr(out, "policy", vm.policy);
     out += ',';
-    AppendU64(out, "transactions", vm.transactions);
+    AppendJsonU64(out, "transactions", vm.transactions);
     out += ',';
-    AppendF64(out, "elapsed_s", vm.elapsed_s);
+    AppendJsonF64(out, "elapsed_s", vm.elapsed_s);
     out += ',';
-    AppendF64(out, "throughput_tps", vm.ThroughputTps());
+    AppendJsonF64(out, "throughput_tps", vm.ThroughputTps());
     out += ',';
-    AppendF64(out, "mgmt_cores", vm.MgmtCores());
+    AppendJsonF64(out, "mgmt_cores", vm.MgmtCores());
     out += ',';
-    AppendF64(out, "fmem_access_fraction", vm.fmem_access_fraction);
+    AppendJsonF64(out, "fmem_access_fraction", vm.fmem_access_fraction);
     out += ",\"tlb\":{";
-    AppendU64(out, "hits", vm.tlb.hits);
+    AppendJsonU64(out, "hits", vm.tlb.hits);
     out += ',';
-    AppendU64(out, "misses", vm.tlb.misses);
+    AppendJsonU64(out, "misses", vm.tlb.misses);
     out += ',';
-    AppendU64(out, "single_flushes", vm.tlb.single_flushes);
+    AppendJsonU64(out, "single_flushes", vm.tlb.single_flushes);
     out += ',';
-    AppendU64(out, "full_flushes", vm.tlb.full_flushes);
+    AppendJsonU64(out, "full_flushes", vm.tlb.full_flushes);
     out += "},\"stats\":{";
-    AppendU64(out, "accesses", vm.vm_stats.accesses);
+    AppendJsonU64(out, "accesses", vm.vm_stats.accesses);
     out += ',';
-    AppendU64(out, "writes", vm.vm_stats.writes);
+    AppendJsonU64(out, "writes", vm.vm_stats.writes);
     out += ',';
-    AppendU64(out, "guest_faults", vm.vm_stats.guest_faults);
+    AppendJsonU64(out, "guest_faults", vm.vm_stats.guest_faults);
     out += ',';
-    AppendU64(out, "ept_faults", vm.vm_stats.ept_faults);
+    AppendJsonU64(out, "ept_faults", vm.vm_stats.ept_faults);
     out += ',';
-    AppendU64(out, "fmem_accesses", vm.vm_stats.fmem_accesses);
+    AppendJsonU64(out, "fmem_accesses", vm.vm_stats.fmem_accesses);
     out += ',';
-    AppendU64(out, "smem_accesses", vm.vm_stats.smem_accesses);
+    AppendJsonU64(out, "smem_accesses", vm.vm_stats.smem_accesses);
     out += ',';
-    AppendU64(out, "pages_promoted", vm.vm_stats.pages_promoted);
+    AppendJsonU64(out, "pages_promoted", vm.vm_stats.pages_promoted);
     out += ',';
-    AppendU64(out, "pages_demoted", vm.vm_stats.pages_demoted);
+    AppendJsonU64(out, "pages_demoted", vm.vm_stats.pages_demoted);
     out += "},\"txn_latency_ns\":{";
-    AppendF64(out, "mean", vm.txn_latency_ns.Mean());
+    AppendJsonF64(out, "mean", vm.txn_latency_ns.Mean());
     out += ',';
-    AppendU64(out, "p50", vm.txn_latency_ns.Percentile(50));
+    AppendJsonU64(out, "p50", vm.txn_latency_ns.Percentile(50));
     out += ',';
-    AppendU64(out, "p90", vm.txn_latency_ns.Percentile(90));
+    AppendJsonU64(out, "p90", vm.txn_latency_ns.Percentile(90));
     out += ',';
-    AppendU64(out, "p99", vm.txn_latency_ns.Percentile(99));
+    AppendJsonU64(out, "p99", vm.txn_latency_ns.Percentile(99));
     out += ',';
-    AppendU64(out, "p999", vm.txn_latency_ns.Percentile(99.9));
+    AppendJsonU64(out, "p999", vm.txn_latency_ns.Percentile(99.9));
     out += ',';
-    AppendU64(out, "max", vm.txn_latency_ns.max());
-    out += "}}\n";
+    AppendJsonU64(out, "max", vm.txn_latency_ns.max());
+    out += "},\"metrics\":";
+    vm.metrics.AppendJson(out);
+    if (v == 0 && !result.host_metrics.empty()) {
+      // Host-side counters are machine-wide; emit them once per experiment.
+      out += ",\"host_metrics\":";
+      result.host_metrics.AppendJson(out);
+    }
+    out += "}\n";
   }
   return out;
 }

@@ -1,0 +1,62 @@
+#include "src/telemetry/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace demeter {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonKey(std::string& out, std::string_view key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void AppendJsonStr(std::string& out, std::string_view key, std::string_view value) {
+  AppendJsonKey(out, key);
+  out += '"';
+  AppendJsonEscaped(out, value);
+  out += '"';
+}
+
+void AppendJsonU64(std::string& out, std::string_view key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  AppendJsonKey(out, key);
+  out += buf;
+}
+
+void AppendJsonF64(std::string& out, std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  AppendJsonKey(out, key);
+  out += buf;
+}
+
+}  // namespace demeter

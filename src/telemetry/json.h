@@ -1,0 +1,37 @@
+// Minimal deterministic JSON emission helpers shared by the telemetry layer
+// and the runner's result sinks.
+//
+// All output is append-to-string: no allocation surprises, no locale
+// dependence, and fixed float formatting (%.9g) so identical inputs always
+// serialize to identical bytes — the property the runner's cross---jobs
+// determinism guarantee rests on.
+
+#ifndef DEMETER_SRC_TELEMETRY_JSON_H_
+#define DEMETER_SRC_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace demeter {
+
+// Appends `s` with JSON string escaping (quotes, backslash, control chars).
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+// Appends `"key":` (key must not need escaping — ASCII identifiers/paths).
+void AppendJsonKey(std::string& out, std::string_view key);
+
+// Appends `"key":"value"` with the value escaped.
+void AppendJsonStr(std::string& out, std::string_view key, std::string_view value);
+
+// Appends `"key":123`.
+void AppendJsonU64(std::string& out, std::string_view key, uint64_t value);
+
+// Appends `"key":1.5` with fixed %.9g formatting: deterministic for a given
+// build, compact, and more precision than any simulated metric is
+// meaningful to.
+void AppendJsonF64(std::string& out, std::string_view key, double value);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_TELEMETRY_JSON_H_

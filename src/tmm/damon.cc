@@ -114,6 +114,8 @@ void DamonPolicy::RunAggregation(Nanos now) {
   if (stopped_) {
     return;
   }
+  const uint64_t promoted_before = total_promoted_;
+  const uint64_t demoted_before = total_demoted_;
   double migrate_ns = 0.0;
   double classify_ns = static_cast<double>(regions_.size()) * 30.0;
   GuestKernel& kernel = vm_->kernel();
@@ -176,6 +178,8 @@ void DamonPolicy::RunAggregation(Nanos now) {
   vm_->vcpu(0).clock_ns += classify_ns + migrate_ns;
   vm_->mgmt_account().Charge(TmmStage::kClassification, static_cast<Nanos>(classify_ns));
   vm_->mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(migrate_ns));
+  TraceMigrationBatch(*vm_, name(), now, migrate_ns, total_promoted_ - promoted_before,
+                      total_demoted_ - demoted_before);
   vm_->host().events().Schedule(now + config_.aggregation_interval,
                                 [this, alive = alive_](Nanos fire) {
                                   if (*alive) {

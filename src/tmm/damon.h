@@ -47,6 +47,12 @@ class DamonPolicy : public TmmPolicy {
   const char* name() const override { return "damon"; }
   void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
 
+  void RegisterMetrics(MetricScope scope) override {
+    scope.RegisterCounter("probes", &probes_);
+    scope.RegisterCounter("pages_promoted", &total_promoted_);
+    scope.RegisterCounter("pages_demoted", &total_demoted_);
+  }
+
   struct Region {
     uint64_t start = 0;
     uint64_t end = 0;

@@ -21,6 +21,8 @@ void HTppPolicy::RunScan(Nanos now) {
     return;
   }
   ++scans_run_;
+  const uint64_t promoted_before = total_promoted_;
+  const uint64_t demoted_before = total_demoted_;
   double tracking_ns = 0.0;
   double classify_ns = 0.0;
   double migrate_ns = 0.0;
@@ -116,6 +118,8 @@ void HTppPolicy::RunScan(Nanos now) {
   vm_->mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(tracking_ns));
   vm_->mgmt_account().Charge(TmmStage::kClassification, static_cast<Nanos>(classify_ns));
   vm_->mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(migrate_ns));
+  TraceMigrationBatch(*vm_, name(), now, migrate_ns, total_promoted_ - promoted_before,
+                      total_demoted_ - demoted_before);
 
   ScheduleNext(now);
 }

@@ -37,6 +37,12 @@ class HTppPolicy : public TmmPolicy {
   const char* name() const override { return "tpp-h"; }
   void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
 
+  void RegisterMetrics(MetricScope scope) override {
+    scope.RegisterCounter("scans_run", &scans_run_);
+    scope.RegisterCounter("pages_promoted", &total_promoted_);
+    scope.RegisterCounter("pages_demoted", &total_demoted_);
+  }
+
   uint64_t scans_run() const { return scans_run_; }
   uint64_t total_promoted() const { return total_promoted_; }
   uint64_t total_demoted() const { return total_demoted_; }

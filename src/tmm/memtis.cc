@@ -83,6 +83,8 @@ void MemtisPolicy::RunClassify(Nanos now) {
   if (stopped_) {
     return;
   }
+  const uint64_t promoted_before = total_promoted_;
+  const uint64_t demoted_before = total_demoted_;
   double classify_ns = 0.0;
   double migrate_ns = 0.0;
   GuestKernel& kernel = vm_->kernel();
@@ -133,6 +135,8 @@ void MemtisPolicy::RunClassify(Nanos now) {
   vm_->vcpu(0).clock_ns += classify_ns + migrate_ns;
   vm_->mgmt_account().Charge(TmmStage::kClassification, static_cast<Nanos>(classify_ns));
   vm_->mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(migrate_ns));
+  TraceMigrationBatch(*vm_, name(), now, migrate_ns, total_promoted_ - promoted_before,
+                      total_demoted_ - demoted_before);
   vm_->host().events().Schedule(now + config_.classify_period,
                                 [this, alive = alive_](Nanos fire) {
                                   if (*alive) {

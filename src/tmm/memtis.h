@@ -39,6 +39,12 @@ class MemtisPolicy : public TmmPolicy {
   const char* name() const override { return "memtis"; }
   void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
 
+  void RegisterMetrics(MetricScope scope) override {
+    scope.RegisterCounter("samples_processed", &samples_processed_);
+    scope.RegisterCounter("pages_promoted", &total_promoted_);
+    scope.RegisterCounter("pages_demoted", &total_demoted_);
+  }
+
   uint64_t total_promoted() const { return total_promoted_; }
   uint64_t total_demoted() const { return total_demoted_; }
   uint64_t samples_processed() const { return samples_processed_; }

@@ -36,6 +36,12 @@ class NomadPolicy : public TmmPolicy {
   const char* name() const override { return "nomad"; }
   void Attach(Vm& vm, GuestProcess& process, Nanos start) override;
 
+  void RegisterMetrics(MetricScope scope) override {
+    scope.RegisterCounter("transaction_aborts", &transaction_aborts_);
+    scope.RegisterCounter("pages_promoted", &total_promoted_);
+    scope.RegisterCounter("pages_demoted", &total_demoted_);
+  }
+
   uint64_t total_promoted() const { return total_promoted_; }
   uint64_t total_demoted() const { return total_demoted_; }
   uint64_t transaction_aborts() const { return transaction_aborts_; }

@@ -170,6 +170,72 @@ TEST(Histogram, RecordNWeights) {
   EXPECT_GT(h.Percentile(100), 1000u);
 }
 
+TEST(Histogram, SubBucketShiftMatchesSubBuckets) {
+  static_assert(1 << Histogram::kSubBucketShift == Histogram::kSubBuckets);
+  EXPECT_EQ(1 << Histogram::kSubBucketShift, Histogram::kSubBuckets);
+}
+
+// Regression: Percentile used to return the raw bucket upper edge, which can
+// exceed the largest recorded value (and p=0 returned a bucket edge above
+// min). Queries must never leave [min, max].
+TEST(Histogram, PercentileClampedToRecordedRange) {
+  Histogram h;
+  h.Record(100);
+  // Single sample: every percentile is that sample.
+  EXPECT_EQ(h.Percentile(0), 100u);
+  EXPECT_EQ(h.Percentile(50), 100u);
+  EXPECT_EQ(h.Percentile(100), 100u);
+}
+
+TEST(Histogram, PercentileZeroIsMin) {
+  Histogram h;
+  h.Record(7);
+  h.Record(1000);
+  EXPECT_EQ(h.Percentile(0), 7u);
+}
+
+TEST(Histogram, PercentileTwoExtremeSamples) {
+  Histogram h;
+  h.Record(7);
+  h.Record(1000);
+  // p=100 lands in 1000's bucket, whose upper edge (1023) is beyond the
+  // recorded max; the clamp must report 1000.
+  EXPECT_EQ(h.Percentile(100), 1000u);
+  // Every percentile stays inside the recorded range.
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.9, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, 7u) << "p=" << p;
+    EXPECT_LE(v, 1000u) << "p=" << p;
+  }
+}
+
+// Regression: RecordN computed value * count in plain uint64 arithmetic, so
+// large weighted records silently wrapped sum(); it now saturates.
+TEST(Histogram, RecordNSaturatesSumNearUint64Max) {
+  Histogram h;
+  const uint64_t big = ~0ULL / 2 + 1;  // 2^63: big * 2 wraps to 0.
+  h.RecordN(big, 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), ~0ULL) << "overflowing weighted sum must saturate, not wrap";
+  EXPECT_EQ(h.max(), big);
+  // Accumulation across calls saturates too.
+  h.Record(1);
+  EXPECT_EQ(h.sum(), ~0ULL);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, MergeSaturatesInsteadOfWrapping) {
+  Histogram a;
+  Histogram b;
+  a.RecordN(~0ULL, 1);  // sum_ == UINT64_MAX already.
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), ~0ULL);
+  EXPECT_EQ(a.max(), ~0ULL);
+  EXPECT_EQ(a.min(), 1000u);
+}
+
 TEST(RunningStat, MeanAndVariance) {
   RunningStat s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {

@@ -30,7 +30,11 @@ TEST(TlbColdWalk, RewarmsAfterCapacityMisses) {
   EXPECT_DOUBLE_EQ(tlb.ConsumeWalkFactor(), 1.0);
 }
 
-TEST(TlbColdWalk, BackToBackFlushesStackUpToBound) {
+TEST(TlbColdWalk, BackToBackFlushesResetRatherThanStack) {
+  // Regression (inverted): budgets used to stack across flushes, charging up
+  // to 4x capacity cold walks after a flush burst. A flush empties the TLB;
+  // rewarming it costs exactly `capacity` walks no matter how many flushes
+  // preceded it.
   Tlb tlb(2, 2);
   for (int i = 0; i < 100; ++i) {
     tlb.InvalidateAll();
@@ -39,7 +43,8 @@ TEST(TlbColdWalk, BackToBackFlushesStackUpToBound) {
   while (tlb.ConsumeWalkFactor() > 1.0) {
     ++cold;
   }
-  EXPECT_EQ(cold, 4 * tlb.capacity()) << "stacking is capped at 4x capacity";
+  EXPECT_EQ(cold, static_cast<int>(tlb.capacity()))
+      << "repeated InvalidateAll must restart the rewarm window, not extend it";
 }
 
 TEST(TlbColdWalk, SingleFlushDoesNotCool) {

@@ -151,6 +151,47 @@ TEST(Machine, SiloLatencyPercentilesPopulated) {
   EXPECT_GT(lat.Percentile(99), lat.Percentile(50));
 }
 
+TEST(Machine, MetricsRegistryPopulatedAfterRun) {
+  MachineConfig config = SmallHost();
+  Machine machine(config);
+  const int i = machine.AddVm(SmallVm(PolicyKind::kDemeter));
+  machine.Run();
+
+  const MetricSnapshot snap = machine.SnapshotMetrics();
+  // Registry values are views over the same cells the legacy accessors read.
+  EXPECT_EQ(snap.CounterValue("vm0/stats/accesses"), machine.result(i).vm_stats.accesses);
+  EXPECT_EQ(snap.CounterValue("vm0/tlb/misses"), machine.result(i).tlb.misses);
+  EXPECT_GT(snap.CounterValue("vm0/vcpu0/tlb/hits"), 0u);
+  EXPECT_GT(snap.CounterValue("vm0/vcpu0/pebs/events_counted"), 0u);
+  EXPECT_GT(snap.CounterValue("vm0/policy/epochs_run"), 0u);
+  EXPECT_GT(snap.CounterValue("vm0/mgmt/total_ns"), 0u);
+  EXPECT_GT(snap.CounterValue("host/hyper/ept_populates"), 0u);
+  const MetricSample* walk = snap.Find("vm0/mmu/walk_cost_ns");
+  ASSERT_NE(walk, nullptr);
+  EXPECT_GT(walk->distribution.count, 0u);
+
+  // Per-VM result snapshots are the vm0/ slice with the prefix stripped.
+  EXPECT_EQ(machine.result(i).metrics.CounterValue("stats/accesses"),
+            machine.result(i).vm_stats.accesses);
+}
+
+TEST(Machine, TraceCaptureRecordsEventsWithoutChangingResults) {
+  double elapsed[2];
+  size_t events = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    MachineConfig config = SmallHost();
+    config.capture_trace = pass == 1;
+    Machine machine(config);
+    const int i = machine.AddVm(SmallVm(PolicyKind::kDemeter));
+    machine.Run();
+    elapsed[pass] = machine.result(i).elapsed_s;
+    events = machine.TakeTrace().size();
+  }
+  // Tracing is pure observability: identical simulation either way.
+  EXPECT_DOUBLE_EQ(elapsed[0], elapsed[1]);
+  EXPECT_GT(events, 0u) << "enabled tracer should have captured migration/PMI events";
+}
+
 TEST(Machine, PolicyNamesRoundTrip) {
   for (PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kDemeter, PolicyKind::kTpp,
                           PolicyKind::kHTpp, PolicyKind::kMemtis, PolicyKind::kNomad}) {

@@ -235,6 +235,47 @@ TEST(Tlb, CapacityEvictsLru) {
   EXPECT_GT(resident, 0);
 }
 
+TEST(Tlb, ColdWalkBudgetMatchesCapacity) {
+  Tlb tlb(/*num_sets=*/2, /*ways=*/2);
+  tlb.InvalidateAll();
+  // Exactly capacity() misses pay the cold-walk multiplier, then it decays.
+  for (int i = 0; i < tlb.capacity(); ++i) {
+    EXPECT_GT(tlb.ConsumeWalkFactor(), 1.0) << "miss " << i;
+  }
+  EXPECT_DOUBLE_EQ(tlb.ConsumeWalkFactor(), 1.0);
+}
+
+// Regression: back-to-back full invalidations (chunked MMU-notifier scans
+// issue one invept per chunk) used to STACK the cold-walk budget — 4 flushes
+// charged 4x capacity of cold walks. Already-cold paging-structure caches
+// cannot get colder; a repeat flush only restarts the rewarm window, so the
+// budget must reset to one capacity.
+TEST(Tlb, RepeatedInvalidateAllResetsColdWalkBudget) {
+  Tlb tlb(/*num_sets=*/2, /*ways=*/2);
+  for (int flush = 0; flush < 4; ++flush) {
+    tlb.InvalidateAll();
+  }
+  uint64_t cold = 0;
+  while (tlb.ConsumeWalkFactor() > 1.0) {
+    ++cold;
+    ASSERT_LE(cold, static_cast<uint64_t>(4 * tlb.capacity())) << "budget never drained";
+  }
+  EXPECT_EQ(cold, static_cast<uint64_t>(tlb.capacity()));
+}
+
+TEST(Tlb, InvalidateAllMidRewarmRestartsWindow) {
+  Tlb tlb(/*num_sets=*/2, /*ways=*/2);
+  tlb.InvalidateAll();
+  // Partially rewarm, then flush again: the full budget returns (reset), not
+  // the partial remainder plus another capacity (stack).
+  EXPECT_GT(tlb.ConsumeWalkFactor(), 1.0);
+  tlb.InvalidateAll();
+  for (int i = 0; i < tlb.capacity(); ++i) {
+    EXPECT_GT(tlb.ConsumeWalkFactor(), 1.0) << "miss " << i;
+  }
+  EXPECT_DOUBLE_EQ(tlb.ConsumeWalkFactor(), 1.0);
+}
+
 TEST(Tlb, StatsMerge) {
   TlbStats a;
   TlbStats b;

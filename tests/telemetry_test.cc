@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/tracer.h"
+
+namespace demeter {
+namespace {
+
+// ---- JSON helpers -----------------------------------------------------------
+
+TEST(Json, EscapesSpecials) {
+  std::string out;
+  AppendJsonEscaped(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+TEST(Json, KeyValueForms) {
+  std::string out;
+  out += '{';
+  AppendJsonStr(out, "s", "v");
+  out += ',';
+  AppendJsonU64(out, "u", 18446744073709551615ULL);
+  out += ',';
+  AppendJsonF64(out, "f", 0.25);
+  out += '}';
+  EXPECT_EQ(out, "{\"s\":\"v\",\"u\":18446744073709551615,\"f\":0.25}");
+}
+
+// ---- MetricRegistry ---------------------------------------------------------
+
+TEST(MetricRegistry, OwnedCounterGaugeDistribution) {
+  MetricRegistry registry;
+  uint64_t& c = registry.Counter("a/count");
+  double& g = registry.Gauge("a/level");
+  Histogram& d = registry.Distribution("a/latency");
+  c += 3;
+  g = 1.5;
+  d.Record(100);
+
+  // Get-or-create returns the same storage.
+  EXPECT_EQ(&registry.Counter("a/count"), &c);
+  registry.Counter("a/count") += 1;
+
+  const MetricSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("a/count"), 4u);
+  const MetricSample* level = snap.Find("a/level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(level->gauge, 1.5);
+  const MetricSample* latency = snap.Find("a/latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->kind, MetricKind::kDistribution);
+  EXPECT_EQ(latency->distribution.count, 1u);
+  EXPECT_EQ(latency->distribution.min, 100u);
+}
+
+TEST(MetricRegistry, RegisteredViewsReadThrough) {
+  MetricRegistry registry;
+  uint64_t hits = 0;
+  double level = 0.0;
+  Histogram hist;
+  registry.RegisterCounter("tlb/hits", &hits);
+  registry.RegisterGauge("mem/level", &level);
+  registry.RegisterDistribution("walk", &hist);
+  registry.RegisterCounterFn("derived", [&hits] { return hits * 2; });
+
+  // Mutate through the subsystem's own storage — the legacy `++field` path.
+  hits = 7;
+  level = 0.5;
+  hist.Record(42);
+
+  const MetricSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("tlb/hits"), 7u);
+  EXPECT_EQ(snap.CounterValue("derived"), 14u);
+  EXPECT_DOUBLE_EQ(snap.Find("mem/level")->gauge, 0.5);
+  EXPECT_EQ(snap.Find("walk")->distribution.count, 1u);
+}
+
+TEST(MetricRegistry, SnapshotIsNameSorted) {
+  MetricRegistry registry;
+  registry.Counter("z");
+  registry.Counter("a/b");
+  registry.Counter("a");
+  registry.Counter("m");
+  const MetricSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap.samples()[i - 1].name, snap.samples()[i].name);
+  }
+}
+
+TEST(MetricScope, PrefixesCompose) {
+  MetricRegistry registry;
+  MetricScope root(&registry, "vm0");
+  MetricScope tlb = root.Sub("tlb");
+  EXPECT_EQ(tlb.Name("hits"), "vm0/tlb/hits");
+  tlb.Counter("hits") = 5;
+  EXPECT_EQ(registry.Snapshot().CounterValue("vm0/tlb/hits"), 5u);
+}
+
+TEST(MetricSnapshot, DiffSubtractsCountersSaturating) {
+  MetricRegistry registry;
+  uint64_t& c = registry.Counter("ops");
+  registry.Gauge("level") = 3.0;
+  c = 10;
+  const MetricSnapshot before = registry.Snapshot();
+  c = 25;
+  registry.Gauge("level") = 9.0;
+  const MetricSnapshot after = registry.Snapshot();
+
+  const MetricSnapshot diff = after.Diff(before);
+  EXPECT_EQ(diff.CounterValue("ops"), 15u);
+  // Gauges keep their current value — they are not accumulative.
+  EXPECT_DOUBLE_EQ(diff.Find("level")->gauge, 9.0);
+
+  // A reset (smaller current than earlier) saturates to zero, not 2^64-ish.
+  const MetricSnapshot regressed = before.Diff(after);
+  EXPECT_EQ(regressed.CounterValue("ops"), 0u);
+}
+
+TEST(MetricSnapshot, FilterPrefixStrips) {
+  MetricRegistry registry;
+  registry.Counter("vm0/tlb/hits") = 1;
+  registry.Counter("vm0/stats/ops") = 2;
+  registry.Counter("vm1/tlb/hits") = 3;
+  registry.Counter("host/populates") = 4;
+
+  const MetricSnapshot vm0 = registry.Snapshot().FilterPrefix("vm0/", /*strip=*/true);
+  EXPECT_EQ(vm0.size(), 2u);
+  EXPECT_EQ(vm0.CounterValue("tlb/hits"), 1u);
+  EXPECT_EQ(vm0.CounterValue("stats/ops"), 2u);
+  EXPECT_EQ(vm0.Find("vm1/tlb/hits"), nullptr);
+}
+
+TEST(MetricSnapshot, JsonIsStableAndTyped) {
+  MetricRegistry registry;
+  registry.Counter("b/count") = 2;
+  registry.Gauge("a/level") = 0.5;
+  Histogram& h = registry.Distribution("c/lat");
+  h.Record(10);
+  h.Record(1000);
+
+  const std::string json = registry.Snapshot().ToJson();
+  // Name-sorted keys; counters as integers, gauges as floats, distributions
+  // as nested objects.
+  EXPECT_EQ(json.find("{\"a/level\":0.5,\"b/count\":2,\"c/lat\":{"), 0u) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos);
+  // Byte-identical across snapshots of the same state.
+  EXPECT_EQ(json, registry.Snapshot().ToJson());
+}
+
+TEST(DistributionSummary, FromHistogramQuantiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  const DistributionSummary s = DistributionSummary::FromHistogram(h);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_NEAR(static_cast<double>(s.p50), 500.0, 500.0 / Histogram::kSubBuckets + 1);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_GE(s.p99, s.p90);
+  EXPECT_GE(s.p90, s.p50);
+  EXPECT_LE(s.p999, s.max);
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;
+  tracer.Instant("cat", "event", 100, 0, 0);
+  tracer.Span("cat", "span", 100, 50.0, 0, 0);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, RecordsInstantsAndSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Instant("tlb", "full_flush", 100, /*pid=*/1, /*tid=*/0,
+                 TraceArgs().Add("vcpus", uint64_t{2}).str());
+  tracer.Span("tmm", "demeter", 200, 50.5, /*pid=*/1, /*tid=*/0);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].phase, 'i');
+  EXPECT_EQ(tracer.events()[0].args, "\"vcpus\":2");
+  EXPECT_EQ(tracer.events()[1].phase, 'X');
+  EXPECT_DOUBLE_EQ(tracer.events()[1].dur_ns, 50.5);
+}
+
+TEST(Tracer, BoundedWithDropCount) {
+  Tracer tracer(/*max_events=*/3);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant("cat", "e", i, 0, 0);
+  }
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+}
+
+TEST(Tracer, TakeEventsMovesOut) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Instant("cat", "e", 1, 0, 0);
+  const std::vector<TraceEvent> events = tracer.TakeEvents();
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(ChromeTrace, JsonShapeAndPidRebase) {
+  Tracer a;
+  a.set_enabled(true);
+  a.Instant("tlb", "full_flush", 1500, /*pid=*/0, /*tid=*/1);
+  a.Span("tmm", "tpp", 2000, 250.0, /*pid=*/1, /*tid=*/0,
+         TraceArgs().Add("promoted", uint64_t{4}).str());
+  Tracer b;
+  b.set_enabled(true);
+  b.Instant("pebs", "pmi_drain", 3000, /*pid=*/0, /*tid=*/0);
+
+  const std::vector<TraceEvent> ea = a.TakeEvents();
+  const std::vector<TraceEvent> eb = b.TakeEvents();
+  const std::string json =
+      ChromeTraceJson({NamedTrace{"spec-a", &ea}, NamedTrace{"spec-b", &eb}});
+
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":"), 0u) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Process metadata names each (trace, pid) lane.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("spec-a/vm1"), std::string::npos);
+  // Second trace's pid 0 is rebased into its own block.
+  const std::string rebased = "\"pid\":" + std::to_string(kTracePidStride);
+  EXPECT_NE(json.find(rebased), std::string::npos) << json;
+  // Phases and timestamps (microseconds: 1500 ns -> 1.500).
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  // Balanced braces/brackets (cheap structural validity check; the CI smoke
+  // job additionally parses real output with a JSON parser).
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTrace, EmptyTraceListIsValid) {
+  const std::string json = ChromeTraceJson({});
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":"), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace demeter
