@@ -12,6 +12,10 @@
 //   --jobs=N      worker threads for runner-based benches (default: all cores)
 //   --out=FILE    also write results as JSON lines to FILE
 //   --trace=FILE  write a Chrome trace_event JSON trace of every run to FILE
+//   --faults=SPEC inject the given fault schedule into every machine
+//                 (see FaultPlan::Parse for the SPEC grammar)
+//   --check       audit cross-layer invariants during every run (abort on
+//                 violation); observability-only, results are unchanged
 //   --help        print usage and exit
 
 #ifndef DEMETER_BENCH_COMMON_H_
@@ -22,6 +26,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/fault/fault.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/runner.h"
 
@@ -46,15 +51,21 @@ struct BenchScale {
   int jobs = 0;               // <= 0: hardware_concurrency.
   std::string out;            // JSON-lines output path; empty = none.
   std::string trace;          // Chrome trace output path; empty = no tracing.
+  FaultPlan faults;           // --faults; empty = fault-free.
+  bool check_invariants = false;  // --check.
 
   static void Usage(const char* prog, std::FILE* stream) {
     std::fprintf(stream,
-                 "usage: %s [--full] [--smoke] [--jobs=N] [--out=FILE] [--trace=FILE] [--help]\n"
-                 "  --full        paper-scale (slower) configuration\n"
-                 "  --smoke       tiny CI configuration (completes in seconds)\n"
-                 "  --jobs=N      parallel experiment jobs (default: all cores)\n"
-                 "  --out=FILE    also write JSON-lines results to FILE\n"
-                 "  --trace=FILE  write Chrome trace_event JSON to FILE\n",
+                 "usage: %s [--full] [--smoke] [--jobs=N] [--out=FILE] [--trace=FILE]\n"
+                 "          [--faults=SPEC] [--check] [--help]\n"
+                 "  --full         paper-scale (slower) configuration\n"
+                 "  --smoke        tiny CI configuration (completes in seconds)\n"
+                 "  --jobs=N       parallel experiment jobs (default: all cores)\n"
+                 "  --out=FILE     also write JSON-lines results to FILE\n"
+                 "  --trace=FILE   write Chrome trace_event JSON to FILE\n"
+                 "  --faults=SPEC  inject a fault schedule, e.g.\n"
+                 "                 'bdrop=0.1,stall=5ms/50ms,vqcap=8' (see src/fault)\n"
+                 "  --check        audit cross-layer invariants every quantum\n",
                  prog);
   }
 
@@ -113,6 +124,16 @@ struct BenchScale {
           std::exit(2);
         }
         std::fclose(probe);
+      } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+        std::string error;
+        const std::optional<FaultPlan> plan = FaultPlan::Parse(arg + 9, &error);
+        if (!plan.has_value()) {
+          std::fprintf(stderr, "%s: bad --faults spec: %s\n", argv[0], error.c_str());
+          std::exit(2);
+        }
+        scale.faults = *plan;
+      } else if (std::strcmp(arg, "--check") == 0) {
+        scale.check_invariants = true;
       } else if (std::strcmp(arg, "--help") == 0) {
         Usage(argv[0], stdout);
         std::exit(0);
@@ -150,8 +171,11 @@ inline MachineConfig HostFor(const BenchScale& scale, int num_vms,
                                                  ? TierSpec::Pmem(smem_bytes)
                                                  : TierSpec::RemoteDram(smem_bytes)};
   // Observability only — excluded from the spec content hash, so results
-  // are identical with or without --trace.
+  // are identical with or without --trace / --check.
   config.capture_trace = !scale.trace.empty();
+  config.check_invariants = scale.check_invariants;
+  // Faults change behaviour and fold into the hash when non-empty.
+  config.faults = scale.faults;
   return config;
 }
 

@@ -43,6 +43,11 @@ DemeterBalloon::DemeterBalloon(Vm* vm, BalloonCosts costs)
       held.push_back(gpa);
     }
   }
+  fault_ = vm->host().fault_injector();
+  armed_ = fault_ != nullptr && fault_->active();
+  if (armed_ && fault_->plan().vq_capacity > 0) {
+    request_queue_.set_capacity(fault_->plan().vq_capacity);
+  }
 }
 
 void DemeterBalloon::RequestDelta(int node, int64_t delta_pages, Nanos now,
@@ -57,12 +62,99 @@ void DemeterBalloon::RequestDelta(int node, int64_t delta_pages, Nanos now,
   request.request_id = next_request_id_++;
   request.node = node;
   request.delta_pages = delta_pages;
+  if (armed_) {
+    if (inflight_ >= costs_.resilience.max_inflight) {
+      ++stats_.deferred;
+      deferred_.emplace_back(request, std::move(callback));
+      return;
+    }
+    StartRequest(request, std::move(callback), now);
+    return;
+  }
   ++stats_.requests;
   ++inflight_;
   if (callback) {
     pending_callbacks_.emplace_back(request.request_id, std::move(callback));
   }
   request_queue_.Push(request, now);
+}
+
+void DemeterBalloon::StartRequest(BalloonRequest request, CompletionCallback callback, Nanos now) {
+  ++stats_.requests;
+  ++inflight_;
+  PendingRequest pending;
+  pending.request = request;
+  pending.callback = std::move(callback);
+  pending_.push_back(std::move(pending));
+  SendWire(request.request_id, now);
+}
+
+void DemeterBalloon::SendWire(uint64_t request_id, Nanos now) {
+  for (PendingRequest& p : pending_) {
+    if (p.request.request_id != request_id) {
+      continue;
+    }
+    double ignored_cost = 0.0;
+    if (!request_queue_.TryPush(p.request, now, &ignored_cost)) {
+      // Ring full: the kick is refused and this attempt is lost on the
+      // floor; the timeout below retransmits. Charged nowhere — the
+      // doorbell write never left the core.
+      fault_->Count(FaultSite::kVirtqueueFull, vm_->id());
+    }
+    // Exponential backoff: timeout * backoff^(attempts-1), computed by
+    // repeated multiplication for cross-platform determinism.
+    double delay = static_cast<double>(costs_.resilience.request_timeout_ns);
+    for (int i = 1; i < p.attempts; ++i) {
+      delay *= costs_.resilience.backoff;
+    }
+    p.timeout_event = vm_->host().events().Schedule(
+        now + static_cast<Nanos>(delay),
+        [this, request_id](Nanos fire) { OnRequestTimeout(request_id, fire); });
+    return;
+  }
+}
+
+void DemeterBalloon::OnRequestTimeout(uint64_t request_id, Nanos now) {
+  auto it = pending_.begin();
+  for (; it != pending_.end(); ++it) {
+    if (it->request.request_id == request_id) {
+      break;
+    }
+  }
+  if (it == pending_.end()) {
+    return;  // Completed between timer fire and delivery.
+  }
+  ++stats_.timeouts;
+  if (it->attempts > costs_.resilience.max_retries) {
+    // Give up: synthesize a timed-out completion so the policy layer can
+    // observe the failure instead of waiting forever.
+    ++stats_.abandoned;
+    BalloonCompletion completion;
+    completion.request_id = request_id;
+    completion.node = it->request.node;
+    completion.inflate = it->request.delta_pages > 0;
+    completion.timed_out = true;
+    auto callback = std::move(it->callback);
+    pending_.erase(it);
+    DEMETER_CHECK_GT(inflight_, 0u);
+    --inflight_;
+    if (callback) {
+      callback(completion, now);
+    }
+    PumpDeferred(now);
+    return;
+  }
+  ++it->attempts;
+  ++stats_.retries;
+  SendWire(request_id, now);
+}
+
+void DemeterBalloon::PumpDeferred(Nanos now) {
+  while (!deferred_.empty() && inflight_ < costs_.resilience.max_inflight) {
+    auto [request, callback] = std::move(deferred_.front());
+    deferred_.pop_front();
+    StartRequest(request, std::move(callback), now);
+  }
 }
 
 void DemeterBalloon::RequestResizeTo(int node, uint64_t target_present_pages, Nanos now,
@@ -92,6 +184,40 @@ bool DemeterBalloon::DemoteOnePage(int node, Nanos now) {
 }
 
 void DemeterBalloon::HandleRequest(BalloonRequest request, Nanos now) {
+  if (armed_) {
+    // Delivery-side faults, in severity order. A crashed guest loses the
+    // request outright; a stalled one services it when the window ends.
+    if (fault_->InCrashWindow(now)) {
+      fault_->Count(FaultSite::kGuestCrash, vm_->id());
+      return;
+    }
+    if (fault_->ShouldInject(FaultSite::kBalloonDrop, vm_->id())) {
+      return;
+    }
+    if (fault_->InStallWindow(now)) {
+      fault_->Count(FaultSite::kGuestStall, vm_->id());
+      vm_->host().events().Schedule(
+          fault_->StallWindowEnd(now),
+          [this, request](Nanos fire) mutable { ProcessRequest(std::move(request), fire); });
+      return;
+    }
+    if (fault_->ShouldInject(FaultSite::kBalloonDelay, vm_->id())) {
+      vm_->host().events().Schedule(
+          now + fault_->plan().balloon_delay_ns,
+          [this, request](Nanos fire) mutable { ProcessRequest(std::move(request), fire); });
+      return;
+    }
+  }
+  ProcessRequest(std::move(request), now);
+}
+
+void DemeterBalloon::ProcessRequest(BalloonRequest request, Nanos now) {
+  if (armed_ && !processed_ids_.insert(request.request_id).second) {
+    // A retransmit of a request this driver already executed (the original
+    // was merely slow, not lost). Idempotence: drop it.
+    ++stats_.duplicates_ignored;
+    return;
+  }
   // Guest driver context: dispatch the actual reservation/restoration to the
   // workqueue (modelled as an extra per-page delay before completion).
   GuestKernel& kernel = vm_->kernel();
@@ -140,10 +266,7 @@ void DemeterBalloon::HandleRequest(BalloonRequest request, Nanos now) {
                                 });
 }
 
-void DemeterBalloon::HandleCompletion(BalloonCompletion completion, Nanos now) {
-  ++stats_.completions;
-  DEMETER_CHECK_GT(inflight_, 0u);
-  --inflight_;
+void DemeterBalloon::ApplyCompletionPages(const BalloonCompletion& completion, Nanos now) {
   Tracer* tracer = vm_->host().tracer();
   if (tracer != nullptr && tracer->enabled()) {
     tracer->Instant("balloon", completion.inflate ? "inflate" : "deflate", now, vm_->id(), 0,
@@ -165,6 +288,41 @@ void DemeterBalloon::HandleCompletion(BalloonCompletion completion, Nanos now) {
     // Deflated pages are backed lazily on next guest touch.
     stats_.pages_deflated += completion.pages.size();
   }
+}
+
+void DemeterBalloon::HandleCompletion(BalloonCompletion completion, Nanos now) {
+  if (armed_) {
+    auto it = pending_.begin();
+    for (; it != pending_.end(); ++it) {
+      if (it->request.request_id == completion.request_id) {
+        break;
+      }
+    }
+    if (it == pending_.end()) {
+      // The host already abandoned this request; the guest-side page
+      // movement still happened, so apply the host-side effects to keep
+      // frame accounting conserved, but fire no callback.
+      ++stats_.stale_completions;
+      ApplyCompletionPages(completion, now);
+      return;
+    }
+    ++stats_.completions;
+    vm_->host().events().Cancel(it->timeout_event);
+    auto callback = std::move(it->callback);
+    pending_.erase(it);
+    DEMETER_CHECK_GT(inflight_, 0u);
+    --inflight_;
+    ApplyCompletionPages(completion, now);
+    if (callback) {
+      callback(completion, now);
+    }
+    PumpDeferred(now);
+    return;
+  }
+  ++stats_.completions;
+  DEMETER_CHECK_GT(inflight_, 0u);
+  --inflight_;
+  ApplyCompletionPages(completion, now);
   for (auto it = pending_callbacks_.begin(); it != pending_callbacks_.end(); ++it) {
     if (it->first == completion.request_id) {
       auto callback = std::move(it->second);
@@ -202,6 +360,11 @@ VirtioBalloon::VirtioBalloon(Vm* vm, BalloonCosts costs)
   completion_queue_.set_consumer([this](BalloonCompletion completion, Nanos now) {
     HandleCompletion(std::move(completion), now);
   });
+  fault_ = vm->host().fault_injector();
+  armed_ = fault_ != nullptr && fault_->active();
+  if (armed_ && fault_->plan().vq_capacity > 0) {
+    request_queue_.set_capacity(fault_->plan().vq_capacity);
+  }
 }
 
 void VirtioBalloon::RequestDelta(int64_t delta_pages, Nanos now) {
@@ -212,10 +375,49 @@ void VirtioBalloon::RequestDelta(int64_t delta_pages, Nanos now) {
   request.request_id = next_request_id_++;
   request.delta_pages = delta_pages;
   ++stats_.requests;
+  if (armed_) {
+    double ignored_cost = 0.0;
+    if (!request_queue_.TryPush(request, now, &ignored_cost)) {
+      // No retry machinery in the classic balloon: a refused kick is a lost
+      // request, which is exactly the wedging Demeter's resilience avoids.
+      fault_->Count(FaultSite::kVirtqueueFull, vm_->id());
+    }
+    return;
+  }
   request_queue_.Push(request, now);
 }
 
 void VirtioBalloon::HandleRequest(BalloonRequest request, Nanos now) {
+  if (armed_) {
+    if (fault_->InCrashWindow(now)) {
+      fault_->Count(FaultSite::kGuestCrash, vm_->id());
+      return;
+    }
+    if (fault_->ShouldInject(FaultSite::kBalloonDrop, vm_->id())) {
+      return;
+    }
+    if (fault_->InStallWindow(now)) {
+      fault_->Count(FaultSite::kGuestStall, vm_->id());
+      vm_->host().events().Schedule(
+          fault_->StallWindowEnd(now),
+          [this, request](Nanos fire) mutable { ProcessRequest(std::move(request), fire); });
+      return;
+    }
+    if (fault_->ShouldInject(FaultSite::kBalloonDelay, vm_->id())) {
+      vm_->host().events().Schedule(
+          now + fault_->plan().balloon_delay_ns,
+          [this, request](Nanos fire) mutable { ProcessRequest(std::move(request), fire); });
+      return;
+    }
+  }
+  ProcessRequest(std::move(request), now);
+}
+
+void VirtioBalloon::ProcessRequest(BalloonRequest request, Nanos now) {
+  if (armed_ && !processed_ids_.insert(request.request_id).second) {
+    ++stats_.duplicates_ignored;
+    return;
+  }
   GuestKernel& kernel = vm_->kernel();
   BalloonCompletion completion;
   completion.request_id = request.request_id;

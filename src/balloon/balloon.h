@@ -26,20 +26,34 @@
 #define DEMETER_SRC_BALLOON_BALLOON_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/base/units.h"
+#include "src/fault/fault.h"
 #include "src/hyper/hypervisor.h"
 #include "src/hyper/vm.h"
 #include "src/virtio/virtqueue.h"
 
 namespace demeter {
 
+// Host-side request resilience knobs. Only exercised when the Machine runs
+// with a fault plan (the armed path); fault-free runs never start timers.
+struct BalloonResilience {
+  Nanos request_timeout_ns = 1 * kMillisecond;  // Before first retransmit.
+  double backoff = 2.0;                         // Timeout multiplier per retry.
+  int max_retries = 4;                          // Retransmits before giving up.
+  uint64_t max_inflight = 4;                    // Window; excess requests queue.
+};
+
 struct BalloonCosts {
   double driver_work_per_page_ns = 120.0;  // Guest workqueue per-page work.
   double host_work_per_page_ns = 60.0;     // EPT unmap / free per page.
   VirtqueueCosts queue;
+  BalloonResilience resilience;
 };
 
 struct BalloonRequest {
@@ -52,6 +66,7 @@ struct BalloonCompletion {
   uint64_t request_id = 0;
   int node = 0;
   bool inflate = false;
+  bool timed_out = false;      // Synthesized by the host after giving up.
   std::vector<PageNum> pages;  // Taken (inflate) or restored (deflate).
 };
 
@@ -74,6 +89,13 @@ struct BalloonStats {
   uint64_t pages_deflated = 0;
   uint64_t pages_short = 0;  // Requested but not obtainable (partial fill).
   uint64_t demotions_for_inflate = 0;
+  // Resilience counters; only non-zero (and only registered) when armed.
+  uint64_t retries = 0;             // Retransmissions after a timeout.
+  uint64_t timeouts = 0;            // Timer expiries (includes final one).
+  uint64_t abandoned = 0;           // Requests given up after max_retries.
+  uint64_t deferred = 0;            // Requests held back by the window.
+  uint64_t duplicates_ignored = 0;  // Guest-side dedup of retransmits.
+  uint64_t stale_completions = 0;   // Completions for abandoned requests.
 };
 
 // ---- Demeter double balloon -------------------------------------------------
@@ -101,8 +123,13 @@ class DemeterBalloon {
   uint64_t inflight() const { return inflight_; }
   const BalloonStats& stats() const { return stats_; }
 
+  // Pages the balloon driver currently holds out of `node` (its boot-time
+  // holdings plus inflations, minus deflations).
+  uint64_t held_pages(int node) const { return held_pages_[static_cast<size_t>(node)].size(); }
+
   // Registers balloon counters under `scope` (the harness passes
-  // "vm<i>/balloon").
+  // "vm<i>/balloon"). Resilience counters exist only on armed (faulted)
+  // runs, keeping fault-free metric output unchanged.
   void RegisterMetrics(MetricScope scope) {
     scope.RegisterCounter("requests", &stats_.requests);
     scope.RegisterCounter("completions", &stats_.completions);
@@ -110,11 +137,37 @@ class DemeterBalloon {
     scope.RegisterCounter("pages_deflated", &stats_.pages_deflated);
     scope.RegisterCounter("pages_short", &stats_.pages_short);
     scope.RegisterCounter("demotions_for_inflate", &stats_.demotions_for_inflate);
+    if (armed_) {
+      scope.RegisterCounter("retries", &stats_.retries);
+      scope.RegisterCounter("timeouts", &stats_.timeouts);
+      scope.RegisterCounter("abandoned", &stats_.abandoned);
+      scope.RegisterCounter("deferred", &stats_.deferred);
+      scope.RegisterCounter("duplicates_ignored", &stats_.duplicates_ignored);
+      scope.RegisterCounter("stale_completions", &stats_.stale_completions);
+      scope.RegisterCounter("vq_backpressure", &request_queue_.stats().backpressure);
+    }
   }
 
  private:
+  struct PendingRequest {
+    BalloonRequest request;
+    CompletionCallback callback;
+    int attempts = 1;
+    uint64_t timeout_event = 0;
+  };
+
+  // Armed-path machinery (timeout/retry/window). Never runs fault-free.
+  void StartRequest(BalloonRequest request, CompletionCallback callback, Nanos now);
+  void SendWire(uint64_t request_id, Nanos now);
+  void OnRequestTimeout(uint64_t request_id, Nanos now);
+  void PumpDeferred(Nanos now);
+
   void HandleRequest(BalloonRequest request, Nanos now);
+  // Guest-side execution of a (possibly delayed/retransmitted) request.
+  void ProcessRequest(BalloonRequest request, Nanos now);
   void HandleCompletion(BalloonCompletion completion, Nanos now);
+  // Host-side page effects of a completion (trace, unback, page counters).
+  void ApplyCompletionPages(const BalloonCompletion& completion, Nanos now);
   // Guest-side: demote one page out of `node` to make a free page.
   bool DemoteOnePage(int node, Nanos now);
 
@@ -129,6 +182,12 @@ class DemeterBalloon {
   std::vector<std::pair<uint64_t, CompletionCallback>> pending_callbacks_;
   std::vector<StatsCallback> pending_stats_;
   BalloonStats stats_;
+  // Armed-path state.
+  FaultInjector* fault_ = nullptr;
+  bool armed_ = false;
+  std::vector<PendingRequest> pending_;
+  std::deque<std::pair<BalloonRequest, CompletionCallback>> deferred_;
+  std::unordered_set<uint64_t> processed_ids_;
 };
 
 // ---- Classic (tier-unaware) VirtIO balloon -----------------------------------
@@ -142,10 +201,12 @@ class VirtioBalloon {
   void RequestDelta(int64_t delta_pages, Nanos now);
 
   uint64_t balloon_pages() const { return held_.size(); }
+  const std::vector<PageNum>& held() const { return held_; }
   const BalloonStats& stats() const { return stats_; }
 
  private:
   void HandleRequest(BalloonRequest request, Nanos now);
+  void ProcessRequest(BalloonRequest request, Nanos now);
   void HandleCompletion(BalloonCompletion completion, Nanos now);
 
   Vm* vm_;
@@ -155,6 +216,9 @@ class VirtioBalloon {
   uint64_t next_request_id_ = 1;
   std::vector<PageNum> held_;  // Pages currently inside the balloon (LIFO).
   BalloonStats stats_;
+  FaultInjector* fault_ = nullptr;
+  bool armed_ = false;
+  std::unordered_set<uint64_t> processed_ids_;
 };
 
 // ---- virtio-mem-style hotplug -------------------------------------------------
@@ -171,6 +235,15 @@ class HotplugProvisioner {
   uint64_t ResizeTo(int node, uint64_t target_present_pages, Nanos now);
 
   uint64_t block_pages() const { return block_pages_; }
+
+  // Pages currently unplugged from `node`.
+  uint64_t unplugged_pages(int node) const {
+    uint64_t total = 0;
+    for (const auto& block : unplugged_[static_cast<size_t>(node)]) {
+      total += block.size();
+    }
+    return total;
+  }
 
  private:
   Vm* vm_;

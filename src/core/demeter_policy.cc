@@ -1,5 +1,8 @@
 #include "src/core/demeter_policy.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -26,6 +29,7 @@ void DemeterPolicy::Attach(Vm& vm, GuestProcess& process, Nanos start) {
     DEMETER_CHECK(PebsUnit(pebs).UsableInGuest(vm.config().lazily_backed))
         << "guest PEBS requires an EPT-friendly PMU under lazy backing";
     vm.vcpu(i).pebs = std::make_unique<PebsUnit>(pebs);
+    vm.vcpu(i).pebs->BindFault(vm.host().fault_injector(), vm.id());
     vm.vcpu(i).pebs->set_enabled(true);
     // PMIs are rare at this frequency, but when one fires its buffer goes
     // into the same channel (the PMI cost is charged at the access site).
@@ -69,6 +73,27 @@ void DemeterPolicy::Attach(Vm& vm, GuestProcess& process, Nanos start) {
   } else {
     SyncPhysicalRegions();
   }
+
+  FaultInjector* fault = vm.host().fault_injector();
+  injector_armed_ = fault != nullptr && fault->active();
+  watchdog_armed_ = injector_armed_ && config_.degradation.enabled;
+  last_epoch_done_ = start;
+  unresponsive_after_ = config_.degradation.unresponsive_after > 0
+                            ? config_.degradation.unresponsive_after
+                            : 3 * config_.range.epoch_length;
+  watchdog_period_ = config_.degradation.watchdog_period > 0 ? config_.degradation.watchdog_period
+                                                             : config_.range.epoch_length;
+  host_round_period_ = config_.degradation.host_round_period > 0
+                           ? config_.degradation.host_round_period
+                           : 3 * watchdog_period_;
+  if (watchdog_armed_) {
+    vm.host().events().Schedule(start + watchdog_period_, [this, alive = alive_](Nanos fire) {
+      if (*alive) {
+        RunWatchdog(fire);
+      }
+    });
+  }
+
   ScheduleNext(start);
 }
 
@@ -185,6 +210,23 @@ void DemeterPolicy::RunEpoch(Nanos now) {
   if (stopped_) {
     return;
   }
+  if (injector_armed_) {
+    // The engine is a guest kernel thread: while the guest is stalled or
+    // crashed it makes no progress. Defer the whole epoch to the window
+    // end — which is exactly the unresponsiveness the watchdog detects.
+    FaultInjector* fault = vm_->host().fault_injector();
+    const bool crashed = fault->InCrashWindow(now);
+    if (crashed || fault->InStallWindow(now)) {
+      ++epochs_deferred_;
+      const Nanos resume = crashed ? fault->CrashWindowEnd(now) : fault->StallWindowEnd(now);
+      vm_->host().events().Schedule(resume, [this, alive = alive_](Nanos fire) {
+        if (*alive) {
+          RunEpoch(fire);
+        }
+      });
+      return;
+    }
+  }
   double tracking_ns = 0.0;
   double classify_ns = 0.0;
   double migrate_ns = 0.0;
@@ -239,7 +281,216 @@ void DemeterPolicy::RunEpoch(Nanos now) {
   TraceMigrationBatch(*vm_, name(), now, migrate_ns, last_relocation_.promoted,
                       last_relocation_.demoted);
 
+  last_epoch_done_ = now;
   ScheduleNext(now);
+}
+
+void DemeterPolicy::RunWatchdog(Nanos now) {
+  if (stopped_) {
+    return;
+  }
+  Tracer* tracer = vm_->host().tracer();
+  if (!degraded_) {
+    if (now >= last_epoch_done_ && now - last_epoch_done_ >= unresponsive_after_) {
+      degraded_ = true;
+      degraded_since_ = now;
+      ++degraded_entries_;
+      if (tracer != nullptr && tracer->enabled()) {
+        tracer->Instant("demeter", "degrade", now, vm_->id(), 0,
+                        TraceArgs().Add("idle_ns", static_cast<uint64_t>(now - last_epoch_done_))
+                            .str());
+      }
+    }
+  } else if (last_epoch_done_ > degraded_since_) {
+    // The guest engine completed an epoch since we degraded: re-delegate.
+    degraded_ = false;
+    ++recoveries_;
+    degraded_ns_ += now - degraded_since_;
+    // Next degradation starts with an immediate first host round.
+    next_host_round_ = 0;
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer->Instant("demeter", "recover", now, vm_->id(), 0,
+                      TraceArgs().Add("degraded_ns", static_cast<uint64_t>(now - degraded_since_))
+                          .str());
+    }
+  }
+  if (degraded_ && now >= next_host_round_) {
+    HostManageRound(now);
+    next_host_round_ = now + host_round_period_;
+  }
+  vm_->host().events().Schedule(now + watchdog_period_, [this, alive = alive_](Nanos fire) {
+    if (*alive) {
+      RunWatchdog(fire);
+    }
+  });
+}
+
+void DemeterPolicy::HostManageRound(Nanos now) {
+  // Hypervisor-side fallback. The guest classifier is out, but Demeter's
+  // sample channel lives in guest kernel memory the hypervisor can read
+  // (it defined the protocol), and the guest's context-switch drain keeps
+  // filling it. The host consumes the channel, pays the software gVA->gPA
+  // walk the delegated engine avoids by design (§3.2), and re-tiers by
+  // sample frequency. EPT A bits are deliberately NOT used: at memory-bound
+  // access rates every resident page is touched within any practical scan
+  // window, so a single bit cannot rank pages. All work is charged to the
+  // management account but NOT to vCPU clocks: the host burns its own core
+  // while the guest is out.
+  Hypervisor& host = vm_->host();
+  double work_ns = 0.0;
+
+  std::vector<uint64_t> gvas;
+  while (auto gva = samples_->Pop()) {
+    gvas.push_back(*gva);
+  }
+  // Steal whatever still sits in the per-vCPU PEBS buffers too.
+  for (int i = 0; i < vm_->num_vcpus(); ++i) {
+    auto records = vm_->vcpu(i).pebs->Drain();
+    work_ns += config_.drain_ns_per_record * static_cast<double>(records.size());
+    for (const PebsRecord& r : records) {
+      gvas.push_back(r.gva);
+    }
+  }
+
+  // Sample frequency per guest-virtual page. Clustering happens in gVA
+  // space deliberately: a few dozen samples per round cannot rank thousands
+  // of pages individually, but Demeter's own insight (§3.2) — hot pages are
+  // contiguous in virtual address space — lets sparse samples identify
+  // whole hot extents. The host pays a software translation per sample and
+  // a page-table walk per expanded page; the delegated engine avoids both.
+  std::unordered_map<PageNum, uint32_t> vpn_counts;
+  for (uint64_t gva : gvas) {
+    ++vpn_counts[PageOf(gva)];
+  }
+  work_ns += config_.translate_ns_per_sample * static_cast<double>(gvas.size());
+
+  std::vector<PageNum> vpns;
+  vpns.reserve(vpn_counts.size());
+  for (const auto& [vpn, count] : vpn_counts) {
+    vpns.push_back(vpn);
+  }
+  std::sort(vpns.begin(), vpns.end());
+
+  // Merge sampled pages closer than kGapPages into extents; extents with
+  // fewer than kMinSamples are sampling noise and are ignored.
+  struct Extent {
+    PageNum lo;
+    PageNum hi;
+    uint32_t samples;
+  };
+  constexpr PageNum kGapPages = 32;
+  constexpr uint32_t kMinSamples = 3;
+  std::vector<Extent> extents;
+  for (PageNum vpn : vpns) {
+    if (!extents.empty() && vpn - extents.back().hi <= kGapPages) {
+      extents.back().hi = vpn;
+      extents.back().samples += vpn_counts[vpn];
+    } else {
+      extents.push_back(Extent{vpn, vpn, vpn_counts[vpn]});
+    }
+  }
+  // Densest extents first (ties: lowest address) — the ranking the guest's
+  // range tree would have produced.
+  std::sort(extents.begin(), extents.end(), [](const Extent& a, const Extent& b) {
+    const double da = static_cast<double>(a.samples) / static_cast<double>(a.hi - a.lo + 1);
+    const double db = static_cast<double>(b.samples) / static_cast<double>(b.hi - b.lo + 1);
+    if (da != db) {
+      return da > db;
+    }
+    return a.lo < b.lo;
+  });
+
+  // Expand extents to gPA pages through the guest page table (software
+  // walks, charged per page). Expansion stops once the hot set could not
+  // possibly be consumed this round.
+  struct HotPage {
+    PageNum vpn;
+    PageNum gpa;
+  };
+  const uint64_t expand_cap = 8 * config_.degradation.host_batch_pages;
+  std::unordered_set<PageNum> hot_gpas;
+  std::vector<std::vector<HotPage>> extent_pages(extents.size());
+  uint64_t walked = 0;
+  for (size_t e = 0; e < extents.size() && walked < expand_cap; ++e) {
+    if (extents[e].samples < kMinSamples) {
+      continue;
+    }
+    for (PageNum vpn = extents[e].lo; vpn <= extents[e].hi && walked < expand_cap; ++vpn) {
+      ++walked;
+      const auto gpt = process_->gpt().Lookup(vpn);
+      if (gpt.present) {
+        extent_pages[e].push_back(HotPage{vpn, gpt.target});
+        hot_gpas.insert(gpt.target);
+      }
+    }
+  }
+  work_ns += static_cast<double>(walked) * vm_->config().mmu_costs.pte_scan_ns;
+
+  // Demotion victims: FMEM-backed pages outside every hot extent, in
+  // deterministic EPT walk order.
+  std::vector<PageNum> cold_fmem;
+  const uint64_t ept_touched = vm_->ept().ForEachPresent(
+      0, PageTable::kMaxPage, [&](PageNum gpa, uint64_t frame, bool, bool) {
+        if (host.memory().TierOf(static_cast<FrameId>(frame)) == kFmemTier &&
+            hot_gpas.count(gpa) == 0) {
+          cold_fmem.push_back(gpa);
+        }
+      });
+  work_ns += static_cast<double>(ept_touched) * vm_->config().mmu_costs.pte_scan_ns;
+
+  // Migrate with single-address shootdowns, not invept: a pure
+  // hypervisor-side design must full-flush after host migration because it
+  // lacks the gVA (§2.3.1), but this fallback just translated the gVAs it
+  // promotes, and the victims' gVAs sit in the guest's rmap — readable the
+  // same way the sample channel is. A full flush per round at this cadence
+  // would keep the TLBs permanently cold.
+  double migrate_ns = 0.0;
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+  size_t demote_idx = 0;
+  for (size_t e = 0; e < extents.size() && promoted < config_.degradation.host_batch_pages; ++e) {
+    for (const HotPage& page : extent_pages[e]) {
+      if (promoted >= config_.degradation.host_batch_pages) {
+        break;
+      }
+      const auto entry = vm_->ept().Lookup(page.gpa);
+      if (!entry.present ||
+          host.memory().TierOf(static_cast<FrameId>(entry.target)) == kFmemTier) {
+        continue;  // Already fast.
+      }
+      if (!host.MigrateGpa(*vm_, page.gpa, kFmemTier, now, &migrate_ns)) {
+        // FMEM full: demote a page no extent covers, then retry once.
+        bool made_room = false;
+        while (demote_idx < cold_fmem.size()) {
+          const PageNum victim = cold_fmem[demote_idx++];
+          // Reverse-map the victim to its gVA for the shootdown; the rmap
+          // read is another guest-metadata walk the host pays for.
+          work_ns += config_.translate_ns_per_sample;
+          const RmapEntry* rmap = vm_->kernel().Rmap(victim);
+          if (rmap == nullptr) {
+            continue;  // Not process-mapped; leave it alone.
+          }
+          if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns)) {
+            vm_->FlushGvaAll(rmap->vpn);
+            migrate_ns += vm_->SingleFlushCost();
+            ++demoted;
+            made_room = true;
+            break;
+          }
+        }
+        if (!made_room || !host.MigrateGpa(*vm_, page.gpa, kFmemTier, now, &migrate_ns)) {
+          continue;
+        }
+      }
+      vm_->FlushGvaAll(page.vpn);
+      migrate_ns += vm_->SingleFlushCost();
+      ++promoted;
+    }
+  }
+  host_migrations_ += promoted + demoted;
+  vm_->mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(work_ns));
+  vm_->mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(migrate_ns));
+  TraceMigrationBatch(*vm_, "demeter-host", now, work_ns + migrate_ns, promoted, demoted);
 }
 
 void DemeterPolicy::ScheduleNext(Nanos now) {

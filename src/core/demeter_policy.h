@@ -30,6 +30,30 @@
 
 namespace demeter {
 
+// Host-side fallback for unresponsive guests. Only active on faulted runs
+// (the harness arms it when a fault plan exists): a watchdog on the
+// hypervisor side observes epoch progress; when the guest engine has made
+// none for `unresponsive_after`, the host takes over tiering — it drains
+// the PEBS sample channel itself, pays the software gVA->gPA translation
+// the delegated engine avoids, and migrates host-side by sample frequency
+// until the guest catches up.
+struct DegradationConfig {
+  bool enabled = true;               // false = no-fallback ablation.
+  Nanos unresponsive_after = 0;      // 0 -> 3 * epoch_length at attach.
+  Nanos watchdog_period = 0;         // 0 -> epoch_length at attach.
+  // Cadence of host management rounds while degraded. Defaults to a
+  // multiple of the watchdog period; benches that know the workload's
+  // drift rate set it to the guest's own epoch length.
+  Nanos host_round_period = 0;       // 0 -> 3 * watchdog_period at attach.
+  uint64_t host_batch_pages = 128;   // Promotions per host round.
+
+  bool IsDefault() const {
+    return enabled && unresponsive_after == 0 && watchdog_period == 0 &&
+           host_round_period == 0 && host_batch_pages == 128;
+  }
+  friend bool operator==(const DegradationConfig&, const DegradationConfig&) = default;
+};
+
 struct DemeterConfig {
   RangeTreeConfig range;
   RelocatorConfig relocator;
@@ -52,6 +76,8 @@ struct DemeterConfig {
   // carry no locality, so refinement stalls (the Figure 4 insight).
   bool classify_virtual = true;
   double translate_ns_per_sample = 170.0;
+
+  DegradationConfig degradation;
 };
 
 class DemeterPolicy : public TmmPolicy {
@@ -65,6 +91,17 @@ class DemeterPolicy : public TmmPolicy {
     scope.RegisterCounter("epochs_run", &epochs_run_);
     scope.RegisterCounter("pages_promoted", &total_promoted_);
     scope.RegisterCounter("pages_demoted", &total_demoted_);
+    // Degradation counters only exist on faulted runs, so fault-free
+    // metric output is unchanged.
+    if (injector_armed_) {
+      scope.RegisterCounter("epochs_deferred", &epochs_deferred_);
+    }
+    if (watchdog_armed_) {
+      scope.RegisterCounter("degraded_entries", &degraded_entries_);
+      scope.RegisterCounter("recoveries", &recoveries_);
+      scope.RegisterCounter("host_migrations", &host_migrations_);
+      scope.RegisterCounter("degraded_ns", &degraded_ns_);
+    }
   }
 
   const RangeTree& tree() const { return *tree_; }
@@ -73,12 +110,22 @@ class DemeterPolicy : public TmmPolicy {
   uint64_t total_demoted() const { return total_demoted_; }
   uint64_t epochs_run() const { return epochs_run_; }
 
+  // Degradation observability (for tests and the resilience bench).
+  bool degraded() const { return degraded_; }
+  uint64_t degraded_entries() const { return degraded_entries_; }
+  uint64_t recoveries() const { return recoveries_; }
+  uint64_t degraded_ns() const { return degraded_ns_; }
+  uint64_t epochs_deferred() const { return epochs_deferred_; }
+
  private:
   void SyncRegions();
   void SyncPhysicalRegions();
   void RunEpoch(Nanos now);
   void RunPoll(Nanos now);
   void ScheduleNext(Nanos now);
+  // Degradation machinery (faulted runs only).
+  void RunWatchdog(Nanos now);
+  void HostManageRound(Nanos now);
   // Relocation driven by gPA ranges (classify_virtual == false).
   RelocationResult RelocatePhysical(const std::vector<HotRange>& ranked, size_t hot_prefix,
                                     Nanos now);
@@ -95,6 +142,23 @@ class DemeterPolicy : public TmmPolicy {
   uint64_t epochs_run_ = 0;
   uint64_t heap_synced_end_ = 0;
   size_t vmas_synced_ = 0;
+  // DegradationState: kDelegated (guest engine runs) <-> kDegraded (host
+  // fallback manages). Armed flags split observation from actuation so the
+  // no-fallback ablation still *suffers* stalls without recovering.
+  bool injector_armed_ = false;  // A fault plan exists: epochs can defer.
+  bool watchdog_armed_ = false;  // injector_armed_ && degradation.enabled.
+  bool degraded_ = false;
+  Nanos last_epoch_done_ = 0;
+  Nanos degraded_since_ = 0;
+  Nanos unresponsive_after_ = 0;
+  Nanos watchdog_period_ = 0;
+  Nanos host_round_period_ = 0;
+  Nanos next_host_round_ = 0;
+  uint64_t epochs_deferred_ = 0;
+  uint64_t degraded_entries_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t host_migrations_ = 0;
+  uint64_t degraded_ns_ = 0;
 };
 
 }  // namespace demeter

@@ -1,0 +1,346 @@
+#include "src/fault/fault.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+namespace {
+
+// Shortest decimal form that parses back to exactly the same double, so
+// ToSpec() is canonical and Parse(ToSpec()) round-trips bit-exactly.
+std::string FormatDouble(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+bool ParseProbability(const std::string& text, double* out, std::string* error) {
+  char* end = nullptr;
+  const double p = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+    if (error != nullptr) {
+      *error = "probability must be a number in [0,1], got '" + text + "'";
+    }
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+bool ParseDuration(const std::string& text, Nanos* out, std::string* error) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  uint64_t scale = 1;
+  if (std::strcmp(end, "ns") == 0 || *end == '\0') {
+    scale = 1;
+  } else if (std::strcmp(end, "us") == 0) {
+    scale = 1000;
+  } else if (std::strcmp(end, "ms") == 0) {
+    scale = 1000 * 1000;
+  } else if (std::strcmp(end, "s") == 0) {
+    scale = 1000ULL * 1000 * 1000;
+  } else {
+    end = nullptr;  // Unknown suffix.
+  }
+  if (end == nullptr || end == text.c_str()) {
+    if (error != nullptr) {
+      *error = "duration must be an integer with optional ns/us/ms/s suffix, got '" + text + "'";
+    }
+    return false;
+  }
+  *out = static_cast<Nanos>(value) * scale;
+  return true;
+}
+
+// Splits "A/B" into its halves; fails when there is no '/' separator.
+bool SplitPair(const std::string& text, std::string* a, std::string* b, std::string* error) {
+  const size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    if (error != nullptr) {
+      *error = "expected 'A/B', got '" + text + "'";
+    }
+    return false;
+  }
+  *a = text.substr(0, slash);
+  *b = text.substr(slash + 1);
+  return true;
+}
+
+bool InWindow(Nanos now, Nanos duration, Nanos period) {
+  if (duration == 0 || period == 0 || now < period) {
+    return false;
+  }
+  return now % period < duration;
+}
+
+Nanos WindowEnd(Nanos now, Nanos duration, Nanos period) {
+  return (now / period) * period + duration;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kBalloonDelay:
+      return "balloon_delay";
+    case FaultSite::kBalloonDrop:
+      return "balloon_drop";
+    case FaultSite::kGuestStall:
+      return "guest_stall";
+    case FaultSite::kGuestCrash:
+      return "guest_crash";
+    case FaultSite::kVirtqueueFull:
+      return "virtqueue_full";
+    case FaultSite::kPebsSampleLoss:
+      return "pebs_sample_loss";
+    case FaultSite::kMigrationFail:
+      return "migration_fail";
+    case FaultSite::kTierExhaustion:
+      return "tier_exhaustion";
+  }
+  return "?";
+}
+
+bool FaultPlan::empty() const { return *this == FaultPlan{}; }
+
+double FaultPlan::probability(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kBalloonDelay:
+      return balloon_delay_p;
+    case FaultSite::kBalloonDrop:
+      return balloon_drop_p;
+    case FaultSite::kPebsSampleLoss:
+      return pebs_drop_p;
+    case FaultSite::kMigrationFail:
+      return migration_fail_p;
+    case FaultSite::kTierExhaustion:
+      return tier_exhaust_p;
+    case FaultSite::kGuestStall:
+    case FaultSite::kGuestCrash:
+    case FaultSite::kVirtqueueFull:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::string FaultPlan::ToSpec() const {
+  std::string spec;
+  auto append = [&spec](const std::string& token) {
+    if (!spec.empty()) {
+      spec += ',';
+    }
+    spec += token;
+  };
+  char buf[96];
+  if (balloon_delay_p > 0.0) {
+    std::snprintf(buf, sizeof(buf), "bdelay=%s/%" PRIu64, FormatDouble(balloon_delay_p).c_str(),
+                  balloon_delay_ns);
+    append(buf);
+  }
+  if (balloon_drop_p > 0.0) {
+    append("bdrop=" + FormatDouble(balloon_drop_p));
+  }
+  if (stall_duration_ns > 0) {
+    std::snprintf(buf, sizeof(buf), "stall=%" PRIu64 "/%" PRIu64, stall_duration_ns,
+                  stall_period_ns);
+    append(buf);
+  }
+  if (crash_duration_ns > 0) {
+    std::snprintf(buf, sizeof(buf), "crash=%" PRIu64 "/%" PRIu64, crash_duration_ns,
+                  crash_period_ns);
+    append(buf);
+  }
+  if (vq_capacity > 0) {
+    std::snprintf(buf, sizeof(buf), "vqcap=%" PRIu64, vq_capacity);
+    append(buf);
+  }
+  if (pebs_drop_p > 0.0) {
+    append("pebsdrop=" + FormatDouble(pebs_drop_p));
+  }
+  if (migration_fail_p > 0.0) {
+    append("migfail=" + FormatDouble(migration_fail_p));
+  }
+  if (tier_exhaust_p > 0.0) {
+    append("tierex=" + FormatDouble(tier_exhaust_p));
+  }
+  return spec;
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* error) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (error != nullptr) {
+        *error = "expected key=value, got '" + token + "'";
+      }
+      return std::nullopt;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "bdelay") {
+      std::string p, d;
+      if (!SplitPair(value, &p, &d, error) ||
+          !ParseProbability(p, &plan.balloon_delay_p, error) ||
+          !ParseDuration(d, &plan.balloon_delay_ns, error)) {
+        return std::nullopt;
+      }
+      if (plan.balloon_delay_p > 0.0 && plan.balloon_delay_ns == 0) {
+        if (error != nullptr) {
+          *error = "bdelay needs a non-zero duration";
+        }
+        return std::nullopt;
+      }
+    } else if (key == "bdrop") {
+      if (!ParseProbability(value, &plan.balloon_drop_p, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "stall" || key == "crash") {
+      std::string d, per;
+      Nanos duration = 0;
+      Nanos period = 0;
+      if (!SplitPair(value, &d, &per, error) || !ParseDuration(d, &duration, error) ||
+          !ParseDuration(per, &period, error)) {
+        return std::nullopt;
+      }
+      if (duration > 0 && (period == 0 || duration > period)) {
+        if (error != nullptr) {
+          *error = key + " needs duration <= period and period > 0";
+        }
+        return std::nullopt;
+      }
+      if (key == "stall") {
+        plan.stall_duration_ns = duration;
+        plan.stall_period_ns = duration > 0 ? period : 0;
+      } else {
+        plan.crash_duration_ns = duration;
+        plan.crash_period_ns = duration > 0 ? period : 0;
+      }
+    } else if (key == "vqcap") {
+      char* end = nullptr;
+      const unsigned long long cap = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        if (error != nullptr) {
+          *error = "vqcap must be a non-negative integer, got '" + value + "'";
+        }
+        return std::nullopt;
+      }
+      plan.vq_capacity = cap;
+    } else if (key == "pebsdrop") {
+      if (!ParseProbability(value, &plan.pebs_drop_p, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "migfail") {
+      if (!ParseProbability(value, &plan.migration_fail_p, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "tierex") {
+      if (!ParseProbability(value, &plan.tier_exhaust_p, error)) {
+        return std::nullopt;
+      }
+    } else {
+      if (error != nullptr) {
+        *error = "unknown fault key '" + key + "'";
+      }
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed) : plan_(plan), seed_(seed) {}
+
+FaultInjector::VmState& FaultInjector::state(int vm) {
+  DEMETER_CHECK_GE(vm, 0);
+  while (vms_.size() <= static_cast<size_t>(vm)) {
+    const uint64_t id = static_cast<uint64_t>(vms_.size());
+    auto vm_state = std::make_unique<VmState>();
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      // One independent stream per (vm, site): the golden-ratio stride
+      // separates neighbouring streams before SplitMix64 whitening inside
+      // Rng::Seed.
+      vm_state->rngs[static_cast<size_t>(s)].Seed(
+          seed_ + 0x9e3779b97f4a7c15ULL * (id * kNumFaultSites + static_cast<uint64_t>(s) + 1));
+    }
+    vms_.push_back(std::move(vm_state));
+  }
+  return *vms_[static_cast<size_t>(vm)];
+}
+
+bool FaultInjector::ShouldInject(FaultSite site, int vm) {
+  const double p = plan_.probability(site);
+  if (p <= 0.0) {
+    return false;
+  }
+  VmState& s = state(vm);
+  if (!s.rngs[static_cast<size_t>(site)].NextBool(p)) {
+    return false;
+  }
+  ++s.injected[static_cast<size_t>(site)];
+  return true;
+}
+
+void FaultInjector::Count(FaultSite site, int vm) {
+  ++state(vm).injected[static_cast<size_t>(site)];
+}
+
+bool FaultInjector::InStallWindow(Nanos now) const {
+  return InWindow(now, plan_.stall_duration_ns, plan_.stall_period_ns);
+}
+
+Nanos FaultInjector::StallWindowEnd(Nanos now) const {
+  return WindowEnd(now, plan_.stall_duration_ns, plan_.stall_period_ns);
+}
+
+bool FaultInjector::InCrashWindow(Nanos now) const {
+  return InWindow(now, plan_.crash_duration_ns, plan_.crash_period_ns);
+}
+
+Nanos FaultInjector::CrashWindowEnd(Nanos now) const {
+  return WindowEnd(now, plan_.crash_duration_ns, plan_.crash_period_ns);
+}
+
+uint64_t FaultInjector::injected(FaultSite site, int vm) const {
+  if (vm < 0 || static_cast<size_t>(vm) >= vms_.size()) {
+    return 0;
+  }
+  return vms_[static_cast<size_t>(vm)]->injected[static_cast<size_t>(site)];
+}
+
+uint64_t FaultInjector::total_injected(FaultSite site) const {
+  uint64_t total = 0;
+  for (const auto& vm_state : vms_) {
+    total += vm_state->injected[static_cast<size_t>(site)];
+  }
+  return total;
+}
+
+void FaultInjector::RegisterVmMetrics(MetricScope scope, int vm) {
+  VmState& s = state(vm);
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    scope.RegisterCounter(std::string(FaultSiteName(static_cast<FaultSite>(i))) + "_injected",
+                          &s.injected[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace demeter

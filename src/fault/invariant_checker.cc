@@ -1,0 +1,155 @@
+#include "src/fault/invariant_checker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/hyper/hypervisor.h"
+#include "src/hyper/vm.h"
+
+namespace demeter {
+
+namespace {
+
+// Formatting helper: "vm2: " prefix for every per-VM violation.
+std::string VmPrefix(int vm) { return "vm" + std::to_string(vm) + ": "; }
+
+}  // namespace
+
+std::string InvariantReport::Join(size_t max_items) const {
+  std::string joined;
+  for (size_t i = 0; i < violations.size() && i < max_items; ++i) {
+    if (!joined.empty()) {
+      joined += "; ";
+    }
+    joined += violations[i];
+  }
+  if (violations.size() > max_items) {
+    joined += "; ... (" + std::to_string(violations.size() - max_items) + " more)";
+  }
+  return joined;
+}
+
+InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmView>& views) {
+  InvariantReport report;
+  HostMemory& memory = hyper.memory();
+  // Frames claimed by any VM's EPT, for global uniqueness (4).
+  std::unordered_map<FrameId, int> frame_owner;
+  std::vector<uint64_t> tier_mapped(static_cast<size_t>(memory.num_tiers()), 0);
+
+  for (int i = 0; i < hyper.num_vms(); ++i) {
+    Vm& vm = hyper.vm(i);
+    GuestKernel& kernel = vm.kernel();
+    const std::string prefix = VmPrefix(i);
+
+    // ---- 1 + 2: GPT <-> rmap and node accounting -------------------------
+    uint64_t node_mapped[2] = {0, 0};
+    uint64_t gpt_total = 0;
+    for (const auto& process : kernel.processes()) {
+      const int pid = process->pid();
+      process->gpt().ForEachPresent(
+          0, PageTable::kMaxPage, [&](PageNum vpn, uint64_t gpa, bool, bool) {
+            ++gpt_total;
+            ++report.gpt_pages_audited;
+            const int node = kernel.NodeOfGpa(gpa);
+            if (node < 0) {
+              report.violations.push_back(prefix + "pid " + std::to_string(pid) + " vpn " +
+                                          std::to_string(vpn) + " maps gpa " +
+                                          std::to_string(gpa) + " outside every node span");
+              return;
+            }
+            ++node_mapped[static_cast<size_t>(node)];
+            const RmapEntry* rmap = kernel.Rmap(gpa);
+            if (rmap == nullptr || rmap->pid != pid || rmap->vpn != vpn) {
+              report.violations.push_back(prefix + "rmap for gpa " + std::to_string(gpa) +
+                                          " does not name (pid " + std::to_string(pid) +
+                                          ", vpn " + std::to_string(vpn) + ")");
+            }
+          });
+    }
+    if (gpt_total != kernel.mapped_pages()) {
+      // Every GPT entry matched a distinct rmap entry above, so a size
+      // mismatch can only mean orphaned rmap entries.
+      report.violations.push_back(prefix + "rmap holds " + std::to_string(kernel.mapped_pages()) +
+                                  " entries but GPTs map " + std::to_string(gpt_total) +
+                                  " pages");
+    }
+    for (int n = 0; n < kernel.num_nodes() && n < 2; ++n) {
+      const NumaNode& node = kernel.node(n);
+      if (node.used_pages() != node_mapped[static_cast<size_t>(n)]) {
+        report.violations.push_back(prefix + "node " + std::to_string(n) + " used_pages " +
+                                    std::to_string(node.used_pages()) + " != mapped count " +
+                                    std::to_string(node_mapped[static_cast<size_t>(n)]));
+      }
+      // ---- 3: balloon page conservation ---------------------------------
+      const uint64_t held = static_cast<size_t>(i) < views.size()
+                                ? views[static_cast<size_t>(i)].held_pages[static_cast<size_t>(n)]
+                                : 0;
+      if (node.present_pages() + held != node.initial_present_pages()) {
+        report.violations.push_back(
+            prefix + "node " + std::to_string(n) + " conservation: present " +
+            std::to_string(node.present_pages()) + " + held " + std::to_string(held) +
+            " != provisioned " + std::to_string(node.initial_present_pages()));
+      }
+    }
+
+    // ---- 4: EPT <-> host accounting --------------------------------------
+    vm.ept().ForEachPresent(0, PageTable::kMaxPage, [&](PageNum gpa, uint64_t frame, bool, bool) {
+      ++report.ept_pages_audited;
+      if (kernel.NodeOfGpa(gpa) < 0) {
+        report.violations.push_back(prefix + "EPT backs gpa " + std::to_string(gpa) +
+                                    " outside every node span");
+      }
+      if (frame >= memory.total_frames()) {
+        report.violations.push_back(prefix + "EPT maps gpa " + std::to_string(gpa) +
+                                    " to out-of-range frame " + std::to_string(frame));
+        return;
+      }
+      if (!memory.IsAllocated(frame)) {
+        report.violations.push_back(prefix + "EPT maps gpa " + std::to_string(gpa) +
+                                    " to frame " + std::to_string(frame) +
+                                    " the host allocator considers free");
+      }
+      auto [it, inserted] = frame_owner.emplace(frame, i);
+      if (!inserted) {
+        report.violations.push_back(prefix + "frame " + std::to_string(frame) +
+                                    " double-mapped (also backing vm" +
+                                    std::to_string(it->second) + ")");
+      }
+      ++tier_mapped[static_cast<size_t>(memory.TierOf(frame))];
+    });
+
+    // ---- 5: TLB validity --------------------------------------------------
+    for (int v = 0; v < vm.num_vcpus(); ++v) {
+      vm.vcpu(v).tlb.ForEachValid([&](PageNum vpn, FrameId frame) {
+        ++report.tlb_entries_audited;
+        for (const auto& process : kernel.processes()) {
+          const auto gpt = process->gpt().Lookup(vpn);
+          if (!gpt.present) {
+            continue;
+          }
+          const auto ept = vm.ept().Lookup(gpt.target);
+          if (ept.present && ept.target == frame) {
+            return;  // Entry agrees with a live translation.
+          }
+        }
+        report.violations.push_back(prefix + "vcpu " + std::to_string(v) +
+                                    " TLB caches stale vpn " + std::to_string(vpn) +
+                                    " -> frame " + std::to_string(frame));
+      });
+    }
+  }
+
+  // Allocated frames and EPT-backed frames are in bijection, so per-tier
+  // mapped counts must equal the allocator's used counts.
+  for (TierIndex t = 0; t < memory.num_tiers(); ++t) {
+    if (tier_mapped[static_cast<size_t>(t)] != memory.UsedPages(t)) {
+      report.violations.push_back("tier " + std::to_string(t) + " allocator reports " +
+                                  std::to_string(memory.UsedPages(t)) +
+                                  " used frames but EPTs map " +
+                                  std::to_string(tier_mapped[static_cast<size_t>(t)]));
+    }
+  }
+  return report;
+}
+
+}  // namespace demeter

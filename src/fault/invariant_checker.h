@@ -1,0 +1,63 @@
+// Cross-layer invariant audit over a live simulated host.
+//
+// The simulation maintains redundant state on purpose — GPT and reverse map,
+// per-node free lists and present counts, EPT mappings and per-tier frame
+// allocators, TLB entries caching flattened translations. The checker walks
+// all of it and cross-validates:
+//
+//   1. GPT <-> rmap consistency: every present GPT mapping targets a gPA
+//      inside a node span, and the reverse map names exactly that (pid, vpn);
+//      the rmap has no orphan entries.
+//   2. Guest node accounting: each node's used_pages equals the number of
+//      mapped gPAs it contains.
+//   3. Balloon page conservation: present + provisioner-held == the node's
+//      boot-time present size, per node (inflated + resident = provisioned).
+//   4. EPT <-> host accounting: every backed gPA maps a frame that the host
+//      allocator marks allocated; no frame backs two gPAs (within or across
+//      VMs); per-tier mapped counts equal HostMemory::UsedPages.
+//   5. TLB validity: every valid TLB entry agrees with the current GPT∘EPT
+//      composition of some process in the owning VM.
+//
+// The audit is strictly read-only (const page-table walks; never the
+// A/D-clearing scan) and runs between events, so it cannot perturb the
+// simulation — which is why the harness excludes it from the spec content
+// hash, like capture_trace.
+
+#ifndef DEMETER_SRC_FAULT_INVARIANT_CHECKER_H_
+#define DEMETER_SRC_FAULT_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace demeter {
+
+class Hypervisor;
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  uint64_t gpt_pages_audited = 0;
+  uint64_t ept_pages_audited = 0;
+  uint64_t tlb_entries_audited = 0;
+
+  bool ok() const { return violations.empty(); }
+  // First `max_items` violations joined for DEMETER_CHECK messages.
+  std::string Join(size_t max_items = 8) const;
+};
+
+class InvariantChecker {
+ public:
+  // Per-VM provisioner holdings, assembled by the harness: pages the
+  // balloon / hotplug device currently holds out of each guest node.
+  struct VmView {
+    uint64_t held_pages[2] = {0, 0};
+  };
+
+  // Audits every VM of `hyper`. `views` is indexed by VM id; missing
+  // entries mean "no provisioner holdings" (static provisioning).
+  static InvariantReport Check(Hypervisor& hyper, const std::vector<VmView>& views);
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_FAULT_INVARIANT_CHECKER_H_

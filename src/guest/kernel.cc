@@ -45,7 +45,13 @@ GuestProcess* GuestKernel::process(int pid) {
 
 std::optional<PageNum> GuestKernel::AllocGpa(int preferred_node, bool allow_fallback,
                                              double* cost_ns) {
-  auto gpa = node(preferred_node).AllocPage();
+  std::optional<PageNum> gpa;
+  if (fault_ != nullptr && fault_->ShouldInject(FaultSite::kTierExhaustion, vm_id_)) {
+    // Transient exhaustion: the preferred node's free list looks dry for
+    // this one allocation, forcing the fallback (or OOM) path below.
+  } else {
+    gpa = node(preferred_node).AllocPage();
+  }
   if (gpa.has_value()) {
     return gpa;
   }
@@ -68,6 +74,11 @@ std::optional<PageNum> GuestKernel::AllocGpa(int preferred_node, bool allow_fall
     }
   }
   ++stats_.oom_failures;
+  if (cost_ns != nullptr) {
+    // The failed zonelist walk costs the same kernel work as a successful
+    // fallback; previously the OOM path charged nothing.
+    *cost_ns += 300.0;
+  }
   return std::nullopt;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/base/units.h"
+#include "src/fault/fault.h"
 #include "src/guest/numa_node.h"
 #include "src/guest/process.h"
 
@@ -95,6 +96,14 @@ class GuestKernel {
 
   const Stats& stats() const { return stats_; }
 
+  // Wires the shared fault injector (null = fault-free). With an injector,
+  // AllocGpa's preferred-node attempt can transiently fail (tier
+  // exhaustion), exercising the fallback / reclaim machinery.
+  void BindFault(FaultInjector* fault, int vm_id) {
+    fault_ = fault;
+    vm_id_ = vm_id;
+  }
+
   // Total pages currently mapped by any process (== rmap size).
   uint64_t mapped_pages() const { return rmap_.size(); }
 
@@ -108,6 +117,8 @@ class GuestKernel {
   // Per-node allocation FIFO for victim selection; lazily pruned.
   std::vector<std::deque<PageNum>> alloc_fifo_;
   std::vector<CtxHook> ctx_hooks_;
+  FaultInjector* fault_ = nullptr;
+  int vm_id_ = 0;
   Stats stats_;
 };
 

@@ -9,7 +9,11 @@ namespace demeter {
 
 NumaNode::NumaNode(int id, PageNum gpa_base, uint64_t span_pages, uint64_t present_pages,
                    uint64_t shuffle_seed)
-    : id_(id), gpa_base_(gpa_base), span_pages_(span_pages), present_pages_(present_pages) {
+    : id_(id),
+      gpa_base_(gpa_base),
+      span_pages_(span_pages),
+      present_pages_(present_pages),
+      initial_present_pages_(present_pages) {
   DEMETER_CHECK_LE(present_pages, span_pages);
   free_list_.reserve(present_pages);
   // Low gPAs first out of the LIFO.

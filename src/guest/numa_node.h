@@ -46,6 +46,9 @@ class NumaNode {
 
   uint64_t span_pages() const { return span_pages_; }
   uint64_t present_pages() const { return present_pages_; }
+  // Boot-time present size; present + balloon-held must always equal this
+  // (the conservation invariant the checker audits).
+  uint64_t initial_present_pages() const { return initial_present_pages_; }
   uint64_t free_pages() const { return free_list_.size(); }
   uint64_t used_pages() const { return present_pages_ - free_pages(); }
 
@@ -61,6 +64,7 @@ class NumaNode {
   PageNum gpa_base_;
   uint64_t span_pages_;
   uint64_t present_pages_;
+  uint64_t initial_present_pages_;
   std::vector<PageNum> free_list_;  // LIFO.
 };
 

@@ -121,6 +121,13 @@ Machine::Machine(MachineConfig config) : config_(config), rng_(config.seed) {
   // Installed before any VM exists so VM-internal units (PEBS) can bind it
   // at construction; disabled tracers make every record call a no-op.
   hyper_->set_tracer(&tracer_);
+  // Like the tracer, the injector must exist before any VM so kernels and
+  // PEBS units can bind it at construction. Empty plan -> no injector and
+  // every hook stays on its legacy path.
+  if (!config_.faults.empty()) {
+    fault_injector_ = std::make_unique<FaultInjector>(config_.faults, config_.seed);
+    hyper_->set_fault_injector(fault_injector_.get());
+  }
 }
 
 Machine::~Machine() = default;
@@ -211,6 +218,41 @@ void Machine::InitPass(int i) {
       vcpu = (vcpu + 1) % machine_vm.num_vcpus();
     }
   }
+}
+
+InvariantReport Machine::CheckInvariants() {
+  std::vector<InvariantChecker::VmView> views;
+  views.reserve(static_cast<size_t>(num_vms()));
+  for (int i = 0; i < num_vms(); ++i) {
+    InvariantChecker::VmView view;
+    if (demeter_balloons_[static_cast<size_t>(i)] != nullptr) {
+      const DemeterBalloon& balloon = *demeter_balloons_[static_cast<size_t>(i)];
+      view.held_pages[0] = balloon.held_pages(0);
+      view.held_pages[1] = balloon.held_pages(1);
+    } else if (virtio_balloons_[static_cast<size_t>(i)] != nullptr) {
+      // The tier-blind balloon tracks one flat page list; attribute each
+      // held page to its guest node for per-node conservation.
+      for (const PageNum gpa : virtio_balloons_[static_cast<size_t>(i)]->held()) {
+        const int node = vm(i).kernel().NodeOfGpa(gpa);
+        if (node >= 0 && node < 2) {
+          ++view.held_pages[static_cast<size_t>(node)];
+        }
+      }
+    } else if (hotplugs_[static_cast<size_t>(i)] != nullptr) {
+      view.held_pages[0] = hotplugs_[static_cast<size_t>(i)]->unplugged_pages(0);
+      view.held_pages[1] = hotplugs_[static_cast<size_t>(i)]->unplugged_pages(1);
+    }
+    views.push_back(view);
+  }
+  return InvariantChecker::Check(*hyper_, views);
+}
+
+void Machine::MaybeAuditInvariants(const char* where) {
+  if (!config_.check_invariants) {
+    return;
+  }
+  const InvariantReport report = CheckInvariants();
+  DEMETER_CHECK(report.ok()) << "invariant violation (" << where << "): " << report.Join();
 }
 
 Nanos Machine::MinActiveClock() const {
@@ -324,6 +366,7 @@ void Machine::Run() {
     ProvisionVm(i);
   }
   events_.RunUntil(10 * kMillisecond);
+  MaybeAuditInvariants("post-provision");
 
   // Phase 2: workload setup + init pass.
   for (int i = 0; i < num_vms(); ++i) {
@@ -383,7 +426,9 @@ void Machine::Run() {
       break;
     }
     events_.RunUntil(MinActiveClock());
+    MaybeAuditInvariants("main-loop");
   }
+  MaybeAuditInvariants("end-of-run");
 }
 
 void Machine::RegisterAllMetrics() {
@@ -396,6 +441,9 @@ void Machine::RegisterAllMetrics() {
     }
     if (demeter_balloons_[static_cast<size_t>(i)] != nullptr) {
       demeter_balloons_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("balloon"));
+    }
+    if (fault_injector_ != nullptr) {
+      fault_injector_->RegisterVmMetrics(scope.Sub("fault"), i);
     }
   }
 }

@@ -17,6 +17,8 @@
 #include "src/balloon/balloon.h"
 #include "src/base/histogram.h"
 #include "src/core/api.h"
+#include "src/fault/fault.h"
+#include "src/fault/invariant_checker.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/tracer.h"
 #include "src/workloads/workload.h"
@@ -55,6 +57,14 @@ struct MachineConfig {
   // simulation results, and is therefore excluded from the runner's
   // spec content hash.
   bool capture_trace = false;
+  // Fault schedule (parsed from --faults). Empty = no injector is created
+  // and every fault hook stays inert; non-empty plans fold into the
+  // runner's spec content hash.
+  FaultPlan faults;
+  // Audit cross-layer invariants after provisioning and after every main-
+  // loop event drain, aborting on violation. Read-only observability like
+  // capture_trace: excluded from the spec content hash.
+  bool check_invariants = false;
 };
 
 struct VmSetup {
@@ -140,6 +150,14 @@ class Machine {
   Tracer& tracer() { return tracer_; }
   std::vector<TraceEvent> TakeTrace() { return tracer_.TakeEvents(); }
 
+  // The machine's fault injector (null when config.faults is empty).
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+  // Runs the cross-layer invariant audit now and returns the report
+  // (exposed for tests; Run() calls it at audit points when
+  // config.check_invariants is set).
+  InvariantReport CheckInvariants();
+
  private:
   struct VmRuntime {
     GuestProcess* process = nullptr;
@@ -154,6 +172,7 @@ class Machine {
 
   void ProvisionVm(int i);
   void InitPass(int i);
+  void MaybeAuditInvariants(const char* where);
   void RunVmQuantum(int i);
   Nanos MinActiveClock() const;
   void FinishVm(int i, Nanos now);
@@ -164,6 +183,7 @@ class Machine {
   MachineConfig config_;
   MetricRegistry registry_;
   Tracer tracer_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<HostMemory> memory_;
   EventQueue events_;
   std::unique_ptr<Hypervisor> hyper_;

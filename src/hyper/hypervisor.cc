@@ -28,13 +28,15 @@ FrameId Hypervisor::PopulateEpt(Vm& vm, PageNum gpa) {
   auto frame = memory_->Allocate(desired);
   if (!frame.has_value()) {
     // Host pressure: spill to the other tier rather than failing the VM.
-    ++stats_.host_tier_fallbacks;
     for (TierIndex t = 0; t < memory_->num_tiers(); ++t) {
       if (t == desired) {
         continue;
       }
       frame = memory_->Allocate(t);
       if (frame.has_value()) {
+        // Count a fallback only when the spill actually produced a frame,
+        // so the counter matches the number of off-tier placements.
+        ++stats_.host_tier_fallbacks;
         break;
       }
     }

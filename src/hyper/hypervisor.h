@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/base/units.h"
+#include "src/fault/fault.h"
 #include "src/hyper/vm.h"
 #include "src/mem/host_memory.h"
 #include "src/sim/event_queue.h"
@@ -75,6 +76,11 @@ class Hypervisor {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  // Optional fault injector shared the same way (set before VMs are
+  // created; null = fault-free, and every hook stays inert).
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   // Registers host-side counters under `scope` (the harness passes "host"):
   // hypervisor stats plus per-tier used/free page gauges.
   void RegisterMetrics(MetricScope scope);
@@ -83,6 +89,7 @@ class Hypervisor {
   HostMemory* memory_;
   EventQueue* events_;
   Tracer* tracer_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
   std::vector<std::unique_ptr<Vm>> vms_;
   Stats stats_;
 };

@@ -27,12 +27,14 @@ Vm::Vm(const VmConfig& config, Hypervisor* host)
   }
   kconfig.free_list_shuffle_seed = config.rng_seed + 17;
   kernel_ = std::make_unique<GuestKernel>(kconfig);
+  kernel_->BindFault(host->fault_injector(), config.id);
 
   for (int i = 0; i < config.num_vcpus; ++i) {
     auto vcpu = std::make_unique<Vcpu>();
     vcpu->id = i;
     vcpu->pebs = std::make_unique<PebsUnit>(config.pebs);
     vcpu->pebs->BindTrace(host->tracer(), config.id, i);
+    vcpu->pebs->BindFault(host->fault_injector(), config.id);
     vcpu->next_context_switch = config.context_switch_period;
     vcpus_.push_back(std::move(vcpu));
   }
@@ -171,6 +173,10 @@ bool Vm::MovePage(GuestProcess& process, PageNum vpn, int dst_node, Nanos now, d
   if (src_node == dst_node) {
     return false;
   }
+  FaultInjector* fault = host_->fault_injector();
+  if (fault != nullptr && fault->ShouldInject(FaultSite::kMigrationFail, id())) {
+    return false;
+  }
   auto new_gpa = kernel_->AllocGpa(dst_node, /*allow_fallback=*/false, cost_ns);
   if (!new_gpa.has_value()) {
     return false;
@@ -206,6 +212,10 @@ bool Vm::SwapPages(GuestProcess& proc_a, PageNum vpn_a, GuestProcess& proc_b, Pa
   const auto entry_a = proc_a.gpt().Lookup(vpn_a);
   const auto entry_b = proc_b.gpt().Lookup(vpn_b);
   if (!entry_a.present || !entry_b.present) {
+    return false;
+  }
+  FaultInjector* fault = host_->fault_injector();
+  if (fault != nullptr && fault->ShouldInject(FaultSite::kMigrationFail, id())) {
     return false;
   }
   const PageNum gpa_a = entry_a.target;

@@ -45,6 +45,12 @@ void HostMemory::Free(FrameId frame) {
   tokens_[frame] = 0;
 }
 
+bool HostMemory::IsAllocated(FrameId frame) const {
+  const TierIndex t = TierOf(frame);
+  const TierState& state = states_[static_cast<size_t>(t)];
+  return state.allocated[frame - state.base];
+}
+
 TierIndex HostMemory::TierOf(FrameId frame) const {
   DEMETER_CHECK_LT(frame, total_frames_);
   for (size_t i = 0; i < states_.size(); ++i) {

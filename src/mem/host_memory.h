@@ -41,6 +41,9 @@ class HostMemory {
 
   TierIndex TierOf(FrameId frame) const;
 
+  // True when `frame` is currently handed out by its tier's allocator.
+  bool IsAllocated(FrameId frame) const;
+
   uint64_t CapacityPages(TierIndex t) const;
   uint64_t FreePages(TierIndex t) const;
   uint64_t UsedPages(TierIndex t) const;

@@ -63,6 +63,16 @@ class Tlb {
   // paging-structure caches rewarm (call once per miss).
   double ConsumeWalkFactor();
 
+  // Read-only walk over every valid entry, for audits: fn(vpn, frame).
+  template <typename Fn>
+  void ForEachValid(Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      if (entry.valid) {
+        fn(entry.vpn, entry.frame);
+      }
+    }
+  }
+
   const TlbStats& stats() const { return stats_; }
   void ClearStats() { stats_ = TlbStats{}; }
 

@@ -31,6 +31,12 @@ double PebsUnit::OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos 
     return 0.0;
   }
 
+  // Injected sample loss: the record is lost before reaching the DS area.
+  if (fault_ != nullptr && fault_->ShouldInject(FaultSite::kPebsSampleLoss, fault_vm_)) {
+    ++stats_.records_dropped;
+    return 0.0;
+  }
+
   buffer_.push_back(PebsRecord{gva, latency_ns, is_store, now});
   ++stats_.records_written;
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/base/units.h"
+#include "src/fault/fault.h"
 #include "src/telemetry/tracer.h"
 
 namespace demeter {
@@ -78,6 +79,14 @@ class PebsUnit {
     trace_tid_ = tid;
   }
 
+  // Attaches the shared fault injector (null = fault-free). When armed,
+  // threshold-passing records can be lost before reaching the buffer
+  // (counted as records_dropped), modelling DS-area overflow races.
+  void BindFault(FaultInjector* fault, int vm_id) {
+    fault_ = fault;
+    fault_vm_ = vm_id;
+  }
+
   // Observes one memory access by the owning vCPU while in guest mode.
   // Returns the PMI cost in ns when this access triggered a PMI, else 0.
   double OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos now);
@@ -105,6 +114,8 @@ class PebsUnit {
   Tracer* tracer_ = nullptr;
   int trace_pid_ = 0;
   int trace_tid_ = 0;
+  FaultInjector* fault_ = nullptr;
+  int fault_vm_ = 0;
 };
 
 }  // namespace demeter

@@ -19,9 +19,16 @@ void HashMachineConfig(HashStream& h, const MachineConfig& config) {
   for (const TierSpec& tier : config.tiers) {
     HashTierSpec(h, tier);
   }
-  // capture_trace is deliberately NOT hashed: tracing is pure observability
-  // and must not reseed (and thereby change) the simulation it observes.
+  // capture_trace and check_invariants are deliberately NOT hashed: both
+  // are pure observability and must not reseed (and thereby change) the
+  // simulation they observe.
   h.U64(config.quantum).U64(config.batch_ops).U64(config.seed);
+  // Faults DO change behaviour, so a non-empty plan folds its canonical
+  // spec into the hash; the empty-plan hash is bit-identical to builds
+  // that predate fault injection.
+  if (!config.faults.empty()) {
+    h.Str(config.faults.ToSpec());
+  }
 }
 
 void HashDemeterConfig(HashStream& h, const DemeterConfig& d) {
@@ -44,6 +51,15 @@ void HashDemeterConfig(HashStream& h, const DemeterConfig& d) {
       .F64(d.poll_fixed_ns)
       .Bool(d.classify_virtual)
       .F64(d.translate_ns_per_sample);
+  // Degradation only acts on faulted runs; hashing it only when customized
+  // keeps every pre-existing spec hash stable.
+  if (!d.degradation.IsDefault()) {
+    h.Bool(d.degradation.enabled)
+        .U64(d.degradation.unresponsive_after)
+        .U64(d.degradation.watchdog_period)
+        .U64(d.degradation.host_round_period)
+        .U64(d.degradation.host_batch_pages);
+  }
 }
 
 void HashVmSetup(HashStream& h, const VmSetup& setup) {

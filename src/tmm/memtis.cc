@@ -20,6 +20,7 @@ void MemtisPolicy::Attach(Vm& vm, GuestProcess& process, Nanos start) {
     pebs.sample_period = config_.sample_period;
     pebs.latency_threshold_ns = config_.latency_threshold_ns;
     vm.vcpu(i).pebs = std::make_unique<PebsUnit>(pebs);
+    vm.vcpu(i).pebs->BindFault(vm.host().fault_injector(), vm.id());
     vm.vcpu(i).pebs->set_enabled(true);
     // PMI handler processes the overflowing buffer inline (translation +
     // histogram), charging the interrupted vCPU — at this sample frequency

@@ -25,6 +25,7 @@ struct VirtqueueStats {
   uint64_t pushed = 0;
   uint64_t delivered = 0;
   uint64_t kicks = 0;  // Doorbell notifications (VM exits / interrupts).
+  uint64_t backpressure = 0;  // TryPush refusals with the ring at capacity.
 };
 
 // Default costs: a doorbell write causing a VM exit is ~4 us; interrupt
@@ -66,6 +67,25 @@ class Virtqueue {
     return costs_.kick_cost_ns;
   }
 
+  // Bounds the ring for fault experiments; 0 (the default) keeps the
+  // pre-existing unbounded behaviour. Only TryPush honours the bound.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  bool full() const { return capacity_ > 0 && pending_.size() >= capacity_; }
+
+  // Like Push, but refuses (recording backpressure) when the ring is at
+  // capacity. Returns true and charges *cost_ns on success.
+  bool TryPush(Msg msg, Nanos now, double* cost_ns) {
+    if (full()) {
+      ++stats_.backpressure;
+      return false;
+    }
+    const double cost = Push(std::move(msg), now);
+    if (cost_ns != nullptr) {
+      *cost_ns += cost;
+    }
+    return true;
+  }
+
   size_t pending() const { return pending_.size(); }
   const VirtqueueStats& stats() const { return stats_; }
   const VirtqueueCosts& costs() const { return costs_; }
@@ -73,6 +93,7 @@ class Virtqueue {
  private:
   EventQueue* events_;
   VirtqueueCosts costs_;
+  size_t capacity_ = 0;  // 0 = unbounded.
   Consumer consumer_;
   std::deque<Msg> pending_;
   VirtqueueStats stats_;

@@ -1,0 +1,326 @@
+// src/fault: plan parsing, injector determinism, end-to-end injection
+// through the harness, balloon resilience under drops, the Demeter
+// degradation state machine, and the cross-layer invariant checker
+// (including that it actually catches deliberate corruption).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/fault/invariant_checker.h"
+#include "src/harness/machine.h"
+
+namespace demeter {
+namespace {
+
+// ------------------------------------------------------------ FaultPlan spec
+
+TEST(FaultPlanTest, EmptySpecIsEmptyPlan) {
+  const auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->ToSpec(), "");
+}
+
+TEST(FaultPlanTest, FullSpecRoundTrips) {
+  const std::string spec =
+      "bdelay=0.1/200us,bdrop=0.05,stall=5ms/25ms,crash=50ms/100ms,"
+      "vqcap=8,pebsdrop=0.25,migfail=0.1,tierex=0.02";
+  std::string error;
+  const auto plan = FaultPlan::Parse(spec, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->empty());
+  EXPECT_DOUBLE_EQ(plan->balloon_delay_p, 0.1);
+  EXPECT_EQ(plan->balloon_delay_ns, 200 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(plan->balloon_drop_p, 0.05);
+  EXPECT_EQ(plan->stall_duration_ns, 5 * kMillisecond);
+  EXPECT_EQ(plan->stall_period_ns, 25 * kMillisecond);
+  EXPECT_EQ(plan->crash_duration_ns, 50 * kMillisecond);
+  EXPECT_EQ(plan->crash_period_ns, 100 * kMillisecond);
+  EXPECT_EQ(plan->vq_capacity, 8u);
+  EXPECT_DOUBLE_EQ(plan->pebs_drop_p, 0.25);
+  EXPECT_DOUBLE_EQ(plan->migration_fail_p, 0.1);
+  EXPECT_DOUBLE_EQ(plan->tier_exhaust_p, 0.02);
+  // Canonicalization is a fixed point: Parse(ToSpec()) == plan.
+  const auto again = FaultPlan::Parse(plan->ToSpec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *plan);
+  EXPECT_EQ(again->ToSpec(), plan->ToSpec());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "nonsense",            // No key=value shape.
+      "bogus=1",             // Unknown key.
+      "bdrop=1.5",           // Probability out of range.
+      "bdrop=x",             // Not a number.
+      "bdelay=0.5",          // Missing the /duration half.
+      "bdelay=0.5/0",        // Delay needs a non-zero duration.
+      "stall=5ms",           // Missing the /period half.
+      "stall=50ms/10ms",     // Duration longer than period.
+      "crash=5ms/0",         // Zero period.
+      "vqcap=abc",           // Not an integer.
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(spec, &error).has_value()) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(FaultPlanTest, ProbabilityPerSite) {
+  const auto plan = FaultPlan::Parse("bdrop=0.3,pebsdrop=0.7");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kBalloonDrop), 0.3);
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kPebsSampleLoss), 0.7);
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kBalloonDelay), 0.0);
+  // Window and capacity sites are not probability-driven.
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kGuestStall), 0.0);
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kVirtqueueFull), 0.0);
+}
+
+// --------------------------------------------------------------- Injector
+
+std::vector<bool> Draw(FaultInjector& injector, FaultSite site, int vm, int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(injector.ShouldInject(site, vm));
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  const auto plan = FaultPlan::Parse("bdrop=0.5");
+  FaultInjector a(*plan, 42);
+  FaultInjector b(*plan, 42);
+  EXPECT_EQ(Draw(a, FaultSite::kBalloonDrop, 0, 256), Draw(b, FaultSite::kBalloonDrop, 0, 256));
+  FaultInjector c(*plan, 43);
+  EXPECT_NE(Draw(a, FaultSite::kBalloonDrop, 0, 256), Draw(c, FaultSite::kBalloonDrop, 0, 256));
+}
+
+TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
+  // Adding a second fault kind to the plan must not perturb the first
+  // site's decision stream, even when draws interleave.
+  const auto only_drop = FaultPlan::Parse("bdrop=0.3");
+  const auto both = FaultPlan::Parse("bdrop=0.3,pebsdrop=0.7");
+  FaultInjector a(*only_drop, 42);
+  FaultInjector b(*both, 42);
+  std::vector<bool> a_drops;
+  std::vector<bool> b_drops;
+  for (int i = 0; i < 256; ++i) {
+    a_drops.push_back(a.ShouldInject(FaultSite::kBalloonDrop, 0));
+    b_drops.push_back(b.ShouldInject(FaultSite::kBalloonDrop, 0));
+    (void)b.ShouldInject(FaultSite::kPebsSampleLoss, 0);  // Interleave.
+  }
+  EXPECT_EQ(a_drops, b_drops);
+}
+
+TEST(FaultInjectorTest, VmsDrawFromIndependentStreams) {
+  const auto plan = FaultPlan::Parse("bdrop=0.5");
+  FaultInjector injector(*plan, 42);
+  EXPECT_NE(Draw(injector, FaultSite::kBalloonDrop, 0, 256),
+            Draw(injector, FaultSite::kBalloonDrop, 1, 256));
+}
+
+TEST(FaultInjectorTest, CountsInjections) {
+  const auto plan = FaultPlan::Parse("bdrop=1");
+  FaultInjector injector(*plan, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.ShouldInject(FaultSite::kBalloonDrop, 0));
+  }
+  EXPECT_EQ(injector.injected(FaultSite::kBalloonDrop, 0), 10u);
+  EXPECT_EQ(injector.total_injected(FaultSite::kBalloonDrop), 10u);
+  EXPECT_EQ(injector.injected(FaultSite::kBalloonDrop, 1), 0u);
+}
+
+TEST(FaultInjectorTest, WindowsArePureFunctionsOfTime) {
+  const auto plan = FaultPlan::Parse("stall=5ms/20ms,crash=2ms/50ms");
+  FaultInjector injector(*plan, 42);
+  // Window k covers [k*period, k*period + duration) for k >= 1 — never t=0.
+  EXPECT_FALSE(injector.InStallWindow(0));
+  EXPECT_FALSE(injector.InStallWindow(3 * kMillisecond));
+  EXPECT_TRUE(injector.InStallWindow(20 * kMillisecond));
+  EXPECT_TRUE(injector.InStallWindow(25 * kMillisecond - 1));
+  EXPECT_FALSE(injector.InStallWindow(25 * kMillisecond));
+  EXPECT_TRUE(injector.InStallWindow(40 * kMillisecond));
+  EXPECT_EQ(injector.StallWindowEnd(21 * kMillisecond), 25 * kMillisecond);
+  EXPECT_FALSE(injector.InCrashWindow(0));
+  EXPECT_TRUE(injector.InCrashWindow(50 * kMillisecond));
+  EXPECT_FALSE(injector.InCrashWindow(52 * kMillisecond));
+  EXPECT_EQ(injector.CrashWindowEnd(50 * kMillisecond), 52 * kMillisecond);
+}
+
+// ------------------------------------------------- End-to-end through Machine
+
+MachineConfig FaultHost(const std::string& fault_spec, int vms = 1) {
+  MachineConfig config;
+  const uint64_t per_vm = 32 * kMiB;
+  config.tiers = {TierSpec::LocalDram(10 * kMiB * static_cast<uint64_t>(vms)),
+                  TierSpec::Pmem(3 * per_vm * static_cast<uint64_t>(vms))};
+  std::string error;
+  const auto plan = FaultPlan::Parse(fault_spec, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  config.faults = *plan;
+  return config;
+}
+
+VmSetup FaultVm(PolicyKind policy) {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = 32 * kMiB;
+  setup.vm.fmem_ratio = 0.2;
+  setup.vm.num_vcpus = 2;
+  setup.workload = "gups";
+  setup.footprint_bytes = 24 * kMiB;
+  setup.target_transactions = 150000;
+  setup.policy = policy;
+  setup.provision = ProvisionMode::kDemeterBalloon;
+  setup.policy_period = 15 * kMillisecond;
+  setup.demeter.range.epoch_length = 2 * kMillisecond;
+  setup.demeter.range.split_threshold = 4.0;
+  setup.demeter.sample_period = 97;
+  return setup;
+}
+
+TEST(MachineFaultTest, EmptyPlanCreatesNoInjector) {
+  Machine machine(FaultHost(""));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  EXPECT_EQ(machine.fault_injector(), nullptr);
+  // Fault-free runs expose no fault counters at all.
+  EXPECT_EQ(machine.result(0).metrics.Find("fault/balloon_drop_injected"), nullptr);
+}
+
+TEST(MachineFaultTest, ProbabilitySitesInjectAndAreCounted) {
+  // Balloon sites need high probabilities: a steady workload only issues a
+  // handful of balloon requests (initial provisioning), so low-probability
+  // draws can legitimately never fire there.
+  Machine machine(
+      FaultHost("bdelay=0.7/100us,bdrop=0.7,pebsdrop=0.25,migfail=0.2,tierex=0.05"));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  ASSERT_NE(machine.fault_injector(), nullptr);
+  const MetricSnapshot& m = machine.result(0).metrics;
+  EXPECT_GT(m.CounterValue("fault/balloon_delay_injected"), 0u);
+  EXPECT_GT(m.CounterValue("fault/balloon_drop_injected"), 0u);
+  EXPECT_GT(m.CounterValue("fault/pebs_sample_loss_injected"), 0u);
+  EXPECT_GT(m.CounterValue("fault/migration_fail_injected"), 0u);
+  EXPECT_GT(m.CounterValue("fault/tier_exhaustion_injected"), 0u);
+  // Dropped balloon requests must have forced timeouts and retransmits.
+  EXPECT_GT(m.CounterValue("balloon/timeouts"), 0u);
+  EXPECT_GT(m.CounterValue("balloon/retries"), 0u);
+}
+
+TEST(MachineFaultTest, BalloonSurvivesHeavyDrops) {
+  // With every other request lost, the retry/backoff machinery must still
+  // converge provisioning (possibly short, never wedged).
+  Machine machine(FaultHost("bdrop=0.5"));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  const VmRunResult& result = machine.result(0);
+  EXPECT_GE(result.transactions, 150000u);
+  EXPECT_GT(result.metrics.CounterValue("balloon/retries"), 0u);
+  // Retries are bounded: every abandonment implies max_retries timeouts.
+  EXPECT_LE(result.metrics.CounterValue("balloon/retries"),
+            result.metrics.CounterValue("balloon/timeouts"));
+}
+
+TEST(MachineFaultTest, DegradationEntersAndRecovers) {
+  // Crash the guest engine for 4 ms of every 10 ms with 1 ms epochs: the
+  // watchdog must degrade during windows and re-delegate after them.
+  MachineConfig host = FaultHost("crash=4ms/10ms");
+  Machine machine(host);
+  VmSetup setup = FaultVm(PolicyKind::kDemeter);
+  setup.demeter.range.epoch_length = 1 * kMillisecond;
+  setup.demeter.degradation.unresponsive_after = 2 * kMillisecond;
+  setup.demeter.degradation.watchdog_period = 1 * kMillisecond;
+  setup.target_transactions = 400000;
+  machine.AddVm(setup);
+  machine.Run();
+  const MetricSnapshot& m = machine.result(0).metrics;
+  EXPECT_GT(m.CounterValue("policy/degraded_entries"), 0u);
+  EXPECT_GT(m.CounterValue("policy/recoveries"), 0u);
+  EXPECT_GT(m.CounterValue("policy/epochs_deferred"), 0u);
+  EXPECT_LE(m.CounterValue("policy/recoveries"), m.CounterValue("policy/degraded_entries"));
+}
+
+TEST(MachineFaultTest, NoFallbackAblationNeverDegrades) {
+  MachineConfig host = FaultHost("crash=4ms/10ms");
+  Machine machine(host);
+  VmSetup setup = FaultVm(PolicyKind::kDemeter);
+  setup.demeter.range.epoch_length = 1 * kMillisecond;
+  setup.demeter.degradation.enabled = false;
+  setup.target_transactions = 400000;
+  machine.AddVm(setup);
+  machine.Run();
+  const MetricSnapshot& m = machine.result(0).metrics;
+  // Epochs still defer (the guest suffers the crash), but no watchdog acts.
+  EXPECT_GT(m.CounterValue("policy/epochs_deferred"), 0u);
+  EXPECT_EQ(m.CounterValue("policy/degraded_entries"), 0u);
+  EXPECT_EQ(m.CounterValue("policy/host_migrations"), 0u);
+}
+
+// ------------------------------------------------------- Invariant checker
+
+TEST(InvariantCheckerTest, CleanRunPasses) {
+  Machine machine(FaultHost(""));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+  EXPECT_GT(report.gpt_pages_audited, 0u);
+  EXPECT_GT(report.ept_pages_audited, 0u);
+}
+
+TEST(InvariantCheckerTest, FaultedRunPasses) {
+  // Faults must degrade performance, never consistency.
+  Machine machine(FaultHost("bdrop=0.3,stall=2ms/8ms,crash=3ms/20ms,migfail=0.2,tierex=0.05"));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+TEST(InvariantCheckerTest, CatchesEptDoubleMapping) {
+  Machine machine(FaultHost(""));
+  machine.AddVm(FaultVm(PolicyKind::kStatic));
+  machine.Run();
+  ASSERT_TRUE(machine.CheckInvariants().ok());
+  // Deliberately point one gPA at another's frame: the frame now backs two
+  // guest pages, which the EPT/host-allocator bijection must flag.
+  std::vector<std::pair<PageNum, uint64_t>> backed;
+  machine.vm(0).ept().ForEachPresent(0, PageTable::kMaxPage,
+                                     [&](PageNum gpa, uint64_t frame, bool, bool) {
+                                       if (backed.size() < 2) {
+                                         backed.emplace_back(gpa, frame);
+                                       }
+                                     });
+  ASSERT_GE(backed.size(), 2u);
+  ASSERT_TRUE(machine.vm(0).ept().Remap(backed[0].first, backed[1].second));
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(InvariantCheckerTest, CatchesFreedBackingFrame) {
+  Machine machine(FaultHost(""));
+  machine.AddVm(FaultVm(PolicyKind::kStatic));
+  machine.Run();
+  ASSERT_TRUE(machine.CheckInvariants().ok());
+  // Free a frame the EPT still references: a dangling backing pointer.
+  std::vector<uint64_t> frames;
+  machine.vm(0).ept().ForEachPresent(0, PageTable::kMaxPage,
+                                     [&](PageNum, uint64_t frame, bool, bool) {
+                                       if (frames.empty()) {
+                                         frames.push_back(frame);
+                                       }
+                                     });
+  ASSERT_EQ(frames.size(), 1u);
+  machine.hypervisor().memory().Free(frames[0]);
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace demeter

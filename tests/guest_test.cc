@@ -203,6 +203,24 @@ TEST(GuestKernel, OomWhenAllNodesDry) {
   EXPECT_EQ(kernel.stats().oom_failures, 1u);
 }
 
+TEST(GuestKernel, OomPathChargesZonelistWalk) {
+  // Regression: the failed fallback walk used to charge nothing, making an
+  // OOM'd allocation cheaper than a successful one.
+  GuestKernel kernel(SmallKernelConfig(2, 2));
+  GuestProcess& proc = kernel.CreateProcess();
+  double cost = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(kernel.HandleFault(proc, static_cast<PageNum>(i), &cost).has_value());
+  }
+  double oom_cost = 0.0;
+  EXPECT_FALSE(kernel.AllocGpa(0, /*allow_fallback=*/true, &oom_cost).has_value());
+  EXPECT_GT(oom_cost, 0.0) << "the zonelist walk happened; it must be charged";
+  // Without fallback there is no walk, so no charge.
+  double direct_cost = 0.0;
+  EXPECT_FALSE(kernel.AllocGpa(0, /*allow_fallback=*/false, &direct_cost).has_value());
+  EXPECT_EQ(direct_cost, 0.0);
+}
+
 TEST(GuestKernel, OnPageMovedUpdatesRmap) {
   GuestKernel kernel(SmallKernelConfig());
   GuestProcess& proc = kernel.CreateProcess();

@@ -340,5 +340,33 @@ TEST_F(HyperTest, HostTierFallbackUnderPressure) {
   EXPECT_EQ(vm.stats().accesses + vm2.stats().accesses, pages + pages2);
 }
 
+TEST(HyperFallbackAccounting, FallbacksCountOnlySuccessfulSpills) {
+  // Regression: a spill attempt that found every tier dry used to bump
+  // host_tier_fallbacks anyway, so the counter overstated off-tier
+  // placements under total exhaustion.
+  HostMemory memory({TierSpec::LocalDram(4 * kPageSize), TierSpec::Pmem(4 * kPageSize)});
+  EventQueue events;
+  Hypervisor hyper(&memory, &events);
+  VmConfig config;
+  config.id = 0;
+  config.total_memory_bytes = 16 * kPageSize;
+  Vm& vm = hyper.CreateVm(config);
+  // FMEM-node gPAs 0..3 fill the DRAM tier exactly: no fallback.
+  for (PageNum gpa = 0; gpa < 4; ++gpa) {
+    EXPECT_NE(hyper.PopulateEpt(vm, gpa), kInvalidFrame);
+  }
+  EXPECT_EQ(hyper.stats().host_tier_fallbacks, 0u);
+  // Four more FMEM-node gPAs spill to pmem: one fallback per placement.
+  for (PageNum gpa = 4; gpa < 8; ++gpa) {
+    EXPECT_NE(hyper.PopulateEpt(vm, gpa), kInvalidFrame);
+  }
+  EXPECT_EQ(hyper.stats().host_tier_fallbacks, 4u);
+  // Both tiers dry: host OOM must NOT count as a fallback.
+  EXPECT_EQ(hyper.PopulateEpt(vm, 8), kInvalidFrame);
+  EXPECT_EQ(hyper.PopulateEpt(vm, 9), kInvalidFrame);
+  EXPECT_EQ(hyper.stats().host_tier_fallbacks, 4u);
+  EXPECT_EQ(hyper.stats().ept_populates, 8u);
+}
+
 }  // namespace
 }  // namespace demeter

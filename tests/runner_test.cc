@@ -149,6 +149,38 @@ TEST(ExperimentSpecTest, ContentHashIsContentOnly) {
   EXPECT_EQ(DeriveSeed(a), DeriveSeed(b));
 }
 
+TEST(ExperimentSpecTest, EmptyFaultPlanLeavesHashUnchanged) {
+  // An empty plan must hash exactly like a spec that predates the fault
+  // subsystem, so every pre-existing experiment keeps its seed (and thus
+  // its bit-identical results).
+  const ExperimentSpec base = SmallSpec("x", "gups", PolicyKind::kDemeter);
+  ExperimentSpec with_empty = base;
+  with_empty.config.faults = FaultPlan{};
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(with_empty));
+}
+
+TEST(ExperimentSpecTest, FaultPlanAndDegradationReseed) {
+  const ExperimentSpec base = SmallSpec("x", "gups", PolicyKind::kDemeter);
+  ExperimentSpec faulted = base;
+  faulted.config.faults = *FaultPlan::Parse("bdrop=0.1");
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(faulted));
+  ExperimentSpec other_fault = faulted;
+  other_fault.config.faults = *FaultPlan::Parse("bdrop=0.2");
+  EXPECT_NE(SpecContentHash(faulted), SpecContentHash(other_fault));
+  // Observability toggles must NOT reseed: they observe the run, they are
+  // not part of it.
+  ExperimentSpec checked = base;
+  checked.config.check_invariants = true;
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(checked));
+  // Non-default degradation settings are behaviour, so they do reseed.
+  ExperimentSpec degraded = base;
+  degraded.vms[0].demeter.degradation.host_batch_pages = 64;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(degraded));
+  ExperimentSpec ablation = base;
+  ablation.vms[0].demeter.degradation.enabled = false;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(ablation));
+}
+
 TEST(ExperimentSpecTest, AnyFieldChangeReseeds) {
   const ExperimentSpec base = SmallSpec("x", "gups", PolicyKind::kDemeter);
   ExperimentSpec renamed = base;
@@ -236,12 +268,19 @@ TEST(RunnerTest, TransientFailureIsRetriedOnce) {
 // ----------------------------------------------- Determinism across --jobs=N
 
 std::vector<ExperimentSpec> DeterminismSpecs() {
-  return {
+  std::vector<ExperimentSpec> specs = {
       SmallSpec("a", "gups", PolicyKind::kDemeter, 80000),
       SmallSpec("b", "gups", PolicyKind::kTpp, 80000),
       SmallSpec("c", "btree", PolicyKind::kDemeter, 60000),
       SmallSpec("d", "gups", PolicyKind::kMemtis, 80000),
   };
+  // A faulted spec rides along so --jobs determinism covers the injector
+  // (its streams must key off the spec seed, never thread identity).
+  ExperimentSpec faulted = SmallSpec("e", "gups", PolicyKind::kDemeter, 80000);
+  faulted.config.faults =
+      *FaultPlan::Parse("bdrop=0.3,stall=2ms/8ms,crash=3ms/20ms,pebsdrop=0.3,migfail=0.2");
+  specs.push_back(faulted);
+  return specs;
 }
 
 std::vector<ExperimentResult> RunWithJobs(int jobs) {
