@@ -13,6 +13,7 @@
 #include "src/mmu/tlb.h"
 #include "src/mmu/walker.h"
 #include "src/pebs/pebs.h"
+#include "src/sim/event_queue.h"
 
 namespace demeter {
 namespace {
@@ -83,6 +84,43 @@ void BM_Translate2dMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_Translate2dMiss);
 
+void BM_Translate2dHitWrite(benchmark::State& state) {
+  // The hottest path in the whole simulation: a TLB-hit write, which also
+  // runs the A/D micro-walk through both page tables (leaf-cache served).
+  Tlb tlb;
+  PageTable gpt;
+  PageTable ept;
+  MmuCosts costs;
+  for (PageNum p = 0; p < 1024; ++p) {
+    gpt.Map(p, p, true);
+    ept.Map(p, p, true);
+    tlb.Insert(p, p);
+  }
+  PageNum p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Translate2D(tlb, gpt, ept, p & 1023, true, costs));
+    ++p;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Translate2dHitWrite);
+
+void BM_TlbInvalidateAll(benchmark::State& state) {
+  // Hypervisor-side tracking full-flushes every scan round; with the epoch
+  // scheme this is O(1) instead of an 8K-entry sweep. Re-insert a few
+  // entries each round so the flush always has something live to drop.
+  Tlb tlb;
+  PageNum p = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      tlb.Insert(p++, p);
+    }
+    tlb.InvalidateAll();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbInvalidateAll);
+
 void BM_PageTableScanAndClear(benchmark::State& state) {
   PageTable pt;
   const PageNum pages = static_cast<PageNum>(state.range(0));
@@ -124,6 +162,39 @@ void BM_PebsOnAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PebsOnAccess);
+
+void BM_EventQueueSchedulePop(benchmark::State& state) {
+  // Schedule/fire churn as the simulation main loop drives timers: measures
+  // heap push/pop plus the move-only callback hand-off.
+  EventQueue q;
+  Nanos now = 0;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    q.Schedule(now + 100, [&sink](Nanos) { ++sink; });
+    q.Schedule(now + 50, [&sink](Nanos) { ++sink; });
+    now += 60;
+    q.RunUntil(now);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSchedulePop);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Balloon timeouts follow schedule -> cancel for nearly every request;
+  // the old linear cancelled-list scan made this quadratic over a run.
+  EventQueue q;
+  Nanos now = 0;
+  for (auto _ : state) {
+    const uint64_t id = q.Schedule(now + 1000, [](Nanos) {});
+    q.Schedule(now + 10, [](Nanos) {});
+    benchmark::DoNotOptimize(q.Cancel(id));
+    now += 20;
+    q.RunUntil(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelChurn);
 
 void BM_HistogramRecord(benchmark::State& state) {
   Histogram histogram;

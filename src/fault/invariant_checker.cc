@@ -118,6 +118,23 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
       ++tier_mapped[static_cast<size_t>(memory.TierOf(frame))];
     });
 
+    // ---- 4b: migrations never lose dirty state ---------------------------
+    // Remap preserves A/D by construction; the counters make any future
+    // regression visible on every --check run, across both dimensions.
+    if (vm.ept().remap_dirty_lost() != 0) {
+      report.violations.push_back(prefix + "EPT dropped a Dirty bit on " +
+                                  std::to_string(vm.ept().remap_dirty_lost()) + " of " +
+                                  std::to_string(vm.ept().remap_count()) + " remaps");
+    }
+    for (const auto& process : kernel.processes()) {
+      if (process->gpt().remap_dirty_lost() != 0) {
+        report.violations.push_back(prefix + "pid " + std::to_string(process->pid()) +
+                                    " GPT dropped a Dirty bit on " +
+                                    std::to_string(process->gpt().remap_dirty_lost()) + " of " +
+                                    std::to_string(process->gpt().remap_count()) + " remaps");
+      }
+    }
+
     // ---- 5: TLB validity --------------------------------------------------
     for (int v = 0; v < vm.num_vcpus(); ++v) {
       vm.vcpu(v).tlb.ForEachValid([&](PageNum vpn, FrameId frame) {

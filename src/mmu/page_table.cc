@@ -7,26 +7,50 @@ namespace demeter {
 PageTable::PageTable() : root_(std::make_unique<Node>()) {}
 PageTable::~PageTable() = default;
 
-uint64_t* PageTable::FindEntry(PageNum vpn) const {
+PageTable::Node* PageTable::FindLeaf(PageNum vpn) const {
+  const PageNum tag = vpn >> kBitsPerLevel;
+  LeafCacheSlot& slot = leaf_cache_[static_cast<size_t>(tag) & (kLeafCacheSlots - 1)];
+  if (slot.tag == tag && slot.epoch == structure_epoch_) {
+    return slot.leaf;
+  }
   Node* node = root_.get();
   for (int level = 0; level < kLevels - 1; ++level) {
     Node* child = node->children[static_cast<size_t>(IndexAt(vpn, level))].get();
     if (child == nullptr) {
-      return nullptr;
+      return nullptr;  // Absent subtrees are not cached (Map may create them).
     }
     node = child;
   }
-  return &node->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
+  slot.tag = tag;
+  slot.leaf = node;
+  slot.epoch = structure_epoch_;
+  return node;
+}
+
+uint64_t* PageTable::FindEntry(PageNum vpn) const {
+  Node* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return nullptr;
+  }
+  return &leaf->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
 }
 
 uint64_t* PageTable::FindOrCreateEntry(PageNum vpn) {
   Node* node = root_.get();
+  bool created = false;
   for (int level = 0; level < kLevels - 1; ++level) {
     auto& slot = node->children[static_cast<size_t>(IndexAt(vpn, level))];
     if (slot == nullptr) {
       slot = std::make_unique<Node>();
+      created = true;
     }
     node = slot.get();
+  }
+  if (created) {
+    // Structure changed: conservatively invalidate the whole walk cache by
+    // bumping the epoch (node creation is rare — once per 512 mapped pages
+    // in the worst case — next to the walks the cache serves).
+    ++structure_epoch_;
   }
   return &node->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
 }
@@ -59,23 +83,41 @@ bool PageTable::Remap(PageNum vpn, uint64_t new_target) {
   if (pte == nullptr || (*pte & PteFlags::kPresent) == 0) {
     return false;
   }
-  const uint64_t writable = *pte & PteFlags::kWritable;
-  *pte = (new_target << PteFlags::kTargetShift) | PteFlags::kPresent | writable;
+  // Migration-entry semantics: only the target changes; Writable, Accessed
+  // and Dirty travel with the page (clearing D here silently lost the "page
+  // was written since last writeback/track" fact across every migration).
+  const uint64_t flags =
+      *pte & (PteFlags::kWritable | PteFlags::kAccessed | PteFlags::kDirty);
+  const bool was_dirty = (*pte & PteFlags::kDirty) != 0;
+  *pte = (new_target << PteFlags::kTargetShift) | PteFlags::kPresent | flags;
+  ++remap_count_;
+  if (was_dirty && (*pte & PteFlags::kDirty) == 0) {
+    ++remap_dirty_lost_;  // Structurally unreachable; audited by --check.
+  }
   return true;
 }
 
 PageTable::WalkResult PageTable::Translate(PageNum vpn, bool is_write, bool set_bits) {
   WalkResult result;
-  Node* node = root_.get();
-  for (int level = 0; level < kLevels - 1; ++level) {
-    ++result.levels_touched;
-    Node* child = node->children[static_cast<size_t>(IndexAt(vpn, level))].get();
-    if (child == nullptr) {
-      return result;
+  // Memoized walk: a warm leaf-cache slot replaces the radix descent. Cost
+  // accounting is unchanged — a cached leaf exists, so the descent it
+  // replaces would have touched exactly kLevels entries; partial (faulting)
+  // walks never come from the cache and still report their true depth.
+  Node* node = FindLeaf(vpn);
+  if (node == nullptr) {
+    // Absent subtree: count the levels actually touched, as before.
+    Node* cursor = root_.get();
+    for (int level = 0; level < kLevels - 1; ++level) {
+      ++result.levels_touched;
+      Node* child = cursor->children[static_cast<size_t>(IndexAt(vpn, level))].get();
+      if (child == nullptr) {
+        return result;
+      }
+      cursor = child;
     }
-    node = child;
+    DEMETER_CHECK(false) << "FindLeaf returned null for a complete subtree";
   }
-  ++result.levels_touched;
+  result.levels_touched = kLevels;
   uint64_t& pte = node->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
   if ((pte & PteFlags::kPresent) == 0) {
     return result;

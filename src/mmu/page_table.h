@@ -59,8 +59,10 @@ class PageTable {
   // Removes the mapping. Returns the old target, or ~0 if not mapped.
   uint64_t Unmap(PageNum vpn);
 
-  // Re-points an existing mapping at a new target, clearing A/D. Returns
-  // false if vpn was not mapped.
+  // Re-points an existing mapping at a new target, preserving the
+  // Writable/Accessed/Dirty flags (Linux migration-entry semantics: a page
+  // that is dirty or young at migration time stays dirty/young at its new
+  // location). Returns false if vpn was not mapped.
   bool Remap(PageNum vpn, uint64_t new_target);
 
   // Hardware-walk emulation: descends the tree; when `set_bits` is true and
@@ -90,16 +92,44 @@ class PageTable {
 
   uint64_t mapped_count() const { return mapped_count_; }
 
+  // ---- Audit hooks (InvariantChecker) -------------------------------------
+  // Remaps performed, and remaps that dropped a set Dirty bit. The second
+  // counter is the cross-layer invariant "migration never loses dirty
+  // state": Remap preserves A/D by construction, and the checker asserts
+  // this stays zero so any future Remap edit that regresses it is caught by
+  // every `--check` run, not just the unit test.
+  uint64_t remap_count() const { return remap_count_; }
+  uint64_t remap_dirty_lost() const { return remap_dirty_lost_; }
+
  private:
   struct Node {
     std::array<uint64_t, kFanout> entries{};
     std::array<std::unique_ptr<Node>, kFanout> children{};
-    int live = 0;  // Present leaves or live children below each slot.
   };
 
   static int IndexAt(PageNum vpn, int level) {
     return static_cast<int>((vpn >> (kBitsPerLevel * (kLevels - 1 - level))) & (kFanout - 1));
   }
+
+  // Memoized descent: maps vpn's leaf-node tag (vpn >> kBitsPerLevel) to the
+  // leaf Node* so hot regions skip the 3-level pointer chase. Entries are
+  // validated against structure_epoch_, which bumps whenever the radix tree
+  // allocates a node (the only structural change today — nodes are never
+  // freed, so cached pointers cannot dangle; the epoch additionally protects
+  // any future reclamation path). Only successful full descents are cached,
+  // so cost accounting (levels_touched) is byte-identical: a cached leaf
+  // means the uncached walk would have touched exactly kLevels entries.
+  struct LeafCacheSlot {
+    PageNum tag = ~0ULL;
+    Node* leaf = nullptr;
+    uint64_t epoch = 0;
+  };
+  static constexpr size_t kLeafCacheSlots = 1024;  // Power of two.
+  static_assert((kLeafCacheSlots & (kLeafCacheSlots - 1)) == 0);
+
+  // Leaf node containing vpn's PTE, or nullptr if the subtree is absent.
+  // Serves from the leaf cache when warm; installs on a successful descent.
+  Node* FindLeaf(PageNum vpn) const;
 
   uint64_t* FindEntry(PageNum vpn) const;
   uint64_t* FindOrCreateEntry(PageNum vpn);
@@ -110,6 +140,10 @@ class PageTable {
 
   std::unique_ptr<Node> root_;
   uint64_t mapped_count_ = 0;
+  uint64_t structure_epoch_ = 1;
+  mutable std::array<LeafCacheSlot, kLeafCacheSlots> leaf_cache_{};
+  uint64_t remap_count_ = 0;
+  uint64_t remap_dirty_lost_ = 0;
 };
 
 }  // namespace demeter

@@ -22,7 +22,7 @@ FrameId Tlb::Lookup(PageNum vpn) {
   const size_t base = SetOf(vpn);
   for (int w = 0; w < ways_; ++w) {
     Entry& e = entries_[base + static_cast<size_t>(w)];
-    if (e.valid && e.vpn == vpn) {
+    if (IsLive(e) && e.vpn == vpn) {
       e.lru_tick = ++tick_;
       ++stats_.hits;
       return e.frame;
@@ -37,20 +37,21 @@ void Tlb::Insert(PageNum vpn, FrameId frame) {
   Entry* victim = nullptr;
   for (int w = 0; w < ways_; ++w) {
     Entry& e = entries_[base + static_cast<size_t>(w)];
-    if (e.valid && e.vpn == vpn) {
+    if (IsLive(e) && e.vpn == vpn) {
       e.frame = frame;
       e.lru_tick = ++tick_;
       return;
     }
-    if (!e.valid) {
+    if (!IsLive(e)) {
       victim = &e;
-    } else if (victim == nullptr || (victim->valid && e.lru_tick < victim->lru_tick)) {
+    } else if (victim == nullptr || (IsLive(*victim) && e.lru_tick < victim->lru_tick)) {
       victim = &e;
     }
   }
   victim->vpn = vpn;
   victim->frame = frame;
   victim->lru_tick = ++tick_;
+  victim->epoch = epoch_;
   victim->valid = true;
 }
 
@@ -59,7 +60,7 @@ void Tlb::InvalidatePage(PageNum vpn) {
   const size_t base = SetOf(vpn);
   for (int w = 0; w < ways_; ++w) {
     Entry& e = entries_[base + static_cast<size_t>(w)];
-    if (e.valid && e.vpn == vpn) {
+    if (IsLive(e) && e.vpn == vpn) {
       e.valid = false;
       return;
     }
@@ -68,9 +69,9 @@ void Tlb::InvalidatePage(PageNum vpn) {
 
 void Tlb::InvalidateAll() {
   ++stats_.full_flushes;
-  for (Entry& e : entries_) {
-    e.valid = false;
-  }
+  // Epoch bump: every existing entry becomes stale without being touched.
+  // A 64-bit counter cannot plausibly wrap within a simulation.
+  ++epoch_;
   // Paging-structure caches are gone too; the next ~capacity misses walk
   // cold. A second invalidation before the rewarm completes cannot make the
   // caches any colder — it only restarts the rewarm window — so the budget

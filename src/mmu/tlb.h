@@ -57,6 +57,13 @@ class Tlb {
   // dropping every translation, a full invalidation also destroys the
   // paging-structure caches, so the refill walks that follow are slower:
   // ConsumeWalkFactor() returns the cost multiplier for the next miss.
+  //
+  // O(1): instead of sweeping sets*ways entries, the TLB carries a
+  // generation counter (epoch); every entry is tagged with the epoch it was
+  // inserted under, and entries from older epochs are treated exactly like
+  // invalid ones everywhere (lookup, victim selection, audits). Policies
+  // that full-flush per scan round (hypervisor-side designs flush every
+  // epoch) used to pay an 8K-entry sweep per flush.
   void InvalidateAll();
 
   // Walk-cost multiplier for a miss happening now; decays as the
@@ -67,7 +74,7 @@ class Tlb {
   template <typename Fn>
   void ForEachValid(Fn&& fn) const {
     for (const Entry& entry : entries_) {
-      if (entry.valid) {
+      if (entry.valid && entry.epoch == epoch_) {
         fn(entry.vpn, entry.frame);
       }
     }
@@ -83,8 +90,14 @@ class Tlb {
     PageNum vpn = ~0ULL;
     FrameId frame = kInvalidFrame;
     uint64_t lru_tick = 0;
+    uint64_t epoch = 0;  // Insertion epoch; stale (< epoch_) means invalid.
     bool valid = false;
   };
+
+  // An entry participates in lookups and LRU only when it is valid AND was
+  // inserted under the current epoch; anything older was dropped by a full
+  // invalidation that never touched the entry itself.
+  bool IsLive(const Entry& e) const { return e.valid && e.epoch == epoch_; }
 
   size_t SetOf(PageNum vpn) const;
 
@@ -92,6 +105,7 @@ class Tlb {
   int ways_;
   std::vector<Entry> entries_;  // num_sets_ * ways_, set-major.
   uint64_t tick_ = 0;
+  uint64_t epoch_ = 1;       // Bumped by InvalidateAll; entries start stale.
   uint64_t cold_walks_ = 0;  // Misses left that pay the cold-walk multiplier.
   TlbStats stats_;
 

@@ -14,10 +14,16 @@ TranslationResult Translate2D(Tlb& tlb, PageTable& gpt, PageTable& ept, PageNum 
     // A/D bits: hardware sets them on the TLB-fill walk; a hit does not
     // re-set them. On writes the D bit must be set, which hardware does by
     // re-walking when the cached entry lacks the dirty permission; we fold
-    // that into the leaf update below without charging a full walk.
+    // that microcode walk into leaf updates in BOTH dimensions without
+    // charging a full walk. The EPT leaf is reached via the gPA recorded in
+    // the GPT leaf — dropping it here left hypervisor-side dirty tracking
+    // blind to every write that hit the TLB.
     if (is_write) {
-      gpt.Translate(vpn, /*is_write=*/true, /*set_bits=*/true);
-      // EPT dirty bit needs the gPA, recorded in the GPT leaf we just read.
+      const PageTable::WalkResult gpt_leaf =
+          gpt.Translate(vpn, /*is_write=*/true, /*set_bits=*/true);
+      if (gpt_leaf.present) {
+        ept.Translate(gpt_leaf.target, /*is_write=*/true, /*set_bits=*/true);
+      }
     }
     return result;
   }

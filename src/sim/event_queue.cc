@@ -1,54 +1,38 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
-
-#include "src/base/logging.h"
+#include <utility>
 
 namespace demeter {
 
 uint64_t EventQueue::Schedule(Nanos when, Callback cb) {
   const uint64_t id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
-  ++live_count_;
+  heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
   return id;
 }
 
 bool EventQueue::Cancel(uint64_t id) {
-  if (id == 0 || id >= next_id_ || IsCancelled(id)) {
+  if (live_.erase(id) == 0) {
     return false;
   }
-  // Lazy cancellation: remember the id; the event is dropped when popped.
-  // We cannot verify liveness cheaply, so over-approximating is fine — a
-  // cancel of an already-fired id is detected at pop time (id not present)
-  // and the entry ages out of `cancelled_` on the next pop cycle.
-  cancelled_.push_back(id);
-  if (live_count_ > 0) {
-    --live_count_;
-  }
+  // The heap entry stays put and is dropped at pop time; the hash set makes
+  // that check O(1) and the tombstone is erased exactly once.
+  cancelled_.insert(id);
   return true;
-}
-
-bool EventQueue::IsCancelled(uint64_t id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
-}
-
-void EventQueue::ForgetCancelled(uint64_t id) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it != cancelled_.end()) {
-    cancelled_.erase(it);
-  }
 }
 
 size_t EventQueue::RunUntil(Nanos until) {
   size_t fired = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (IsCancelled(ev.id)) {
-      ForgetCancelled(ev.id);
+  while (!heap_.empty() && heap_.front().when <= until) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_.erase(ev.id) > 0) {
       continue;
     }
-    --live_count_;
+    live_.erase(ev.id);
     ++fired;
     ev.cb(ev.when);
   }
@@ -56,9 +40,7 @@ size_t EventQueue::RunUntil(Nanos until) {
 }
 
 Nanos EventQueue::NextEventTime() const {
-  // Cancelled events may sit at the top; callers treat this as a lower
-  // bound, which is safe for lock-step advancement.
-  return heap_.empty() ? kNoEvent : heap_.top().when;
+  return heap_.empty() ? kNoEvent : heap_.front().when;
 }
 
 }  // namespace demeter

@@ -23,6 +23,7 @@ void GupsHotset::Setup(GuestProcess& process, Rng& rng) {
 
 void GupsHotset::NextBatch(int worker, size_t count, Rng& rng, std::vector<AccessOp>* ops) {
   (void)worker;
+  ops->reserve(ops->size() + count);
   for (size_t i = 0; i + 1 < count; i += 2) {
     uint64_t addr;
     if (rng.NextBool(hot_probability_)) {

@@ -33,6 +33,34 @@ TEST(PageTable, RemapChangesTarget) {
   EXPECT_FALSE(pt.Remap(8, 3));
 }
 
+// Regression: Remap used to rebuild the PTE from scratch, silently clearing
+// Accessed and Dirty — every migration of a dirty page lost the "written
+// since last writeback/track" fact (Linux migration entries preserve both).
+TEST(PageTable, RemapPreservesAccessedAndDirty) {
+  PageTable pt;
+  pt.Map(7, 1, true);
+  pt.Translate(7, /*is_write=*/true, /*set_bits=*/true);  // Sets A and D.
+  ASSERT_TRUE(pt.Remap(7, 2));
+  const auto r = pt.Lookup(7);
+  EXPECT_TRUE(r.present);
+  EXPECT_EQ(r.target, 2u);
+  EXPECT_TRUE(r.was_accessed) << "migration must not lose the young bit";
+  EXPECT_TRUE(r.was_dirty) << "migration must not lose the dirty bit";
+  EXPECT_EQ(pt.remap_count(), 1u);
+  EXPECT_EQ(pt.remap_dirty_lost(), 0u);
+}
+
+TEST(PageTable, RemapDoesNotInventDirtiness) {
+  PageTable pt;
+  pt.Map(7, 1, true);
+  pt.Translate(7, /*is_write=*/false, /*set_bits=*/true);  // A only.
+  ASSERT_TRUE(pt.Remap(7, 2));
+  const auto r = pt.Lookup(7);
+  EXPECT_TRUE(r.was_accessed);
+  EXPECT_FALSE(r.was_dirty) << "a clean page stays clean across migration";
+  EXPECT_EQ(pt.remap_dirty_lost(), 0u);
+}
+
 TEST(PageTable, TranslateSetsAccessedAndDirty) {
   PageTable pt;
   pt.Map(42, 9, true);
@@ -79,6 +107,44 @@ TEST(PageTable, LevelsTouched) {
   EXPECT_EQ(pt.Translate(0, false, false).levels_touched, PageTable::kLevels);
   // A page in a completely unpopulated subtree stops at level 1.
   EXPECT_EQ(pt.Translate(PageTable::kMaxPage - 1, false, false).levels_touched, 1);
+}
+
+// The memoized leaf-node cache must be invisible: repeated translations
+// return identical results (including levels_touched, which feeds cost
+// accounting), and structural changes are never served stale.
+TEST(PageTable, WalkCacheRepeatTranslateIsIdentical) {
+  PageTable pt;
+  pt.Map(12345, 9, true);
+  const auto cold = pt.Translate(12345, true, true);
+  const auto warm = pt.Translate(12345, true, true);  // Cache hit path.
+  EXPECT_EQ(warm.present, cold.present);
+  EXPECT_EQ(warm.target, cold.target);
+  EXPECT_EQ(warm.levels_touched, cold.levels_touched);
+  EXPECT_EQ(warm.levels_touched, PageTable::kLevels);
+}
+
+TEST(PageTable, WalkCacheSeesUnmapImmediately) {
+  PageTable pt;
+  pt.Map(12345, 9, true);
+  pt.Translate(12345, false, false);  // Warm the leaf cache.
+  pt.Unmap(12345);
+  const auto r = pt.Translate(12345, false, false);
+  EXPECT_FALSE(r.present);
+  // The subtree still exists (nodes are never freed), so the walk still
+  // touches every level — cost accounting is structure-based, not
+  // presence-based.
+  EXPECT_EQ(r.levels_touched, PageTable::kLevels);
+}
+
+TEST(PageTable, WalkCacheSurvivesMapIntoNewSubtree) {
+  PageTable pt;
+  pt.Map(0, 1, true);
+  pt.Translate(0, false, false);  // Cache leaf for vpn 0.
+  // Mapping far away allocates nodes -> structure epoch bumps; the cached
+  // leaf for vpn 0 must be re-validated, not served stale or wrongly missed.
+  pt.Map(PageTable::kMaxPage - 1, 2, true);
+  EXPECT_TRUE(pt.Translate(0, false, false).present);
+  EXPECT_TRUE(pt.Translate(PageTable::kMaxPage - 1, false, false).present);
 }
 
 TEST(PageTable, ForEachPresentVisitsRange) {
@@ -219,6 +285,66 @@ TEST(Tlb, InvalidateAllFlushesEverything) {
   }
 }
 
+// The O(1) epoch-bump InvalidateAll must be indistinguishable from the old
+// entry-by-entry sweep: stale entries are invisible to audits, cannot
+// resurrect, and their slots are reusable.
+TEST(Tlb, InvalidateAllHidesEntriesFromForEachValid) {
+  Tlb tlb;
+  for (PageNum p = 0; p < 100; ++p) {
+    tlb.Insert(p, p);
+  }
+  tlb.InvalidateAll();
+  int visited = 0;
+  tlb.ForEachValid([&](PageNum, FrameId) { ++visited; });
+  EXPECT_EQ(visited, 0) << "stale-epoch entries leaked into an audit walk";
+}
+
+TEST(Tlb, ReinsertAfterInvalidateAllDoesNotResurrectNeighbors) {
+  Tlb tlb(/*num_sets=*/1, /*ways=*/4);  // One set: all entries collide.
+  for (PageNum p = 0; p < 4; ++p) {
+    tlb.Insert(p, p + 100);
+  }
+  tlb.InvalidateAll();
+  tlb.Insert(0, 200);
+  EXPECT_EQ(tlb.Lookup(0), 200u);
+  for (PageNum p = 1; p < 4; ++p) {
+    EXPECT_EQ(tlb.Lookup(p), kInvalidFrame) << "stale entry " << p << " resurrected";
+  }
+  int visited = 0;
+  tlb.ForEachValid([&](PageNum vpn, FrameId frame) {
+    ++visited;
+    EXPECT_EQ(vpn, 0u);
+    EXPECT_EQ(frame, 200u);
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(Tlb, StaleSlotsAreReusedBeforeEvictingLiveEntries) {
+  Tlb tlb(/*num_sets=*/1, /*ways=*/4);
+  for (PageNum p = 0; p < 4; ++p) {
+    tlb.Insert(p, p);
+  }
+  tlb.InvalidateAll();
+  // After the flush the whole set is stale; four fresh inserts must all fit
+  // (stale slots are victims before any live entry is).
+  for (PageNum p = 10; p < 14; ++p) {
+    tlb.Insert(p, p);
+  }
+  for (PageNum p = 10; p < 14; ++p) {
+    EXPECT_NE(tlb.Lookup(p), kInvalidFrame) << "live entry " << p << " was evicted";
+  }
+}
+
+TEST(Tlb, InvalidatePageStillWorksAcrossEpochs) {
+  Tlb tlb;
+  tlb.Insert(5, 50);
+  tlb.InvalidateAll();
+  tlb.Insert(5, 51);
+  tlb.InvalidatePage(5);
+  EXPECT_EQ(tlb.Lookup(5), kInvalidFrame);
+  EXPECT_EQ(tlb.stats().single_flushes, 1u);
+}
+
 TEST(Tlb, CapacityEvictsLru) {
   Tlb tlb(2, 2);  // 4 entries.
   EXPECT_EQ(tlb.capacity(), 4);
@@ -332,6 +458,57 @@ TEST_F(WalkerTest, WalkSetsBitsInBothDimensions) {
   EXPECT_TRUE(gpt_.Lookup(10).was_dirty);
   EXPECT_TRUE(ept_.Lookup(200).was_accessed);
   EXPECT_TRUE(ept_.Lookup(200).was_dirty);
+}
+
+// Regression: the TLB-hit write path updated the GPT leaf's D bit but threw
+// away the gPA, so the EPT leaf never learned about writes that hit the TLB.
+// Hypervisor-side dirty tracking (which can only see EPT A/D) was blind to
+// every such write between full flushes.
+TEST_F(WalkerTest, TlbHitWriteSetsEptDirty) {
+  gpt_.Map(10, 200, true);
+  ept_.Map(200, 3000, true);
+  // Fill the TLB with a read: A set in both dimensions, D in neither.
+  Translate2D(tlb_, gpt_, ept_, 10, /*is_write=*/false, costs_);
+  ASSERT_FALSE(ept_.Lookup(200).was_dirty);
+  ASSERT_TRUE(ept_.TestAndClearAccessed(200)) << "fill walk set A";
+  // Write that hits the TLB: the microcode walk must set D in BOTH tables.
+  auto r = Translate2D(tlb_, gpt_, ept_, 10, /*is_write=*/true, costs_);
+  ASSERT_TRUE(r.tlb_hit);
+  EXPECT_TRUE(gpt_.Lookup(10).was_dirty);
+  EXPECT_TRUE(ept_.TestAndClearDirty(200)) << "EPT missed a TLB-hit write";
+  EXPECT_TRUE(ept_.Lookup(200).was_accessed) << "micro-walk also re-sets A";
+}
+
+// Guest-fault cost charges the levels the walk actually touched, each
+// multiplied by the nested EPT translations of the page-table pages.
+TEST_F(WalkerTest, GuestFaultCostChargesPartialWalk) {
+  // Empty GPT: the walk dies at level 1 (root's child absent).
+  auto shallow = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  ASSERT_EQ(shallow.status, TranslateStatus::kGuestFault);
+  EXPECT_DOUBLE_EQ(shallow.cost_ns,
+                   1.0 * (PageTable::kLevels + 1) * costs_.pt_touch_ns);
+  // Fully-built subtree with a non-present leaf: all levels touched.
+  gpt_.Map(10, 200, true);
+  gpt_.Unmap(10);
+  auto deep = Translate2D(tlb_, gpt_, ept_, 10, false, costs_);
+  ASSERT_EQ(deep.status, TranslateStatus::kGuestFault);
+  EXPECT_DOUBLE_EQ(deep.cost_ns, static_cast<double>(PageTable::kLevels) *
+                                     (PageTable::kLevels + 1) * costs_.pt_touch_ns);
+}
+
+// The cold-walk multiplier is consumed exactly once per miss — including
+// misses that end in a fault. A capacity-1 TLB makes the budget observable:
+// one cold miss, then costs return to warm pricing.
+TEST_F(WalkerTest, ColdWalkFactorConsumedOncePerFaultingMiss) {
+  Tlb tiny(/*num_sets=*/1, /*ways=*/1);
+  tiny.InvalidateAll();
+  const double warm_fault = 1.0 * (PageTable::kLevels + 1) * costs_.pt_touch_ns;
+  auto first = Translate2D(tiny, gpt_, ept_, 10, false, costs_);
+  ASSERT_EQ(first.status, TranslateStatus::kGuestFault);
+  EXPECT_GT(first.cost_ns, warm_fault) << "faulting miss must pay the cold multiplier";
+  auto second = Translate2D(tiny, gpt_, ept_, 10, false, costs_);
+  EXPECT_DOUBLE_EQ(second.cost_ns, warm_fault)
+      << "budget of 1 was not consumed by the faulting miss";
 }
 
 TEST_F(WalkerTest, MissCostExceedsHitCostSubstantially) {

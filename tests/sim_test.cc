@@ -82,6 +82,72 @@ TEST(EventQueue, CancelInvalidIdFails) {
   EXPECT_FALSE(q.Cancel(12345));
 }
 
+// Regression: Cancel on an id that had ALREADY FIRED used to return true,
+// decrement the live count below reality (wedging empty()/size() and any
+// loop keyed on them), and park the id in the cancelled list forever. It
+// must be a reported no-op.
+TEST(EventQueue, CancelAfterFireIsRejectedNoOp) {
+  EventQueue q;
+  int fired = 0;
+  const uint64_t a = q.Schedule(10, [&](Nanos) { ++fired; });
+  q.Schedule(20, [&](Nanos) { ++fired; });
+  EXPECT_EQ(q.RunUntil(10), 1u);
+  EXPECT_FALSE(q.Cancel(a)) << "id already fired";
+  EXPECT_EQ(q.size(), 1u) << "live count corrupted by cancel-after-fire";
+  EXPECT_EQ(q.RunUntil(100), 1u) << "surviving event must still fire";
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: double-cancel used to double-decrement the live count (only a
+// saturating guard kept it from wrapping, masking the loss of real events).
+TEST(EventQueue, DoubleCancelIsRejected) {
+  EventQueue q;
+  const uint64_t a = q.Schedule(10, [](Nanos) {});
+  q.Schedule(20, [](Nanos) {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.RunUntil(100), 1u);
+}
+
+TEST(EventQueue, CancelledIdsDoNotAccumulate) {
+  EventQueue q;
+  // Fire-then-cancel churn: every tombstone must be reclaimed at pop time,
+  // and stale ids must never block or break later operations.
+  for (int round = 0; round < 100; ++round) {
+    const uint64_t id = q.Schedule(static_cast<Nanos>(round), [](Nanos) {});
+    if (round % 2 == 0) {
+      EXPECT_TRUE(q.Cancel(id));
+    }
+    q.RunUntil(static_cast<Nanos>(round));
+    EXPECT_FALSE(q.Cancel(id)) << "cancelled-or-fired id accepted again";
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// The hot loop pops events by move; a callback whose captures are expensive
+// to copy must not be copied between Schedule and the firing call.
+TEST(EventQueue, CallbacksAreNotCopiedOnFire) {
+  struct CopyCounter {
+    int* copies;
+    explicit CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& o) : copies(o.copies) { ++*copies; }
+    CopyCounter(CopyCounter&&) = default;
+  };
+  int copies = 0;
+  int fired = 0;
+  EventQueue q;
+  q.Schedule(1, [counter = CopyCounter(&copies), &fired](Nanos) { ++fired; });
+  // One copy is allowed when the lambda is wrapped into std::function at the
+  // Schedule call boundary; none may happen afterwards.
+  const int copies_after_schedule = copies;
+  q.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(copies, copies_after_schedule) << "firing path copied the callback";
+}
+
 TEST(EventQueue, NextEventTime) {
   EventQueue q;
   EXPECT_EQ(q.NextEventTime(), EventQueue::kNoEvent);
