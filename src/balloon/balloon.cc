@@ -184,6 +184,9 @@ bool DemeterBalloon::DemoteOnePage(int node, Nanos now) {
 }
 
 void DemeterBalloon::HandleRequest(BalloonRequest request, Nanos now) {
+  if (vm_->departed()) {
+    return;  // The guest is gone; late queue deliveries drop on the floor.
+  }
   if (armed_) {
     // Delivery-side faults, in severity order. A crashed guest loses the
     // request outright; a stalled one services it when the window ends.
@@ -212,6 +215,9 @@ void DemeterBalloon::HandleRequest(BalloonRequest request, Nanos now) {
 }
 
 void DemeterBalloon::ProcessRequest(BalloonRequest request, Nanos now) {
+  if (vm_->departed()) {
+    return;  // Stalled/delayed deliveries can outlive the guest.
+  }
   if (armed_ && !processed_ids_.insert(request.request_id).second) {
     // A retransmit of a request this driver already executed (the original
     // was merely slow, not lost). Idempotence: drop it.
@@ -291,6 +297,9 @@ void DemeterBalloon::ApplyCompletionPages(const BalloonCompletion& completion, N
 }
 
 void DemeterBalloon::HandleCompletion(BalloonCompletion completion, Nanos now) {
+  if (vm_->departed()) {
+    return;  // ReclaimVm already released every frame this would touch.
+  }
   if (armed_) {
     auto it = pending_.begin();
     for (; it != pending_.end(); ++it) {
@@ -388,6 +397,9 @@ void VirtioBalloon::RequestDelta(int64_t delta_pages, Nanos now) {
 }
 
 void VirtioBalloon::HandleRequest(BalloonRequest request, Nanos now) {
+  if (vm_->departed()) {
+    return;
+  }
   if (armed_) {
     if (fault_->InCrashWindow(now)) {
       fault_->Count(FaultSite::kGuestCrash, vm_->id());
@@ -414,6 +426,9 @@ void VirtioBalloon::HandleRequest(BalloonRequest request, Nanos now) {
 }
 
 void VirtioBalloon::ProcessRequest(BalloonRequest request, Nanos now) {
+  if (vm_->departed()) {
+    return;
+  }
   if (armed_ && !processed_ids_.insert(request.request_id).second) {
     ++stats_.duplicates_ignored;
     return;
@@ -471,6 +486,9 @@ void VirtioBalloon::ProcessRequest(BalloonRequest request, Nanos now) {
 
 void VirtioBalloon::HandleCompletion(BalloonCompletion completion, Nanos now) {
   (void)now;
+  if (vm_->departed()) {
+    return;
+  }
   ++stats_.completions;
   if (completion.inflate) {
     for (PageNum gpa : completion.pages) {
@@ -494,8 +512,19 @@ HotplugProvisioner::HotplugProvisioner(Vm* vm, uint64_t block_bytes)
 
 uint64_t HotplugProvisioner::ResizeTo(int node_id, uint64_t target_present_pages, Nanos now) {
   (void)now;
-  NumaNode& node = vm_->kernel().node(node_id);
+  GuestKernel& kernel = vm_->kernel();
+  NumaNode& node = kernel.node(node_id);
   auto& blocks = unplugged_[static_cast<size_t>(node_id)];
+  if (vm_->departed()) {
+    return node.present_pages();  // The guest is gone; nothing to resize.
+  }
+
+  // Grow smaller than one whole block: the device cannot split a block, so
+  // the request is rejected outright (no silent rounding, no state change).
+  if (target_present_pages > node.present_pages() &&
+      target_present_pages < node.present_pages() + block_pages_) {
+    return node.present_pages();
+  }
 
   // Shrink: unplug whole blocks while doing so does not undershoot target.
   while (node.present_pages() >= target_present_pages + block_pages_) {
@@ -511,9 +540,13 @@ uint64_t HotplugProvisioner::ResizeTo(int node_id, uint64_t target_present_pages
     vm_->FullFlushAll();
     blocks.push_back(std::move(taken));
   }
-  // Grow: replug whole blocks while staying at or below target.
+  // Grow: replug whole blocks, most recently unplugged first (LIFO), each
+  // to the exact node it was carved from, while staying at or below target.
   while (!blocks.empty() && node.present_pages() + block_pages_ <= target_present_pages) {
-    node.BalloonReturn(blocks.back());
+    const std::vector<PageNum>& block = blocks.back();
+    DEMETER_CHECK(!block.empty() && kernel.NodeOfGpa(block.front()) == node_id)
+        << "replugging a block carved from another node";
+    node.BalloonReturn(block);
     blocks.pop_back();
   }
   return node.present_pages();

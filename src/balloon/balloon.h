@@ -236,6 +236,12 @@ class HotplugProvisioner {
 
   uint64_t block_pages() const { return block_pages_; }
 
+  // Unplugged blocks of `node`, oldest first (ResizeTo replugs from the
+  // back). Exposed for tests and invariant assembly.
+  const std::vector<std::vector<PageNum>>& unplugged_blocks(int node) const {
+    return unplugged_[static_cast<size_t>(node)];
+  }
+
   // Pages currently unplugged from `node`.
   uint64_t unplugged_pages(int node) const {
     uint64_t total = 0;

@@ -448,37 +448,65 @@ void DemeterPolicy::HostManageRound(Nanos now) {
   uint64_t promoted = 0;
   uint64_t demoted = 0;
   size_t demote_idx = 0;
-  for (size_t e = 0; e < extents.size() && promoted < config_.degradation.host_batch_pages; ++e) {
+  // Mid-drain elasticity: while a shrink window carves FMEM, the host is
+  // already evicting out of the tier, and any promotion we force in would
+  // either fail or be re-evicted within the window. Skip this round's
+  // re-tiering entirely (the hot set is recounted from fresh samples next
+  // round, so nothing is charged and nothing double-counts).
+  const bool fmem_shrinking = host.TierUnderShrink(kFmemTier);
+  if (fmem_shrinking) {
+    ++host_rounds_throttled_;
+  }
+  // Demotes the next coverable cold-FMEM victim; returns false when none
+  // remain. The rmap read that recovers the victim's gVA for the shootdown
+  // is another guest-metadata walk the host pays for.
+  auto make_room = [&]() -> bool {
+    while (demote_idx < cold_fmem.size()) {
+      const PageNum victim = cold_fmem[demote_idx++];
+      work_ns += config_.translate_ns_per_sample;
+      const RmapEntry* rmap = vm_->kernel().Rmap(victim);
+      if (rmap == nullptr) {
+        continue;  // Not process-mapped; leave it alone.
+      }
+      if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns)) {
+        vm_->FlushGvaAll(rmap->vpn);
+        migrate_ns += vm_->SingleFlushCost();
+        ++demoted;
+        return true;
+      }
+    }
+    return false;
+  };
+  // Shrink-aware headroom: with a shrink schedule armed for FMEM, never
+  // promote into the slice the next window will carve. Demoting first keeps
+  // the tier's free count above the carve size, so windows reclaim idle
+  // frames instead of evicting the pages this round just moved — the
+  // promote-evict ping-pong would otherwise cost more than the fallback
+  // earns. Zero when no schedule is armed, so fault-free rounds never
+  // demote preemptively.
+  const uint64_t fmem_reserve = host.ShrinkReservePages(kFmemTier);
+  for (size_t e = 0; !fmem_shrinking && e < extents.size() &&
+                     promoted < config_.degradation.host_batch_pages;
+       ++e) {
     for (const HotPage& page : extent_pages[e]) {
       if (promoted >= config_.degradation.host_batch_pages) {
         break;
       }
       const auto entry = vm_->ept().Lookup(page.gpa);
+      // A page can vanish between expansion and migration — a concurrent
+      // hwpoison SIGBUS discards it from both tables. Lookup-then-skip
+      // keeps the round tolerant: only successful moves are counted below.
       if (!entry.present ||
           host.memory().TierOf(static_cast<FrameId>(entry.target)) == kFmemTier) {
         continue;  // Already fast.
       }
+      if (fmem_reserve > 0 && host.memory().FreePages(kFmemTier) <= fmem_reserve &&
+          !make_room()) {
+        continue;
+      }
       if (!host.MigrateGpa(*vm_, page.gpa, kFmemTier, now, &migrate_ns)) {
         // FMEM full: demote a page no extent covers, then retry once.
-        bool made_room = false;
-        while (demote_idx < cold_fmem.size()) {
-          const PageNum victim = cold_fmem[demote_idx++];
-          // Reverse-map the victim to its gVA for the shootdown; the rmap
-          // read is another guest-metadata walk the host pays for.
-          work_ns += config_.translate_ns_per_sample;
-          const RmapEntry* rmap = vm_->kernel().Rmap(victim);
-          if (rmap == nullptr) {
-            continue;  // Not process-mapped; leave it alone.
-          }
-          if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns)) {
-            vm_->FlushGvaAll(rmap->vpn);
-            migrate_ns += vm_->SingleFlushCost();
-            ++demoted;
-            made_room = true;
-            break;
-          }
-        }
-        if (!made_room || !host.MigrateGpa(*vm_, page.gpa, kFmemTier, now, &migrate_ns)) {
+        if (!make_room() || !host.MigrateGpa(*vm_, page.gpa, kFmemTier, now, &migrate_ns)) {
           continue;
         }
       }

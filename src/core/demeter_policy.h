@@ -101,6 +101,7 @@ class DemeterPolicy : public TmmPolicy {
       scope.RegisterCounter("recoveries", &recoveries_);
       scope.RegisterCounter("host_migrations", &host_migrations_);
       scope.RegisterCounter("degraded_ns", &degraded_ns_);
+      scope.RegisterCounter("host_rounds_throttled", &host_rounds_throttled_);
     }
   }
 
@@ -157,6 +158,8 @@ class DemeterPolicy : public TmmPolicy {
   uint64_t epochs_deferred_ = 0;
   uint64_t degraded_entries_ = 0;
   uint64_t recoveries_ = 0;
+  // Host rounds that found FMEM mid-shrink and skipped re-tiering.
+  uint64_t host_rounds_throttled_ = 0;
   uint64_t host_migrations_ = 0;
   uint64_t degraded_ns_ = 0;
 };

@@ -1,9 +1,11 @@
 #include "src/fault/fault.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "src/base/logging.h"
 
@@ -107,6 +109,10 @@ const char* FaultSiteName(FaultSite site) {
       return "migration_fail";
     case FaultSite::kTierExhaustion:
       return "tier_exhaustion";
+    case FaultSite::kPoisonFmem:
+      return "poison_fmem";
+    case FaultSite::kPoisonSmem:
+      return "poison_smem";
   }
   return "?";
 }
@@ -125,6 +131,10 @@ double FaultPlan::probability(FaultSite site) const {
       return migration_fail_p;
     case FaultSite::kTierExhaustion:
       return tier_exhaust_p;
+    case FaultSite::kPoisonFmem:
+      return poison_p[0];
+    case FaultSite::kPoisonSmem:
+      return poison_p[1];
     case FaultSite::kGuestStall:
     case FaultSite::kGuestCrash:
     case FaultSite::kVirtqueueFull:
@@ -173,11 +183,30 @@ std::string FaultPlan::ToSpec() const {
   if (tier_exhaust_p > 0.0) {
     append("tierex=" + FormatDouble(tier_exhaust_p));
   }
+  for (int t = 0; t < kMaxFaultTiers; ++t) {
+    if (poison_p[static_cast<size_t>(t)] > 0.0) {
+      std::snprintf(buf, sizeof(buf), "poison=%s@%d",
+                    FormatDouble(poison_p[static_cast<size_t>(t)]).c_str(), t);
+      append(buf);
+    }
+  }
+  for (int t = 0; t < kMaxFaultTiers; ++t) {
+    const TierShrink& shrink = tier_shrink[static_cast<size_t>(t)];
+    if (shrink.frac > 0.0) {
+      std::snprintf(buf, sizeof(buf), "tiershrink=%s/%" PRIu64 "/%" PRIu64 "@%d",
+                    FormatDouble(shrink.frac).c_str(), shrink.duration_ns, shrink.period_ns, t);
+      append(buf);
+    }
+  }
   return spec;
 }
 
 std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* error) {
   FaultPlan plan;
+  // Every parse failure names the offending token so a long spec pinpoints
+  // its bad element. Duplicate keys are rejected (last-wins would silently
+  // mask typos); tiered keys dedup on "key@tier" so each tier gets one slot.
+  std::vector<std::string> seen;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
@@ -189,45 +218,75 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
     if (token.empty()) {
       continue;
     }
-    const size_t eq = token.find('=');
-    if (eq == std::string::npos) {
+    std::string detail;  // Inner message; wrapped with the token on failure.
+    std::string* err = error != nullptr ? &detail : nullptr;
+    auto fail = [&]() {
       if (error != nullptr) {
-        *error = "expected key=value, got '" + token + "'";
+        *error = "bad --faults token '" + token + "': " + detail;
       }
       return std::nullopt;
+    };
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      detail = "expected key=value";
+      return fail();
     }
     const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
+    std::string value = token.substr(eq + 1);
+
+    // Tiered keys carry an `@tier` suffix on the value.
+    int tier = -1;
+    const bool tiered = key == "poison" || key == "tiershrink";
+    if (tiered) {
+      const size_t at = value.find('@');
+      if (at == std::string::npos) {
+        detail = key + " needs an @tier suffix (0=FMEM, 1=SMEM)";
+        return fail();
+      }
+      const std::string tier_text = value.substr(at + 1);
+      char* end = nullptr;
+      const long t = std::strtol(tier_text.c_str(), &end, 10);
+      if (end == tier_text.c_str() || *end != '\0' || t < 0 || t >= kMaxFaultTiers) {
+        detail = "tier must be an integer in [0," + std::to_string(kMaxFaultTiers - 1) +
+                 "], got '" + tier_text + "'";
+        return fail();
+      }
+      tier = static_cast<int>(t);
+      value = value.substr(0, at);
+    }
+
+    const std::string dedup_key = tiered ? key + "@" + std::to_string(tier) : key;
+    if (std::find(seen.begin(), seen.end(), dedup_key) != seen.end()) {
+      detail = "duplicate fault key '" + dedup_key + "'";
+      return fail();
+    }
+    seen.push_back(dedup_key);
+
     if (key == "bdelay") {
       std::string p, d;
-      if (!SplitPair(value, &p, &d, error) ||
-          !ParseProbability(p, &plan.balloon_delay_p, error) ||
-          !ParseDuration(d, &plan.balloon_delay_ns, error)) {
-        return std::nullopt;
+      if (!SplitPair(value, &p, &d, err) || !ParseProbability(p, &plan.balloon_delay_p, err) ||
+          !ParseDuration(d, &plan.balloon_delay_ns, err)) {
+        return fail();
       }
       if (plan.balloon_delay_p > 0.0 && plan.balloon_delay_ns == 0) {
-        if (error != nullptr) {
-          *error = "bdelay needs a non-zero duration";
-        }
-        return std::nullopt;
+        detail = "bdelay needs a non-zero duration";
+        return fail();
       }
     } else if (key == "bdrop") {
-      if (!ParseProbability(value, &plan.balloon_drop_p, error)) {
-        return std::nullopt;
+      if (!ParseProbability(value, &plan.balloon_drop_p, err)) {
+        return fail();
       }
     } else if (key == "stall" || key == "crash") {
       std::string d, per;
       Nanos duration = 0;
       Nanos period = 0;
-      if (!SplitPair(value, &d, &per, error) || !ParseDuration(d, &duration, error) ||
-          !ParseDuration(per, &period, error)) {
-        return std::nullopt;
+      if (!SplitPair(value, &d, &per, err) || !ParseDuration(d, &duration, err) ||
+          !ParseDuration(per, &period, err)) {
+        return fail();
       }
       if (duration > 0 && (period == 0 || duration > period)) {
-        if (error != nullptr) {
-          *error = key + " needs duration <= period and period > 0";
-        }
-        return std::nullopt;
+        detail = key + " needs duration <= period and period > 0";
+        return fail();
       }
       if (key == "stall") {
         plan.stall_duration_ns = duration;
@@ -240,29 +299,46 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
       char* end = nullptr;
       const unsigned long long cap = std::strtoull(value.c_str(), &end, 10);
       if (end == value.c_str() || *end != '\0') {
-        if (error != nullptr) {
-          *error = "vqcap must be a non-negative integer, got '" + value + "'";
-        }
-        return std::nullopt;
+        detail = "vqcap must be a non-negative integer, got '" + value + "'";
+        return fail();
       }
       plan.vq_capacity = cap;
     } else if (key == "pebsdrop") {
-      if (!ParseProbability(value, &plan.pebs_drop_p, error)) {
-        return std::nullopt;
+      if (!ParseProbability(value, &plan.pebs_drop_p, err)) {
+        return fail();
       }
     } else if (key == "migfail") {
-      if (!ParseProbability(value, &plan.migration_fail_p, error)) {
-        return std::nullopt;
+      if (!ParseProbability(value, &plan.migration_fail_p, err)) {
+        return fail();
       }
     } else if (key == "tierex") {
-      if (!ParseProbability(value, &plan.tier_exhaust_p, error)) {
-        return std::nullopt;
+      if (!ParseProbability(value, &plan.tier_exhaust_p, err)) {
+        return fail();
+      }
+    } else if (key == "poison") {
+      if (!ParseProbability(value, &plan.poison_p[static_cast<size_t>(tier)], err)) {
+        return fail();
+      }
+    } else if (key == "tiershrink") {
+      std::string f, rest, d, per;
+      TierShrink shrink;
+      if (!SplitPair(value, &f, &rest, err) || !SplitPair(rest, &d, &per, err) ||
+          !ParseProbability(f, &shrink.frac, err) || !ParseDuration(d, &shrink.duration_ns, err) ||
+          !ParseDuration(per, &shrink.period_ns, err)) {
+        return fail();
+      }
+      if (shrink.frac > 0.0 &&
+          (shrink.duration_ns == 0 || shrink.period_ns == 0 ||
+           shrink.duration_ns > shrink.period_ns)) {
+        detail = "tiershrink needs 0 < duration <= period";
+        return fail();
+      }
+      if (shrink.frac > 0.0) {
+        plan.tier_shrink[static_cast<size_t>(tier)] = shrink;
       }
     } else {
-      if (error != nullptr) {
-        *error = "unknown fault key '" + key + "'";
-      }
-      return std::nullopt;
+      detail = "unknown fault key '" + key + "'";
+      return fail();
     }
   }
   return plan;
@@ -318,6 +394,30 @@ bool FaultInjector::InCrashWindow(Nanos now) const {
 
 Nanos FaultInjector::CrashWindowEnd(Nanos now) const {
   return WindowEnd(now, plan_.crash_duration_ns, plan_.crash_period_ns);
+}
+
+bool FaultInjector::InShrinkWindow(int tier, Nanos now) const {
+  DEMETER_CHECK_GE(tier, 0);
+  DEMETER_CHECK_LT(tier, kMaxFaultTiers);
+  const TierShrink& shrink = plan_.tier_shrink[static_cast<size_t>(tier)];
+  return shrink.frac > 0.0 && InWindow(now, shrink.duration_ns, shrink.period_ns);
+}
+
+Nanos FaultInjector::ShrinkWindowEnd(int tier, Nanos now) const {
+  const TierShrink& shrink = plan_.tier_shrink[static_cast<size_t>(tier)];
+  return WindowEnd(now, shrink.duration_ns, shrink.period_ns);
+}
+
+Nanos FaultInjector::NextShrinkWindowStart(int tier, Nanos now) const {
+  DEMETER_CHECK_GE(tier, 0);
+  DEMETER_CHECK_LT(tier, kMaxFaultTiers);
+  const TierShrink& shrink = plan_.tier_shrink[static_cast<size_t>(tier)];
+  if (shrink.frac <= 0.0 || shrink.period_ns == 0) {
+    return 0;
+  }
+  // Window k starts at k*period for k >= 1; first start strictly after now.
+  const Nanos k = now / shrink.period_ns + 1;
+  return k * shrink.period_ns;
 }
 
 uint64_t FaultInjector::injected(FaultSite site, int vm) const {

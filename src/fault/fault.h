@@ -47,9 +47,15 @@ enum class FaultSite : int {
   kPebsSampleLoss,     // PEBS buffer overflow; record lost.
   kMigrationFail,      // Guest-side page migration aborted.
   kTierExhaustion,     // Preferred guest node transiently dry.
+  kPoisonFmem,         // Uncorrectable error in a mapped FMEM frame.
+  kPoisonSmem,         // Uncorrectable error in a mapped SMEM frame.
 };
 
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 10;
+
+// Host tiers addressable by tiered fault keys (`...@tier`). Matches the
+// two-tier host model (kFmemTier/kSmemTier).
+inline constexpr int kMaxFaultTiers = 2;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -66,9 +72,24 @@ const char* FaultSiteName(FaultSite site);
 //   pebsdrop=P     PEBS record lost with probability P
 //   migfail=P      guest page migration fails with probability P
 //   tierex=P       preferred-node allocation transiently fails with prob. P
+//   poison=P@T     per-access probability P of an uncorrectable memory
+//                  error (hwpoison) in the accessed frame when it lives in
+//                  host tier T (0 = FMEM, 1 = SMEM); at most one tier each
+//   tiershrink=F/DUR/PER@T
+//                  host tier T loses fraction F of its capacity for DUR at
+//                  the start of every PER (co-tenant pressure / link flap)
 // Durations accept ns/us/ms/s suffixes (plain digits = ns). Windows start
 // one period in (never at t=0, which would fault the boot-time provisioning
-// of every run identically and uninterestingly).
+// of every run identically and uninterestingly). Duplicate keys are an
+// error — tiered keys may appear once per tier.
+struct TierShrink {
+  double frac = 0.0;  // Fraction of tier capacity carved out, in (0, 1].
+  Nanos duration_ns = 0;
+  Nanos period_ns = 0;
+
+  friend bool operator==(const TierShrink&, const TierShrink&) = default;
+};
+
 struct FaultPlan {
   double balloon_delay_p = 0.0;
   Nanos balloon_delay_ns = 0;
@@ -81,6 +102,8 @@ struct FaultPlan {
   double pebs_drop_p = 0.0;
   double migration_fail_p = 0.0;
   double tier_exhaust_p = 0.0;
+  std::array<double, kMaxFaultTiers> poison_p{};          // Indexed by tier.
+  std::array<TierShrink, kMaxFaultTiers> tier_shrink{};   // Indexed by tier.
 
   // True when the plan injects nothing at all (the default).
   bool empty() const;
@@ -126,6 +149,14 @@ class FaultInjector {
   Nanos StallWindowEnd(Nanos now) const;  // Meaningful only when in-window.
   bool InCrashWindow(Nanos now) const;
   Nanos CrashWindowEnd(Nanos now) const;
+
+  // Tier-shrink windows, same k>=1 schedule per configured tier.
+  bool InShrinkWindow(int tier, Nanos now) const;
+  Nanos ShrinkWindowEnd(int tier, Nanos now) const;
+  // Start of the first shrink window strictly after `now` for `tier`, or 0
+  // when the tier has no shrink schedule (the harness arms window events
+  // from this).
+  Nanos NextShrinkWindowStart(int tier, Nanos now) const;
 
   uint64_t injected(FaultSite site, int vm) const;
   uint64_t total_injected(FaultSite site) const;

@@ -40,6 +40,8 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
     Vm& vm = hyper.vm(i);
     GuestKernel& kernel = vm.kernel();
     const std::string prefix = VmPrefix(i);
+    const bool departed =
+        static_cast<size_t>(i) < views.size() && views[static_cast<size_t>(i)].departed;
 
     // ---- 1 + 2: GPT <-> rmap and node accounting -------------------------
     uint64_t node_mapped[2] = {0, 0};
@@ -84,7 +86,7 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
       const uint64_t held = static_cast<size_t>(i) < views.size()
                                 ? views[static_cast<size_t>(i)].held_pages[static_cast<size_t>(n)]
                                 : 0;
-      if (node.present_pages() + held != node.initial_present_pages()) {
+      if (!departed && node.present_pages() + held != node.initial_present_pages()) {
         report.violations.push_back(
             prefix + "node " + std::to_string(n) + " conservation: present " +
             std::to_string(node.present_pages()) + " + held " + std::to_string(held) +
@@ -104,7 +106,11 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
                                     " to out-of-range frame " + std::to_string(frame));
         return;
       }
-      if (!memory.IsAllocated(frame)) {
+      // ---- 6: poison containment ----------------------------------------
+      if (memory.IsPoisoned(frame)) {
+        report.violations.push_back(prefix + "EPT maps gpa " + std::to_string(gpa) +
+                                    " to hw-poisoned frame " + std::to_string(frame));
+      } else if (!memory.IsAllocated(frame)) {
         report.violations.push_back(prefix + "EPT maps gpa " + std::to_string(gpa) +
                                     " to frame " + std::to_string(frame) +
                                     " the host allocator considers free");
@@ -132,6 +138,34 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
                                     " GPT dropped a Dirty bit on " +
                                     std::to_string(process->gpt().remap_dirty_lost()) + " of " +
                                     std::to_string(process->gpt().remap_count()) + " remaps");
+      }
+    }
+
+    // ---- 7: departed-VM emptiness -----------------------------------------
+    if (departed) {
+      if (kernel.mapped_pages() != 0) {
+        report.violations.push_back(prefix + "departed but rmap still holds " +
+                                    std::to_string(kernel.mapped_pages()) + " entries");
+      }
+      for (int n = 0; n < kernel.num_nodes(); ++n) {
+        if (kernel.node(n).used_pages() != 0) {
+          report.violations.push_back(prefix + "departed but node " + std::to_string(n) +
+                                      " still counts " +
+                                      std::to_string(kernel.node(n).used_pages()) +
+                                      " used pages");
+        }
+      }
+      if (vm.ept().mapped_count() != 0) {
+        report.violations.push_back(prefix + "departed but EPT still maps " +
+                                    std::to_string(vm.ept().mapped_count()) + " pages");
+      }
+      uint64_t tlb_live = 0;
+      for (int v = 0; v < vm.num_vcpus(); ++v) {
+        vm.vcpu(v).tlb.ForEachValid([&](PageNum, FrameId) { ++tlb_live; });
+      }
+      if (tlb_live != 0) {
+        report.violations.push_back(prefix + "departed but " + std::to_string(tlb_live) +
+                                    " TLB entries are still live");
       }
     }
 

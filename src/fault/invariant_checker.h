@@ -17,6 +17,11 @@
 //      VMs); per-tier mapped counts equal HostMemory::UsedPages.
 //   5. TLB validity: every valid TLB entry agrees with the current GPT∘EPT
 //      composition of some process in the owning VM.
+//   6. Poison containment: no EPT leaf maps a frame HostMemory has marked
+//      hw-poisoned (offlined frames must be unmapped before the audit).
+//   7. Departed-VM emptiness: a VM the harness removed mid-run holds
+//      nothing — zero rmap entries, zero node used_pages, zero EPT
+//      mappings, zero live TLB entries.
 //
 // The audit is strictly read-only (const page-table walks; never the
 // A/D-clearing scan) and runs between events, so it cannot perturb the
@@ -51,6 +56,9 @@ class InvariantChecker {
   // balloon / hotplug device currently holds out of each guest node.
   struct VmView {
     uint64_t held_pages[2] = {0, 0};
+    // The harness removed this VM mid-run: it must hold no memory at all,
+    // and balloon conservation no longer applies (the guest is gone).
+    bool departed = false;
   };
 
   // Audits every VM of `hyper`. `views` is indexed by VM id; missing

@@ -89,6 +89,13 @@ void GuestKernel::FreeGpa(PageNum gpa) {
   node(n).FreePage(gpa);
 }
 
+void GuestKernel::DiscardPage(GuestProcess& process, PageNum vpn, PageNum gpa) {
+  const uint64_t old = process.gpt().Unmap(vpn);
+  DEMETER_CHECK_EQ(old, gpa) << "discard of vpn " << vpn << " mapped elsewhere";
+  FreeGpa(gpa);
+  ++stats_.sigbus_discards;
+}
+
 void GuestKernel::RecordAlloc(PageNum gpa, int pid, PageNum vpn) {
   rmap_[gpa] = RmapEntry{pid, vpn};
   const int n = NodeOfGpa(gpa);

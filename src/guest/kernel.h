@@ -47,6 +47,7 @@ class GuestKernel {
     uint64_t fallback_allocs = 0;  // Preferred node dry; spilled to another.
     uint64_t reclaim_events = 0;
     uint64_t oom_failures = 0;
+    uint64_t sigbus_discards = 0;  // Pages dropped after a host MCE (hwpoison).
   };
 
   explicit GuestKernel(const GuestKernelConfig& config);
@@ -72,6 +73,11 @@ class GuestKernel {
   // `preferred` only (no fallback) when `allow_fallback` is false.
   std::optional<PageNum> AllocGpa(int preferred_node, bool allow_fallback, double* cost_ns);
   void FreeGpa(PageNum gpa);
+
+  // SIGBUS handler for an uncorrectable host memory error: drops the
+  // mapping and the page (contents are gone; a later touch refaults onto a
+  // fresh zero page). Mirrors Linux's memory_failure() -> kill path.
+  void DiscardPage(GuestProcess& process, PageNum vpn, PageNum gpa);
 
   // Reverse map: gPA -> owning (pid, vpn); nullptr when gPA is free.
   const RmapEntry* Rmap(PageNum gpa) const;

@@ -167,7 +167,7 @@ int Machine::AddVm(const VmSetup& setup) {
   return resolved.vm.id;
 }
 
-void Machine::ProvisionVm(int i) {
+void Machine::ProvisionVm(int i, Nanos now) {
   const VmSetup& setup = setups_[static_cast<size_t>(i)];
   Vm& machine_vm = vm(i);
   switch (setup.provision) {
@@ -177,21 +177,21 @@ void Machine::ProvisionVm(int i) {
       // The host wants the VM trimmed from 200% to 100% of its memory; the
       // tier-blind balloon decides where the pages come from.
       virtio_balloons_[static_cast<size_t>(i)]->RequestDelta(
-          static_cast<int64_t>(setup.vm.total_pages()), /*now=*/0);
+          static_cast<int64_t>(setup.vm.total_pages()), now);
       return;
     }
     case ProvisionMode::kDemeterBalloon: {
       DemeterBalloon* balloon = demeter_balloons_[static_cast<size_t>(i)].get();
-      balloon->RequestResizeTo(0, setup.vm.fmem_pages(), /*now=*/0);
-      balloon->RequestResizeTo(1, setup.vm.smem_pages(), /*now=*/0);
+      balloon->RequestResizeTo(0, setup.vm.fmem_pages(), now);
+      balloon->RequestResizeTo(1, setup.vm.smem_pages(), now);
       return;
     }
     case ProvisionMode::kHotplug: {
       // Scaled block size: keep the paper's 128MiB-per-16GiB coarseness.
       const uint64_t block = std::max<uint64_t>(setup.vm.total_memory_bytes / 128, kPageSize);
       auto hotplug = std::make_unique<HotplugProvisioner>(&machine_vm, block);
-      hotplug->ResizeTo(0, setup.vm.fmem_pages(), 0);
-      hotplug->ResizeTo(1, setup.vm.smem_pages(), 0);
+      hotplug->ResizeTo(0, setup.vm.fmem_pages(), now);
+      hotplug->ResizeTo(1, setup.vm.smem_pages(), now);
       hotplugs_[static_cast<size_t>(i)] = std::move(hotplug);
       return;
     }
@@ -225,6 +225,7 @@ InvariantReport Machine::CheckInvariants() {
   views.reserve(static_cast<size_t>(num_vms()));
   for (int i = 0; i < num_vms(); ++i) {
     InvariantChecker::VmView view;
+    view.departed = vm(i).departed();
     if (demeter_balloons_[static_cast<size_t>(i)] != nullptr) {
       const DemeterBalloon& balloon = *demeter_balloons_[static_cast<size_t>(i)];
       view.held_pages[0] = balloon.held_pages(0);
@@ -259,7 +260,7 @@ Nanos Machine::MinActiveClock() const {
   Nanos min_clock = ~static_cast<Nanos>(0);
   bool any = false;
   for (size_t i = 0; i < runtimes_.size(); ++i) {
-    if (runtimes_[i].finished) {
+    if (!runtimes_[i].booted || runtimes_[i].finished) {
       continue;
     }
     any = true;
@@ -350,27 +351,128 @@ void Machine::FinishVm(int i, Nanos now) {
       mem_accesses == 0
           ? 0.0
           : static_cast<double>(result.vm_stats.fmem_accesses) / static_cast<double>(mem_accesses);
+  // Depart before snapshotting so the result metrics include the lifecycle
+  // accounting (departures, reclaimed pages) of the removal itself.
+  if (setups_[static_cast<size_t>(i)].depart_on_finish) {
+    RemoveVm(i, now);
+  }
   result.metrics =
       registry_.Snapshot().FilterPrefix("vm" + std::to_string(i) + "/", /*strip=*/true);
+}
+
+void Machine::RemoveVm(int i, Nanos now) {
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  Vm& machine_vm = vm(i);
+  DEMETER_CHECK(rt.booted) << "removing never-booted vm " << i;
+  DEMETER_CHECK(!machine_vm.departed()) << "vm " << i << " removed twice";
+  if (policies_[static_cast<size_t>(i)] != nullptr) {
+    policies_[static_cast<size_t>(i)]->Stop();
+  }
+  machine_vm.set_departed(true);
+  const Hypervisor::ReclaimResult reclaimed = hyper_->ReclaimVm(machine_vm);
+  rt.finished = true;  // A departed VM never runs again.
+  ++rt.lifecycle.departures;
+  rt.lifecycle.depart_ns = now;
+  rt.lifecycle.reclaimed_gpt_pages += reclaimed.gpt_unmapped;
+  rt.lifecycle.reclaimed_gpa_pages += reclaimed.gpa_freed;
+  rt.lifecycle.reclaimed_ept_pages += reclaimed.ept_unbacked;
+  if (tracer_.enabled()) {
+    tracer_.Instant("lifecycle", "depart", now, i, 0,
+                    TraceArgs().Add("ept_pages", reclaimed.ept_unbacked).str());
+  }
+  MaybeAuditInvariants("post-remove");
+}
+
+void Machine::BootVm(int i, Nanos at) {
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  DEMETER_CHECK(!rt.booted) << "vm " << i << " booted twice";
+  rt.booted = true;
+  ++rt.lifecycle.boots;
+  rt.lifecycle.boot_ns = at;
+  Vm& machine_vm = vm(i);
+  for (int v = 0; v < machine_vm.num_vcpus(); ++v) {
+    Vcpu& vcpu = machine_vm.vcpu(v);
+    vcpu.clock_ns = static_cast<double>(at);
+    vcpu.next_context_switch = at + machine_vm.config().context_switch_period;
+  }
+  if (tracer_.enabled()) {
+    tracer_.Instant("lifecycle", "boot", at, i, 0, "");
+  }
+  ProvisionVm(i, at);
+  // Drain the provisioning request/completion chain (same bounded horizon
+  // as the phase-1 drain) before the guest starts touching memory.
+  event_horizon_ = std::max(event_horizon_, at + 10 * kMillisecond);
+  events_.RunUntil(event_horizon_);
+  MaybeAuditInvariants("post-boot");
+
+  rt.process = &machine_vm.kernel().CreateProcess();
+  workloads_[static_cast<size_t>(i)]->Setup(*rt.process, rng_);
+  InitPass(i);
+  const int vcpus = machine_vm.num_vcpus();
+  rt.batches.resize(static_cast<size_t>(vcpus));
+  rt.batch_pos.assign(static_cast<size_t>(vcpus), 0);
+  rt.ops_in_txn.assign(static_cast<size_t>(vcpus), 0);
+  rt.txn_latency_ns.assign(static_cast<size_t>(vcpus), 0.0);
+
+  // Align this VM's vCPUs to their own max (init-pass skew), mirroring the
+  // phase-3 alignment boot-time VMs get.
+  double start = 0.0;
+  for (int v = 0; v < vcpus; ++v) {
+    start = std::max(start, machine_vm.vcpu(v).clock_ns);
+  }
+  rt.start_time = static_cast<Nanos>(start);
+  for (int v = 0; v < vcpus; ++v) {
+    Vcpu& vcpu = machine_vm.vcpu(v);
+    vcpu.clock_ns = start;
+    vcpu.next_context_switch =
+        static_cast<Nanos>(start) + machine_vm.config().context_switch_period;
+  }
+  machine_vm.mgmt_account().Clear();
+
+  auto policy = custom_policies_[static_cast<size_t>(i)] != nullptr
+                    ? std::move(custom_policies_[static_cast<size_t>(i)])
+                    : MakePolicy(setups_[static_cast<size_t>(i)].policy,
+                                 setups_[static_cast<size_t>(i)].demeter,
+                                 setups_[static_cast<size_t>(i)].policy_period);
+  policy->Attach(machine_vm, *rt.process, static_cast<Nanos>(start));
+  policies_[static_cast<size_t>(i)] = std::move(policy);
+  // The machine-wide registration pass already ran (phase 4); register the
+  // late policy's counters now.
+  policies_[static_cast<size_t>(i)]->RegisterMetrics(
+      MetricScope(&registry_, "vm" + std::to_string(i)).Sub("policy"));
 }
 
 void Machine::Run() {
   DEMETER_CHECK(!ran_);
   ran_ = true;
 
+  // Tier-shrink windows (if the fault plan schedules any) live on the same
+  // event queue as everything else; arm them before time starts moving.
+  hyper_->ArmTierShrink();
+
   // Phase 1: provisioning. Balloon request/completion chains finish within
   // microseconds of virtual time; a bounded horizon (rather than draining
   // until empty) coexists with unrelated periodic timers (e.g. a QoS
-  // manager) that re-arm themselves forever.
+  // manager) that re-arm themselves forever. VMs with a deferred boot_at
+  // skip phases 1-4 entirely; BootVm replays them mid-run.
   for (int i = 0; i < num_vms(); ++i) {
-    ProvisionVm(i);
+    if (setups_[static_cast<size_t>(i)].boot_at > 0) {
+      continue;
+    }
+    runtimes_[static_cast<size_t>(i)].booted = true;
+    ++runtimes_[static_cast<size_t>(i)].lifecycle.boots;
+    ProvisionVm(i, /*now=*/0);
   }
   events_.RunUntil(10 * kMillisecond);
+  event_horizon_ = 10 * kMillisecond;
   MaybeAuditInvariants("post-provision");
 
   // Phase 2: workload setup + init pass.
   for (int i = 0; i < num_vms(); ++i) {
     VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+    if (!rt.booted) {
+      continue;
+    }
     rt.process = &vm(i).kernel().CreateProcess();
     workloads_[static_cast<size_t>(i)]->Setup(*rt.process, rng_);
     InitPass(i);
@@ -384,12 +486,18 @@ void Machine::Run() {
   // Phase 3: align all clocks so VMs contend from the same instant.
   double global_start = 0.0;
   for (int i = 0; i < num_vms(); ++i) {
+    if (!runtimes_[static_cast<size_t>(i)].booted) {
+      continue;
+    }
     for (int v = 0; v < vm(i).num_vcpus(); ++v) {
       global_start = std::max(global_start, vm(i).vcpu(v).clock_ns);
     }
   }
   for (int i = 0; i < num_vms(); ++i) {
     VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+    if (!rt.booted) {
+      continue;
+    }
     rt.start_time = static_cast<Nanos>(global_start);
     for (int v = 0; v < vm(i).num_vcpus(); ++v) {
       Vcpu& vcpu = vm(i).vcpu(v);
@@ -402,6 +510,9 @@ void Machine::Run() {
 
   // Phase 4: attach policies (custom instances take precedence).
   for (int i = 0; i < num_vms(); ++i) {
+    if (!runtimes_[static_cast<size_t>(i)].booted) {
+      continue;
+    }
     auto policy = custom_policies_[static_cast<size_t>(i)] != nullptr
                       ? std::move(custom_policies_[static_cast<size_t>(i)])
                       : MakePolicy(setups_[static_cast<size_t>(i)].policy,
@@ -413,19 +524,42 @@ void Machine::Run() {
   }
   RegisterAllMetrics();
 
-  // Phase 5: main loop — lock-stepped quanta + due events.
+  // Phase 5: main loop — lock-stepped quanta + due events. Deferred VMs
+  // join once global virtual time reaches their boot_at (or immediately
+  // past the last event horizon when the machine is otherwise idle).
   for (;;) {
     bool any_active = false;
     for (int i = 0; i < num_vms(); ++i) {
-      if (!runtimes_[static_cast<size_t>(i)].finished) {
+      const VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+      if (rt.booted && !rt.finished) {
         any_active = true;
-        RunVmQuantum(i);
+      }
+    }
+    for (int i = 0; i < num_vms(); ++i) {
+      VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+      if (rt.booted || rt.finished) {
+        continue;
+      }
+      const Nanos due = setups_[static_cast<size_t>(i)].boot_at;
+      if (!any_active) {
+        BootVm(i, std::max(due, event_horizon_));
+        any_active = true;
+      } else if (MinActiveClock() >= due) {
+        BootVm(i, MinActiveClock());
       }
     }
     if (!any_active) {
       break;
     }
-    events_.RunUntil(MinActiveClock());
+    for (int i = 0; i < num_vms(); ++i) {
+      const VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+      if (rt.booted && !rt.finished) {
+        RunVmQuantum(i);
+      }
+    }
+    const Nanos horizon = MinActiveClock();
+    event_horizon_ = std::max(event_horizon_, horizon);
+    events_.RunUntil(horizon);
     MaybeAuditInvariants("main-loop");
   }
   MaybeAuditInvariants("end-of-run");
@@ -445,6 +579,18 @@ void Machine::RegisterAllMetrics() {
     if (fault_injector_ != nullptr) {
       fault_injector_->RegisterVmMetrics(scope.Sub("fault"), i);
     }
+    // Lifecycle counters are unconditional: all-zero (beyond boots=1) for
+    // VMs that boot with the machine and never depart. `runtimes_` never
+    // grows after Run() starts, so the cell addresses are stable.
+    MetricScope life = scope.Sub("lifecycle");
+    const LifecycleStats& ls = runtimes_[static_cast<size_t>(i)].lifecycle;
+    life.RegisterCounter("boots", &ls.boots);
+    life.RegisterCounter("departures", &ls.departures);
+    life.RegisterCounter("boot_ns", &ls.boot_ns);
+    life.RegisterCounter("depart_ns", &ls.depart_ns);
+    life.RegisterCounter("reclaimed_gpt_pages", &ls.reclaimed_gpt_pages);
+    life.RegisterCounter("reclaimed_gpa_pages", &ls.reclaimed_gpa_pages);
+    life.RegisterCounter("reclaimed_ept_pages", &ls.reclaimed_ept_pages);
   }
 }
 

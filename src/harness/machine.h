@@ -81,6 +81,14 @@ struct VmSetup {
   DemeterConfig demeter;
   // Virtual-time bucket for the throughput timeline.
   Nanos timeline_bucket = 100 * kMillisecond;
+  // ---- lifecycle churn ----------------------------------------------------
+  // 0 = boot with the machine (the default). Non-zero: the VM is created up
+  // front but boots mid-run, once global virtual time reaches `boot_at` —
+  // provisioning, workload setup, and policy attach all happen then.
+  Nanos boot_at = 0;
+  // Tear the VM down (full resource reclaim, audited) as soon as it reaches
+  // its transaction target, instead of idling until the run ends.
+  bool depart_on_finish = false;
 };
 
 struct VmRunResult {
@@ -114,6 +122,14 @@ class Machine {
 
   // Adds a VM; returns its index. Call before Run().
   int AddVm(const VmSetup& setup);
+
+  // Tears down a running (or finished) VM mid-run at virtual time `now`:
+  // stops its policy, marks the Vm departed, reclaims every resource it
+  // holds (GPT mappings, guest pages, EPT backings, TLB entries) through
+  // Hypervisor::ReclaimVm, and audits invariants. The Vm object itself
+  // stays alive — late events (balloon completions, policy timers) must
+  // land on valid memory — but holds nothing.
+  void RemoveVm(int i, Nanos now);
 
   // Replaces VM i's policy with a caller-provided instance (e.g. a custom
   // TmmPolicy subclass, or a built-in with bespoke configuration). Call
@@ -159,6 +175,17 @@ class Machine {
   InvariantReport CheckInvariants();
 
  private:
+  // Per-VM lifecycle accounting, registered as `vm<i>/lifecycle/*`.
+  struct LifecycleStats {
+    uint64_t boots = 0;
+    uint64_t departures = 0;
+    uint64_t boot_ns = 0;    // Virtual time the VM booted.
+    uint64_t depart_ns = 0;  // Virtual time the VM departed.
+    uint64_t reclaimed_gpt_pages = 0;
+    uint64_t reclaimed_gpa_pages = 0;
+    uint64_t reclaimed_ept_pages = 0;
+  };
+
   struct VmRuntime {
     GuestProcess* process = nullptr;
     std::vector<std::vector<AccessOp>> batches;  // Per vCPU.
@@ -167,15 +194,20 @@ class Machine {
     std::vector<double> txn_latency_ns;   // Per vCPU: accumulated latency.
     uint64_t transactions = 0;
     Nanos start_time = 0;
+    bool booted = false;
     bool finished = false;
+    LifecycleStats lifecycle;
   };
 
-  void ProvisionVm(int i);
+  void ProvisionVm(int i, Nanos now);
   void InitPass(int i);
   void MaybeAuditInvariants(const char* where);
   void RunVmQuantum(int i);
   Nanos MinActiveClock() const;
   void FinishVm(int i, Nanos now);
+  // Mid-run boot of a deferred VM at virtual time `at`: provision, workload
+  // setup + init pass, policy attach, late policy-metric registration.
+  void BootVm(int i, Nanos at);
   // One-time registration of every subsystem's metrics (host, VMs,
   // policies, balloons) — called from Run() once policies are attached.
   void RegisterAllMetrics();
@@ -198,6 +230,8 @@ class Machine {
   std::vector<VmRunResult> results_;
   Rng rng_;
   bool ran_ = false;
+  // Latest event-drain horizon; mid-run boots never schedule behind it.
+  Nanos event_horizon_ = 0;
 };
 
 // Builds a policy instance of the given kind. Demeter uses `demeter_config`;

@@ -1,5 +1,10 @@
 #include "src/hyper/hypervisor.h"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
 #include "src/base/logging.h"
 
 namespace demeter {
@@ -20,6 +25,13 @@ int Hypervisor::NodeOfGpa(const Vm& vm, PageNum gpa) const {
   const int node = static_cast<int>(gpa / span);
   DEMETER_CHECK_LT(node, 2);
   return node;
+}
+
+FrameId Hypervisor::CheckDestination(FrameId frame) {
+  if (frame != kInvalidFrame && memory_->IsPoisoned(frame)) {
+    ++poison_stats_.bad_destination;
+  }
+  return frame;
 }
 
 FrameId Hypervisor::PopulateEpt(Vm& vm, PageNum gpa) {
@@ -46,7 +58,7 @@ FrameId Hypervisor::PopulateEpt(Vm& vm, PageNum gpa) {
   }
   ++stats_.ept_populates;
   DEMETER_CHECK(vm.ept().Map(gpa, *frame, /*writable=*/true));
-  return *frame;
+  return CheckDestination(*frame);
 }
 
 void Hypervisor::UnbackGpa(Vm& vm, PageNum gpa, bool flush) {
@@ -74,6 +86,7 @@ bool Hypervisor::MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, 
   if (!new_frame.has_value()) {
     return false;
   }
+  CheckDestination(*new_frame);
   *cost_ns += memory_->tier(memory_->TierOf(old_frame)).AccessCost(now, kPageSize, false);
   *cost_ns += memory_->tier(dst_tier).AccessCost(now, kPageSize, true);
   memory_->WriteToken(*new_frame, memory_->ReadToken(old_frame));
@@ -83,12 +96,234 @@ bool Hypervisor::MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, 
   return true;
 }
 
+double Hypervisor::OnMemoryError(Vm& vm, GuestProcess& process, PageNum vpn, Nanos now) {
+  const auto gpt_entry = process.gpt().Lookup(vpn);
+  DEMETER_CHECK(gpt_entry.present) << "memory error on unmapped vpn " << vpn;
+  const PageNum gpa = gpt_entry.target;
+  const auto ept_entry = vm.ept().Lookup(gpa);
+  DEMETER_CHECK(ept_entry.present) << "memory error on unbacked gpa " << gpa;
+  const FrameId frame = static_cast<FrameId>(ept_entry.target);
+  const bool dirty = ept_entry.was_dirty;
+  const TierIndex tier = memory_->TierOf(frame);
+  // Read the logical contents before the frame dies: a clean page still has
+  // an intact copy at its origin, which the recovery path re-materializes.
+  const uint64_t token = memory_->ReadToken(frame);
+
+  ++poison_stats_.events;
+  vm.ept().Unmap(gpa);
+  memory_->Poison(frame);
+  ++poison_stats_.frames_offlined;
+  // The hypervisor knows the faulting gVA (the MCE hit a running access),
+  // so a single-address shootdown suffices — no full invept.
+  vm.FlushGvaAll(vpn);
+  double cost = vm.SingleFlushCost() + vm.config().mmu_costs.ept_fault_ns;
+
+  if (!dirty) {
+    const FrameId replacement = PopulateEpt(vm, gpa);
+    if (replacement != kInvalidFrame) {
+      memory_->WriteToken(replacement, token);
+      cost += memory_->tier(tier).AccessCost(now, kPageSize, /*is_write=*/false);
+      cost += memory_->tier(memory_->TierOf(replacement)).AccessCost(now, kPageSize,
+                                                                     /*is_write=*/true);
+      ++poison_stats_.clean_recoveries;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Instant("host", "poison_clean", now, vm.id(), 0,
+                         TraceArgs().Add("frame", frame).str());
+      }
+      return cost;
+    }
+  }
+  // Dirty contents died with the frame (or no replacement frame existed):
+  // deliver SIGBUS; the guest discards the page and the work is lost.
+  vm.kernel().DiscardPage(process, vpn, gpa);
+  cost += vm.config().mmu_costs.guest_fault_ns;
+  ++poison_stats_.sigbus_deliveries;
+  ++poison_stats_.pages_lost;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("host", "poison_sigbus", now, vm.id(), 0,
+                     TraceArgs().Add("frame", frame).str());
+  }
+  return cost;
+}
+
+void Hypervisor::ArmTierShrink() {
+  if (fault_injector_ == nullptr) {
+    return;
+  }
+  for (TierIndex t = 0; t < memory_->num_tiers() && t < kMaxFaultTiers; ++t) {
+    const Nanos start = fault_injector_->NextShrinkWindowStart(t, 0);
+    if (start == 0) {
+      continue;
+    }
+    events_->Schedule(start, [this, t](Nanos fire) { BeginShrinkWindow(t, fire); });
+  }
+}
+
+bool Hypervisor::TierUnderShrink(TierIndex t) const {
+  return t >= 0 && t < static_cast<TierIndex>(shrink_.size()) &&
+         shrink_[static_cast<size_t>(t)].active;
+}
+
+void Hypervisor::CountShrinkBackpressure(TierIndex t) {
+  ++shrink_[static_cast<size_t>(t)].stats.backpressure;
+}
+
+uint64_t Hypervisor::ShrinkReservePages(TierIndex t) const {
+  if (fault_injector_ == nullptr || t < 0 || t >= kMaxFaultTiers) {
+    return 0;
+  }
+  const double frac = fault_injector_->plan().tier_shrink[static_cast<size_t>(t)].frac;
+  if (frac <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(
+      std::ceil(frac * static_cast<double>(memory_->CapacityPages(t))));
+}
+
+void Hypervisor::BeginShrinkWindow(TierIndex t, Nanos now) {
+  ShrinkState& s = shrink_[static_cast<size_t>(t)];
+  DEMETER_CHECK(!s.active) << "overlapping shrink windows on tier " << t;
+  s.active = true;
+  ++s.stats.windows;
+  const double frac = fault_injector_->plan().tier_shrink[static_cast<size_t>(t)].frac;
+  s.target_pages =
+      static_cast<uint64_t>(frac * static_cast<double>(memory_->CapacityPages(t)));
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("host", "shrink_begin", now, /*pid=*/0, /*tid=*/t,
+                     TraceArgs().Add("target_pages", s.target_pages).str());
+  }
+  RunShrinkBatch(t, now);
+  events_->Schedule(fault_injector_->ShrinkWindowEnd(t, now),
+                    [this, t](Nanos fire) { EndShrinkWindow(t, fire); });
+}
+
+void Hypervisor::RunShrinkBatch(TierIndex t, Nanos now) {
+  ShrinkState& s = shrink_[static_cast<size_t>(t)];
+  if (!s.active) {
+    return;
+  }
+  auto deficit = [&] {
+    const uint64_t carved = memory_->CarvedPages(t);
+    return s.target_pages > carved ? s.target_pages - carved : 0;
+  };
+  // Free frames are the cheapest capacity: carve them before evicting.
+  s.stats.carved_pages += memory_->CarveFree(t, deficit());
+  const uint64_t need = deficit();
+  if (need == 0) {
+    return;
+  }
+  // Emergency eviction, bounded per batch so a large carve target cannot
+  // stall the run at a single instant: migrate up to kShrinkBatchPages
+  // mapped pages off the shrinking tier, then reschedule.
+  constexpr uint64_t kShrinkBatchPages = 128;
+  const TierIndex dst = t == kFmemTier ? kSmemTier : kFmemTier;
+  uint64_t budget = std::min(need, kShrinkBatchPages);
+  uint64_t evicted = 0;
+  for (auto& vm_ptr : vms_) {
+    Vm& vm = *vm_ptr;
+    if (vm.departed() || budget == 0) {
+      continue;
+    }
+    std::vector<PageNum> victims;
+    vm.ept().ForEachPresent(0, PageTable::kMaxPage,
+                            [&](PageNum gpa, uint64_t frame, bool, bool) {
+                              if (victims.size() < budget &&
+                                  memory_->TierOf(static_cast<FrameId>(frame)) == t) {
+                                victims.push_back(gpa);
+                              }
+                            });
+    double cost_ns = 0.0;
+    uint64_t moved = 0;
+    for (PageNum gpa : victims) {
+      if (MigrateGpa(vm, gpa, dst, now, &cost_ns)) {
+        ++moved;
+      }
+    }
+    if (moved > 0) {
+      vm.FullFlushAll();
+      cost_ns += vm.FullFlushCost();
+      // The batch runs on host cores but steals memory bandwidth and the
+      // post-batch invept from the VM; charge its migration account.
+      vm.mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(cost_ns));
+    }
+    evicted += moved;
+    budget -= std::min(budget, moved);
+  }
+  s.stats.evictions += evicted;
+  s.stats.carved_pages += memory_->CarveFree(t, deficit());
+  if (deficit() > 0 && evicted > 0) {
+    events_->Schedule(now + 50 * kMicrosecond,
+                      [this, t](Nanos fire) { RunShrinkBatch(t, fire); });
+  }
+  // No progress while short: give up; the shortfall is recorded when the
+  // window closes.
+}
+
+void Hypervisor::EndShrinkWindow(TierIndex t, Nanos now) {
+  ShrinkState& s = shrink_[static_cast<size_t>(t)];
+  DEMETER_CHECK(s.active);
+  const uint64_t carved = memory_->CarvedPages(t);
+  if (s.target_pages > carved) {
+    s.stats.shortfall_pages += s.target_pages - carved;
+  }
+  memory_->RestoreCarved(t);
+  s.active = false;
+  s.target_pages = 0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("host", "shrink_end", now, /*pid=*/0, /*tid=*/t,
+                     TraceArgs().Add("restored_pages", carved).str());
+  }
+  // duration == period means back-to-back windows: reopen immediately.
+  const Nanos next = fault_injector_->InShrinkWindow(t, now)
+                         ? now
+                         : fault_injector_->NextShrinkWindowStart(t, now);
+  if (next >= now && next != 0) {
+    events_->Schedule(next, [this, t](Nanos fire) { BeginShrinkWindow(t, fire); });
+  }
+}
+
+Hypervisor::ReclaimResult Hypervisor::ReclaimVm(Vm& vm) {
+  ReclaimResult result;
+  GuestKernel& kernel = vm.kernel();
+  for (const auto& process : kernel.processes()) {
+    std::vector<std::pair<PageNum, PageNum>> mappings;
+    process->gpt().ForEachPresent(0, PageTable::kMaxPage,
+                                  [&](PageNum vpn, uint64_t gpa, bool, bool) {
+                                    mappings.emplace_back(vpn, static_cast<PageNum>(gpa));
+                                  });
+    for (const auto& [vpn, gpa] : mappings) {
+      process->gpt().Unmap(vpn);
+      kernel.FreeGpa(gpa);
+      ++result.gpt_unmapped;
+      ++result.gpa_freed;
+    }
+  }
+  std::vector<PageNum> backed;
+  vm.ept().ForEachPresent(0, PageTable::kMaxPage,
+                          [&](PageNum gpa, uint64_t, bool, bool) { backed.push_back(gpa); });
+  for (PageNum gpa : backed) {
+    UnbackGpa(vm, gpa, /*flush=*/false);
+    ++result.ept_unbacked;
+  }
+  // One full invalidation per vCPU retires every cached translation of the
+  // departed address space (ASID teardown).
+  vm.FullFlushAll();
+  return result;
+}
+
 void Hypervisor::RegisterMetrics(MetricScope scope) {
   MetricScope hyper = scope.Sub("hyper");
   hyper.RegisterCounter("ept_populates", &stats_.ept_populates);
   hyper.RegisterCounter("ept_unbacks", &stats_.ept_unbacks);
   hyper.RegisterCounter("tier_fallbacks", &stats_.host_tier_fallbacks);
   hyper.RegisterCounter("migrations", &stats_.host_migrations);
+  MetricScope poison = scope.Sub("poison");
+  poison.RegisterCounter("events", &poison_stats_.events);
+  poison.RegisterCounter("frames_offlined", &poison_stats_.frames_offlined);
+  poison.RegisterCounter("clean_recoveries", &poison_stats_.clean_recoveries);
+  poison.RegisterCounter("sigbus_deliveries", &poison_stats_.sigbus_deliveries);
+  poison.RegisterCounter("pages_lost", &poison_stats_.pages_lost);
+  poison.RegisterCounter("bad_destination", &poison_stats_.bad_destination);
   for (TierIndex t = 0; t < memory_->num_tiers(); ++t) {
     MetricScope tier = scope.Sub("tier" + std::to_string(t));
     HostMemory* memory = memory_;
@@ -96,6 +331,16 @@ void Hypervisor::RegisterMetrics(MetricScope scope) {
                          [memory, t] { return static_cast<double>(memory->UsedPages(t)); });
     tier.RegisterGaugeFn("free_pages",
                          [memory, t] { return static_cast<double>(memory->FreePages(t)); });
+    tier.RegisterGaugeFn("poisoned_pages",
+                         [memory, t] { return static_cast<double>(memory->PoisonedPages(t)); });
+    if (t < static_cast<TierIndex>(shrink_.size())) {
+      TierShrinkStats& shrink = shrink_[static_cast<size_t>(t)].stats;
+      tier.RegisterCounter("shrink_windows", &shrink.windows);
+      tier.RegisterCounter("shrink_carved_pages", &shrink.carved_pages);
+      tier.RegisterCounter("shrink_evictions", &shrink.evictions);
+      tier.RegisterCounter("shrink_shortfall_pages", &shrink.shortfall_pages);
+      tier.RegisterCounter("shrink_backpressure", &shrink.backpressure);
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #ifndef DEMETER_SRC_HYPER_HYPERVISOR_H_
 #define DEMETER_SRC_HYPER_HYPERVISOR_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,6 +28,26 @@ class Hypervisor {
     uint64_t ept_unbacks = 0;
     uint64_t host_tier_fallbacks = 0;  // Desired tier dry; spilled.
     uint64_t host_migrations = 0;
+  };
+
+  // hwpoison/MCE accounting (`host/poison/*`).
+  struct PoisonStats {
+    uint64_t events = 0;             // Uncorrectable errors surfaced.
+    uint64_t frames_offlined = 0;    // Frames permanently retired.
+    uint64_t clean_recoveries = 0;   // Clean page: silently re-backed.
+    uint64_t sigbus_deliveries = 0;  // Dirty page: guest told to discard.
+    uint64_t pages_lost = 0;         // Guest work discarded by SIGBUS.
+    uint64_t bad_destination = 0;    // Tripwire: allocator handed out a
+                                     // poisoned frame (must stay 0).
+  };
+
+  // Per-tier hot-shrink accounting (`host/tier<i>/shrink_*`).
+  struct TierShrinkStats {
+    uint64_t windows = 0;          // Shrink windows entered.
+    uint64_t carved_pages = 0;     // Free frames carved (cumulative).
+    uint64_t evictions = 0;        // Pages emergency-migrated off-tier.
+    uint64_t shortfall_pages = 0;  // Carve target never reached by close.
+    uint64_t backpressure = 0;     // Guest promotions refused mid-window.
   };
 
   Hypervisor(HostMemory* memory, EventQueue* events);
@@ -69,7 +90,50 @@ class Hypervisor {
   using EptVisitor = std::function<void(PageNum gpa, FrameId frame, bool accessed)>;
   uint64_t ScanEptAccessedAndFlush(Vm& vm, const EptVisitor& visitor);
 
+  // ---- hwpoison (uncorrectable memory error) ------------------------------
+  // Machine-check handler for an error in the frame backing `vpn` of
+  // `process` on `vm`: offline the frame (EPT unmap + single-gVA shootdown
+  // + HostMemory::Poison), then recover — a clean page (EPT dirty bit
+  // unset) is re-backed transparently from its logical copy; a dirty page
+  // costs a simulated SIGBUS that the guest kernel handles by discarding
+  // the page (the lost work is counted). Returns the CPU cost in ns.
+  double OnMemoryError(Vm& vm, GuestProcess& process, PageNum vpn, Nanos now);
+
+  // ---- tier capacity hot-shrink -------------------------------------------
+  // Arms the `tiershrink=` schedule from the bound fault injector: window
+  // open/close events per configured tier. Call once, before the run.
+  void ArmTierShrink();
+
+  // True while tier `t` is inside a shrink window. Promotion paths use this
+  // as backpressure: new placements into a shrinking tier are refused.
+  bool TierUnderShrink(TierIndex t) const;
+
+  // Records one refused guest promotion against tier `t`'s window.
+  void CountShrinkBackpressure(TierIndex t);
+
+  // Pages of tier `t` the armed shrink schedule will carve at each window
+  // open (ceil(frac * capacity)); 0 when no schedule covers `t`. Promotion
+  // engines keep this many frames free so windows carve idle capacity
+  // instead of evicting the pages that were just promoted.
+  uint64_t ShrinkReservePages(TierIndex t) const;
+
+  // ---- VM lifecycle -------------------------------------------------------
+  // Releases every resource a departing VM holds: all process GPT mappings
+  // and guest-physical pages (rmap drains to empty), every EPT backing
+  // (frames return to their tiers), and one full TLB invalidation per vCPU
+  // so no stale translation for the departed address space survives.
+  struct ReclaimResult {
+    uint64_t gpt_unmapped = 0;
+    uint64_t gpa_freed = 0;
+    uint64_t ept_unbacked = 0;
+  };
+  ReclaimResult ReclaimVm(Vm& vm);
+
   const Stats& stats() const { return stats_; }
+  const PoisonStats& poison_stats() const { return poison_stats_; }
+  const TierShrinkStats& shrink_stats(TierIndex t) const {
+    return shrink_[static_cast<size_t>(t)].stats;
+  }
 
   // Optional tracer shared by the host and every VM-side subsystem (set by
   // the owning harness before VMs are created; null = not tracing).
@@ -86,12 +150,31 @@ class Hypervisor {
   void RegisterMetrics(MetricScope scope);
 
  private:
+  struct ShrinkState {
+    bool active = false;
+    uint64_t target_pages = 0;  // Carve goal for the current window.
+    TierShrinkStats stats;
+  };
+
+  // Checks a freshly allocated frame against the poison tripwire; returns
+  // the frame unchanged. Poisoned frames never re-enter a free list, so a
+  // non-zero bad_destination counter means that guarantee broke.
+  FrameId CheckDestination(FrameId frame);
+
+  void BeginShrinkWindow(TierIndex t, Nanos now);
+  void EndShrinkWindow(TierIndex t, Nanos now);
+  // One bounded emergency-eviction batch; reschedules itself while the
+  // carve target is unmet and progress is still possible.
+  void RunShrinkBatch(TierIndex t, Nanos now);
+
   HostMemory* memory_;
   EventQueue* events_;
   Tracer* tracer_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
   std::vector<std::unique_ptr<Vm>> vms_;
   Stats stats_;
+  PoisonStats poison_stats_;
+  std::array<ShrinkState, 2> shrink_;
 };
 
 }  // namespace demeter

@@ -60,6 +60,14 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   const PageNum vpn = PageOf(gva);
   double total = 0.0;
   TranslationResult tr;
+  FaultInjector* fault = host_->fault_injector();
+  // One poison draw per access: an MCE retires the frame mid-access and the
+  // access retries after recovery, which can itself refault (SIGBUS path:
+  // guest fault, then EPT fault) — hence the larger armed retry bound. The
+  // worst chain is guest fault, EPT fault, poisoned access, then the SIGBUS
+  // discard's own guest fault + EPT fault before the access finally lands.
+  const int max_attempts = fault != nullptr ? 5 : 3;
+  bool poison_drawn = false;
   for (int attempt = 0;; ++attempt) {
     tr = Translate2D(v.tlb, process.gpt(), ept_, vpn, is_write, config_.mmu_costs);
     total += tr.cost_ns;
@@ -67,9 +75,19 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
       walk_cost_ns_.Record(static_cast<uint64_t>(tr.cost_ns));
     }
     if (tr.status == TranslateStatus::kOk) {
+      if (fault != nullptr && !poison_drawn) {
+        poison_drawn = true;
+        const TierIndex pt = host_->memory().TierOf(tr.frame);
+        const FaultSite site =
+            pt == kFmemTier ? FaultSite::kPoisonFmem : FaultSite::kPoisonSmem;
+        if (fault->ShouldInject(site, id())) {
+          total += host_->OnMemoryError(*this, process, vpn, now);
+          continue;  // The access retries once the MCE is handled.
+        }
+      }
       break;
     }
-    DEMETER_CHECK_LT(attempt, 3) << "translation did not converge for gva " << gva;
+    DEMETER_CHECK_LT(attempt, max_attempts) << "translation did not converge for gva " << gva;
     if (tr.status == TranslateStatus::kGuestFault) {
       ++stats_.guest_faults;
       total += config_.mmu_costs.guest_fault_ns;
@@ -171,6 +189,13 @@ bool Vm::MovePage(GuestProcess& process, PageNum vpn, int dst_node, Nanos now, d
   const PageNum old_gpa = gpt_entry.target;
   const int src_node = kernel_->NodeOfGpa(old_gpa);
   if (src_node == dst_node) {
+    return false;
+  }
+  // Backpressure: while the destination's host tier is mid-shrink, the host
+  // refuses new placements into it (guest promotion requests bounce).
+  const TierIndex dst_tier = host_->TierForNode(dst_node);
+  if (host_->TierUnderShrink(dst_tier)) {
+    host_->CountShrinkBackpressure(dst_tier);
     return false;
   }
   FaultInjector* fault = host_->fault_injector();
@@ -311,6 +336,7 @@ void Vm::RegisterMetrics(MetricScope scope) {
   kernel.RegisterCounter("fallback_allocs", &ks.fallback_allocs);
   kernel.RegisterCounter("reclaim_events", &ks.reclaim_events);
   kernel.RegisterCounter("oom_failures", &ks.oom_failures);
+  kernel.RegisterCounter("sigbus_discards", &ks.sigbus_discards);
 
   MetricScope mgmt = scope.Sub("mgmt");
   const CpuAccount* account = &mgmt_account_;

@@ -108,6 +108,11 @@ class Vm {
   const VmStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
 
+  // Lifecycle: a departed VM executes nothing and is skipped by host-side
+  // scans (its Vm object outlives the guest so late events stay safe).
+  bool departed() const { return departed_; }
+  void set_departed(bool departed) { departed_ = departed; }
+
   // Executes one memory access by `vcpu_id` in `process` at address `gva`.
   // Handles guest and EPT faults inline. The caller advances the vCPU clock
   // by the returned cost.
@@ -169,6 +174,7 @@ class Vm {
   CpuAccount mgmt_account_;
   Histogram walk_cost_ns_;
   Rng rng_;
+  bool departed_ = false;
 };
 
 }  // namespace demeter

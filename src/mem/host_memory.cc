@@ -18,6 +18,7 @@ HostMemory::HostMemory(std::vector<TierSpec> tiers) {
       state.free_list.push_back(base + i - 1);
     }
     state.allocated.assign(state.num_frames, false);
+    state.poisoned.assign(state.num_frames, false);
     base += state.num_frames;
     states_.push_back(std::move(state));
   }
@@ -39,10 +40,57 @@ std::optional<FrameId> HostMemory::Allocate(TierIndex t) {
 void HostMemory::Free(FrameId frame) {
   const TierIndex t = TierOf(frame);
   TierState& state = states_[static_cast<size_t>(t)];
+  DEMETER_CHECK(!state.poisoned[frame - state.base]) << "free of poisoned frame " << frame;
   DEMETER_CHECK(state.allocated[frame - state.base]) << "double free of frame " << frame;
   state.allocated[frame - state.base] = false;
   state.free_list.push_back(frame);
   tokens_[frame] = 0;
+}
+
+void HostMemory::Poison(FrameId frame) {
+  const TierIndex t = TierOf(frame);
+  TierState& state = states_[static_cast<size_t>(t)];
+  DEMETER_CHECK(state.allocated[frame - state.base]) << "poison of unallocated frame " << frame;
+  DEMETER_CHECK(!state.poisoned[frame - state.base]) << "double poison of frame " << frame;
+  state.allocated[frame - state.base] = false;
+  state.poisoned[frame - state.base] = true;
+  ++state.poisoned_count;
+  tokens_[frame] = 0;
+}
+
+bool HostMemory::IsPoisoned(FrameId frame) const {
+  const TierIndex t = TierOf(frame);
+  const TierState& state = states_[static_cast<size_t>(t)];
+  return state.poisoned[frame - state.base];
+}
+
+uint64_t HostMemory::PoisonedPages(TierIndex t) const {
+  return states_[static_cast<size_t>(t)].poisoned_count;
+}
+
+uint64_t HostMemory::CarveFree(TierIndex t, uint64_t max_frames) {
+  TierState& state = states_[static_cast<size_t>(t)];
+  uint64_t carved = 0;
+  while (carved < max_frames && !state.free_list.empty()) {
+    state.carved.push_back(state.free_list.back());
+    state.free_list.pop_back();
+    ++carved;
+  }
+  return carved;
+}
+
+void HostMemory::RestoreCarved(TierIndex t) {
+  TierState& state = states_[static_cast<size_t>(t)];
+  // Push back in reverse carve order so the free list ends up exactly as it
+  // was before the carve (the last frame carved returns to the top).
+  while (!state.carved.empty()) {
+    state.free_list.push_back(state.carved.back());
+    state.carved.pop_back();
+  }
+}
+
+uint64_t HostMemory::CarvedPages(TierIndex t) const {
+  return states_[static_cast<size_t>(t)].carved.size();
 }
 
 bool HostMemory::IsAllocated(FrameId frame) const {
@@ -71,7 +119,9 @@ uint64_t HostMemory::FreePages(TierIndex t) const {
   return states_[static_cast<size_t>(t)].free_list.size();
 }
 
-uint64_t HostMemory::UsedPages(TierIndex t) const { return CapacityPages(t) - FreePages(t); }
+uint64_t HostMemory::UsedPages(TierIndex t) const {
+  return CapacityPages(t) - FreePages(t) - PoisonedPages(t) - CarvedPages(t);
+}
 
 uint64_t HostMemory::ReadToken(FrameId frame) const {
   DEMETER_CHECK_LT(frame, total_frames_);

@@ -44,8 +44,29 @@ class HostMemory {
   // True when `frame` is currently handed out by its tier's allocator.
   bool IsAllocated(FrameId frame) const;
 
+  // ---- hwpoison (uncorrectable memory errors) -----------------------------
+  // Marks an allocated frame as poisoned: it leaves the allocator for good
+  // (never re-enters the free list) and its token is destroyed. The caller
+  // (hypervisor MCE handler) is responsible for unmapping it first.
+  void Poison(FrameId frame);
+  bool IsPoisoned(FrameId frame) const;
+  uint64_t PoisonedPages(TierIndex t) const;
+
+  // ---- capacity hot-shrink (co-tenant pressure) ---------------------------
+  // Carves up to `max_frames` free frames out of tier `t` (they become
+  // unallocatable until restored); returns the number carved. RestoreCarved
+  // returns every carved frame, reproducing the exact pre-carve free-list
+  // order so a shrink window that never forces an eviction is invisible to
+  // later allocation patterns.
+  uint64_t CarveFree(TierIndex t, uint64_t max_frames);
+  void RestoreCarved(TierIndex t);
+  uint64_t CarvedPages(TierIndex t) const;
+
   uint64_t CapacityPages(TierIndex t) const;
   uint64_t FreePages(TierIndex t) const;
+  // Frames currently handed out to mappings: capacity minus free minus
+  // poisoned minus carved. The invariant checker asserts EPT-mapped counts
+  // equal this, so offline frames must not be counted as "used".
   uint64_t UsedPages(TierIndex t) const;
 
   // Contents token of a frame (logical page data identity).
@@ -61,6 +82,9 @@ class HostMemory {
     uint64_t num_frames = 0;
     std::vector<FrameId> free_list;  // LIFO.
     std::vector<bool> allocated;
+    std::vector<bool> poisoned;
+    uint64_t poisoned_count = 0;
+    std::vector<FrameId> carved;  // Stack of frames removed by CarveFree.
   };
 
   std::vector<MemoryTier> tiers_;

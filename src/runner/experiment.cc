@@ -78,6 +78,11 @@ void HashVmSetup(HashStream& h, const VmSetup& setup) {
       .I32(static_cast<int>(setup.provision))
       .U64(setup.policy_period)
       .U64(setup.timeline_bucket);
+  // Lifecycle churn changes behaviour; hashing it only when set keeps every
+  // pre-existing (boot-at-zero, never-departing) spec hash stable.
+  if (setup.boot_at != 0 || setup.depart_on_finish) {
+    h.U64(setup.boot_at).Bool(setup.depart_on_finish);
+  }
   HashDemeterConfig(h, setup.demeter);
 }
 

@@ -152,6 +152,11 @@ void DamonPolicy::RunAggregation(Nanos now) {
     }
     return false;
   };
+  // Region scores reset each window regardless, so sitting out a shrink
+  // window costs nothing: hot regions re-score and retry next aggregation.
+  if (PromotionThrottled(*vm_)) {
+    hot.clear();
+  }
   for (const Region* region : hot) {
     for (PageNum vpn = PageOf(region->start);
          vpn < PageOf(region->end) && migrated < config_.max_migrate_per_aggregation; ++vpn) {

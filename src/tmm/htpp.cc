@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/hyper/hypervisor.h"
+#include "src/tmm/policy_util.h"
 
 namespace demeter {
 
@@ -83,6 +84,11 @@ void HTppPolicy::RunScan(Nanos now) {
 
   // Sequential migration with temporary frames: demote first to make room,
   // then promote. One extra full flush covers the batch of EPT remaps.
+  // While the host shrinks FMEM, skip promotions (streaks persist, so the
+  // pages re-qualify next scan) — the shrink engine is evicting anyway.
+  if (PromotionThrottled(*vm_)) {
+    promote.clear();
+  }
   size_t demoted_this_scan = 0;
   size_t next_demote = 0;
   uint64_t migrated = 0;

@@ -103,8 +103,11 @@ void MemtisPolicy::RunClassify(Nanos now) {
   classify_ns += static_cast<double>(page_counts_.size()) * 20.0;
 
   uint64_t migrated = 0;
+  // The histogram halves below either way, so a throttled round costs no
+  // accuracy — the still-hot pages re-cross the threshold next epoch.
+  const bool throttled = PromotionThrottled(*vm_);
   for (const auto& [vpn, count] : hot) {
-    if (migrated >= config_.max_migrate_per_epoch) {
+    if (throttled || migrated >= config_.max_migrate_per_epoch) {
       break;
     }
     if (vm_->NodeOfVpn(*process_, vpn) != 1) {

@@ -99,9 +99,13 @@ void NomadPolicy::RunScan(Nanos now) {
     }
   }
 
-  for (PageNum vpn : promote) {
-    if (TransactionalMove(vpn, 0, now, &migrate_ns)) {
-      ++total_promoted_;
+  // Shadow copies into a shrinking FMEM would abort against backpressure
+  // after paying their setup faults; cheaper to sit the round out.
+  if (!PromotionThrottled(*vm_)) {
+    for (PageNum vpn : promote) {
+      if (TransactionalMove(vpn, 0, now, &migrate_ns)) {
+        ++total_promoted_;
+      }
     }
   }
 

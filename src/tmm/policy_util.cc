@@ -1,5 +1,7 @@
 #include "src/tmm/policy_util.h"
 
+#include "src/hyper/hypervisor.h"
+
 namespace demeter {
 
 std::vector<std::pair<PageNum, PageNum>> TrackedPageRanges(const GuestProcess& process) {
@@ -28,6 +30,10 @@ uint64_t DemoteForHeadroom(Vm& vm, uint64_t count, Nanos now, double* cost_ns) {
     ++demoted;
   }
   return demoted;
+}
+
+bool PromotionThrottled(Vm& vm) {
+  return vm.host().TierUnderShrink(vm.host().TierForNode(0));
 }
 
 }  // namespace demeter

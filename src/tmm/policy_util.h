@@ -21,6 +21,13 @@ std::vector<std::pair<PageNum, PageNum>> TrackedPageRanges(const GuestProcess& p
 // CPU cost.
 uint64_t DemoteForHeadroom(Vm& vm, uint64_t count, Nanos now, double* cost_ns);
 
+// True while the host is carving capacity out of FMEM (a tiershrink
+// window). Promotions into node 0 would be rejected with backpressure page
+// by page; policies check once per round and skip their promote loop,
+// retrying the candidates on the next scan. Always false on fault-free
+// runs (no window can be scheduled).
+bool PromotionThrottled(Vm& vm);
+
 }  // namespace demeter
 
 #endif  // DEMETER_SRC_TMM_POLICY_UTIL_H_

@@ -1,5 +1,7 @@
 // No-op policy: first-touch placement only (no management). Baseline for
-// isolating TMM benefit and for pure provisioning comparisons.
+// isolating TMM benefit and for pure provisioning comparisons. Trivially
+// robust to host elasticity events (poison, tiershrink): it never migrates,
+// so it can neither fight a shrink window nor pick a migration destination.
 
 #ifndef DEMETER_SRC_TMM_STATIC_POLICY_H_
 #define DEMETER_SRC_TMM_STATIC_POLICY_H_

@@ -95,6 +95,11 @@ void TppPolicy::RunScan(Nanos now) {
 
   // Hint-fault-driven promotion: each promotion pays a software page fault
   // before the sequential migrate (the dominant TPP cost in Figure 7).
+  // Skipped wholesale while the host shrinks FMEM; the hit streaks survive
+  // so candidates re-qualify immediately on the next scan.
+  if (PromotionThrottled(*vm_)) {
+    promote_candidates.clear();
+  }
   for (PageNum vpn : promote_candidates) {
     migrate_ns += costs.guest_fault_ns;
     if (vm_->MovePage(*process_, vpn, /*dst_node=*/0, now, &migrate_ns)) {

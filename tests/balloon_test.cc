@@ -210,5 +210,59 @@ TEST_F(BalloonTest, HotplugCannotSplitBlocks) {
   EXPECT_EQ(reached, 4096u);
 }
 
+TEST_F(BalloonTest, HotplugReplugIsLifoWithinNode) {
+  // Regression: replug must return the most recently unplugged block first
+  // (real hot-remove frees the youngest section first on re-add), not the
+  // oldest, and a partial grow must leave the older carve-outs untouched.
+  Vm& vm = MakeVm();
+  HotplugProvisioner hotplug(&vm, kMiB);  // 256-page blocks.
+  hotplug.ResizeTo(0, 4096 - 512, 0);     // Carve two blocks out of node 0.
+  const auto& blocks = hotplug.unplugged_blocks(0);
+  ASSERT_EQ(blocks.size(), 2u);
+  const std::vector<PageNum> oldest = blocks.front();
+  const std::vector<PageNum> newest = blocks.back();
+  ASSERT_FALSE(oldest.empty());
+  ASSERT_FALSE(newest.empty());
+
+  // Grow back exactly one block: the *newest* carve-out must come back.
+  EXPECT_EQ(hotplug.ResizeTo(0, 4096 - 256, 0), 4096u - 256u);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks.front(), oldest) << "replug took the wrong (older) block";
+  // The replugged pages are allocatable in node 0 again.
+  EXPECT_EQ(vm.kernel().NodeOfGpa(newest.front()), 0);
+  EXPECT_EQ(vm.kernel().node(0).present_pages(), 4096u - 256u);
+}
+
+TEST_F(BalloonTest, HotplugReplugTargetsExactNode) {
+  // Blocks carved from one node must never be replugged into another, even
+  // when both nodes hold unplugged blocks at the same time.
+  Vm& vm = MakeVm();
+  HotplugProvisioner hotplug(&vm, kMiB);
+  hotplug.ResizeTo(0, 4096 - 256, 0);
+  hotplug.ResizeTo(1, 4096 - 512, 0);
+  ASSERT_EQ(hotplug.unplugged_blocks(0).size(), 1u);
+  ASSERT_EQ(hotplug.unplugged_blocks(1).size(), 2u);
+
+  // Growing node 1 must not disturb node 0's carve-out.
+  EXPECT_EQ(hotplug.ResizeTo(1, 4096, 0), 4096u);
+  EXPECT_EQ(hotplug.unplugged_blocks(1).size(), 0u);
+  EXPECT_EQ(hotplug.unplugged_blocks(0).size(), 1u);
+  EXPECT_EQ(vm.kernel().node(0).present_pages(), 4096u - 256u);
+  EXPECT_EQ(vm.kernel().node(1).present_pages(), 4096u);
+}
+
+TEST_F(BalloonTest, HotplugSubBlockGrowIsRejectedNoOp) {
+  // A grow smaller than one block cannot be satisfied without splitting a
+  // section: it must change nothing rather than round up silently.
+  Vm& vm = MakeVm();
+  HotplugProvisioner hotplug(&vm, kMiB);
+  hotplug.ResizeTo(0, 4096 - 512, 0);
+  ASSERT_EQ(hotplug.unplugged_blocks(0).size(), 2u);
+  const uint64_t reached = hotplug.ResizeTo(0, 4096 - 512 + 100, 0);
+  EXPECT_EQ(reached, 4096u - 512u) << "sub-block grow must be a no-op";
+  EXPECT_EQ(hotplug.unplugged_blocks(0).size(), 2u);
+  EXPECT_EQ(vm.kernel().node(0).present_pages(), 4096u - 512u);
+}
+
 }  // namespace
 }  // namespace demeter

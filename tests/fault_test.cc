@@ -11,6 +11,7 @@
 #include "src/fault/fault.h"
 #include "src/fault/invariant_checker.h"
 #include "src/harness/machine.h"
+#include "src/hyper/hypervisor.h"
 
 namespace demeter {
 namespace {
@@ -50,6 +51,31 @@ TEST(FaultPlanTest, FullSpecRoundTrips) {
   EXPECT_EQ(again->ToSpec(), plan->ToSpec());
 }
 
+TEST(FaultPlanTest, PoisonAndShrinkRoundTrip) {
+  const std::string spec =
+      "poison=0.002@0,poison=0.0005@1,tiershrink=0.3/2ms/10ms@0,"
+      "tiershrink=0.25/5ms/20ms@1";
+  std::string error;
+  const auto plan = FaultPlan::Parse(spec, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->empty());
+  EXPECT_DOUBLE_EQ(plan->poison_p[0], 0.002);
+  EXPECT_DOUBLE_EQ(plan->poison_p[1], 0.0005);
+  EXPECT_DOUBLE_EQ(plan->tier_shrink[0].frac, 0.3);
+  EXPECT_EQ(plan->tier_shrink[0].duration_ns, 2 * kMillisecond);
+  EXPECT_EQ(plan->tier_shrink[0].period_ns, 10 * kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->tier_shrink[1].frac, 0.25);
+  EXPECT_EQ(plan->tier_shrink[1].duration_ns, 5 * kMillisecond);
+  EXPECT_EQ(plan->tier_shrink[1].period_ns, 20 * kMillisecond);
+  // Poison probabilities map onto the per-tier fault sites.
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kPoisonFmem), 0.002);
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kPoisonSmem), 0.0005);
+  const auto again = FaultPlan::Parse(plan->ToSpec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *plan);
+  EXPECT_EQ(again->ToSpec(), plan->ToSpec());
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   const char* bad[] = {
       "nonsense",            // No key=value shape.
@@ -62,12 +88,55 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
       "stall=50ms/10ms",     // Duration longer than period.
       "crash=5ms/0",         // Zero period.
       "vqcap=abc",           // Not an integer.
+      "poison=0.5",          // Tiered key without @tier.
+      "poison=0.5@2",        // Tier out of range.
+      "poison=0.5@x",        // Tier not an integer.
+      "poison=1.5@0",        // Probability out of range.
+      "tiershrink=0.5@0",    // Missing duration/period halves.
+      "tiershrink=0.5/3ms@0",        // Missing the period half.
+      "tiershrink=2/3ms/10ms@0",     // Fraction out of range.
+      "tiershrink=0.5/30ms/10ms@0",  // Duration longer than period.
+      "tiershrink=0.5/0/10ms@0",     // Zero duration.
   };
   for (const char* spec : bad) {
     std::string error;
     EXPECT_FALSE(FaultPlan::Parse(spec, &error).has_value()) << spec;
     EXPECT_FALSE(error.empty()) << spec;
   }
+}
+
+TEST(FaultPlanTest, ErrorsNameTheOffendingToken) {
+  // Fail-fast diagnostics: long specs must pinpoint the bad token and the
+  // reason, so a typo in one key can't masquerade as a different fault mix.
+  struct Case {
+    const char* spec;    // Full spec handed to Parse.
+    const char* token;   // The token the error must quote.
+    const char* detail;  // Substring of the inner diagnostic.
+  };
+  const Case cases[] = {
+      {"bdrop=0.1,bogus=1", "bogus=1", "unknown fault key 'bogus'"},
+      {"bdrop=0.1,bdrop=0.2", "bdrop=0.2", "duplicate fault key 'bdrop'"},
+      {"poison=0.1@0,poison=0.2@0", "poison=0.2@0", "duplicate fault key 'poison@0'"},
+      {"tiershrink=0.1/1ms/2ms@1,tiershrink=0.2/1ms/2ms@1", "tiershrink=0.2/1ms/2ms@1",
+       "duplicate fault key 'tiershrink@1'"},
+      {"poison=0.5", "poison=0.5", "needs an @tier suffix"},
+      {"poison=0.5@7", "poison=0.5@7", "tier must be an integer in [0,1]"},
+      {"poison=1.5@0", "poison=1.5@0", "probability must be a number in [0,1]"},
+      {"tiershrink=0.5/20ms/10ms@0", "tiershrink=0.5/20ms/10ms@0",
+       "tiershrink needs 0 < duration <= period"},
+      {"bdrop=9", "bdrop=9", "probability must be a number in [0,1]"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    ASSERT_FALSE(FaultPlan::Parse(c.spec, &error).has_value()) << c.spec;
+    EXPECT_NE(error.find(std::string("bad --faults token '") + c.token + "'"),
+              std::string::npos)
+        << c.spec << " -> " << error;
+    EXPECT_NE(error.find(c.detail), std::string::npos) << c.spec << " -> " << error;
+  }
+  // The same key on *different* tiers is legal, not a duplicate.
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse("poison=0.1@0,poison=0.2@1", &error).has_value()) << error;
 }
 
 TEST(FaultPlanTest, ProbabilityPerSite) {
@@ -151,6 +220,27 @@ TEST(FaultInjectorTest, WindowsArePureFunctionsOfTime) {
   EXPECT_TRUE(injector.InCrashWindow(50 * kMillisecond));
   EXPECT_FALSE(injector.InCrashWindow(52 * kMillisecond));
   EXPECT_EQ(injector.CrashWindowEnd(50 * kMillisecond), 52 * kMillisecond);
+}
+
+TEST(FaultInjectorTest, ShrinkWindowsArePerTierPureFunctionsOfTime) {
+  const auto plan = FaultPlan::Parse("tiershrink=0.5/5ms/20ms@1");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector injector(*plan, 42);
+  // Tier 0 has no schedule: never in a window, no next start.
+  EXPECT_FALSE(injector.InShrinkWindow(0, 0));
+  EXPECT_FALSE(injector.InShrinkWindow(0, 20 * kMillisecond));
+  EXPECT_EQ(injector.NextShrinkWindowStart(0, 0), 0u);
+  // Tier 1: window k covers [k*period, k*period + duration) for k >= 1.
+  EXPECT_FALSE(injector.InShrinkWindow(1, 0));
+  EXPECT_FALSE(injector.InShrinkWindow(1, 4 * kMillisecond));
+  EXPECT_TRUE(injector.InShrinkWindow(1, 20 * kMillisecond));
+  EXPECT_TRUE(injector.InShrinkWindow(1, 25 * kMillisecond - 1));
+  EXPECT_FALSE(injector.InShrinkWindow(1, 25 * kMillisecond));
+  EXPECT_TRUE(injector.InShrinkWindow(1, 40 * kMillisecond));
+  EXPECT_EQ(injector.ShrinkWindowEnd(1, 21 * kMillisecond), 25 * kMillisecond);
+  EXPECT_EQ(injector.NextShrinkWindowStart(1, 0), 20 * kMillisecond);
+  EXPECT_EQ(injector.NextShrinkWindowStart(1, 20 * kMillisecond), 40 * kMillisecond);
+  EXPECT_EQ(injector.NextShrinkWindowStart(1, 39 * kMillisecond), 40 * kMillisecond);
 }
 
 // ------------------------------------------------- End-to-end through Machine
@@ -262,6 +352,71 @@ TEST(MachineFaultTest, NoFallbackAblationNeverDegrades) {
   EXPECT_EQ(m.CounterValue("policy/host_migrations"), 0u);
 }
 
+TEST(MachineFaultTest, PoisonRecoversCleanOrDiscardsDirty) {
+  // Memory errors on both tiers: every event must resolve to either a clean
+  // migration-recovery or a SIGBUS discard, frames must go offline, and the
+  // TMM must never pick a poisoned frame as a migration destination.
+  Machine machine(FaultHost("poison=0.0005@0,poison=0.0005@1"));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  const Hypervisor& hyper = machine.hypervisor();
+  const Hypervisor::PoisonStats& poison = hyper.poison_stats();
+  ASSERT_GT(poison.events, 0u);
+  EXPECT_EQ(poison.frames_offlined, poison.events);
+  EXPECT_EQ(poison.clean_recoveries + poison.sigbus_deliveries, poison.events);
+  EXPECT_EQ(poison.pages_lost, poison.sigbus_deliveries);
+  EXPECT_EQ(poison.bad_destination, 0u);
+  // Host metrics mirror the stats struct.
+  const MetricSnapshot m = machine.SnapshotMetrics();
+  EXPECT_EQ(m.CounterValue("host/poison/events"), poison.events);
+  EXPECT_EQ(m.CounterValue("host/poison/bad_destination"), 0u);
+  // Every SIGBUS discard unmapped a guest page through the kernel.
+  EXPECT_EQ(machine.result(0).metrics.CounterValue("kernel/sigbus_discards"),
+            poison.sigbus_deliveries);
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+TEST(MachineFaultTest, TierShrinkWindowsCarveAndRestore) {
+  // Periodic FMEM shrink windows: capacity leaves, emergency evictions keep
+  // the carve honest, and after the run the restored free lists reconcile.
+  Machine machine(FaultHost("tiershrink=0.4/3ms/12ms@0"));
+  machine.AddVm(FaultVm(PolicyKind::kDemeter));
+  machine.Run();
+  const Hypervisor& hyper = machine.hypervisor();
+  const Hypervisor::TierShrinkStats& shrink = hyper.shrink_stats(0);
+  EXPECT_GT(shrink.windows, 0u);
+  EXPECT_GT(shrink.carved_pages, 0u);
+  // Outside any window nothing stays carved.
+  EXPECT_EQ(machine.hypervisor().memory().CarvedPages(0), 0u);
+  EXPECT_EQ(hyper.poison_stats().bad_destination, 0u);
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+TEST(MachineFaultTest, CrashPlusTierShrinkStaysConsistent) {
+  // Satellite regression: a degraded guest (crash windows) while the host
+  // simultaneously shrinks FMEM — the host fallback must tolerate shrunk
+  // destinations mid-drain and the cross-layer invariants must hold.
+  MachineConfig host = FaultHost("crash=4ms/10ms,tiershrink=0.3/3ms/12ms@0");
+  Machine machine(host);
+  VmSetup setup = FaultVm(PolicyKind::kDemeter);
+  setup.demeter.range.epoch_length = 1 * kMillisecond;
+  setup.demeter.degradation.unresponsive_after = 2 * kMillisecond;
+  setup.demeter.degradation.watchdog_period = 1 * kMillisecond;
+  setup.target_transactions = 400000;
+  machine.AddVm(setup);
+  machine.Run();
+  EXPECT_GE(machine.result(0).transactions, 400000u);
+  const MetricSnapshot& m = machine.result(0).metrics;
+  EXPECT_GT(m.CounterValue("policy/degraded_entries"), 0u);
+  const Hypervisor& hyper = machine.hypervisor();
+  EXPECT_GT(hyper.shrink_stats(0).windows, 0u);
+  EXPECT_EQ(hyper.poison_stats().bad_destination, 0u);
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
 // ------------------------------------------------------- Invariant checker
 
 TEST(InvariantCheckerTest, CleanRunPasses) {
@@ -320,6 +475,33 @@ TEST(InvariantCheckerTest, CatchesFreedBackingFrame) {
   machine.hypervisor().memory().Free(frames[0]);
   const InvariantReport report = machine.CheckInvariants();
   EXPECT_FALSE(report.ok());
+}
+
+TEST(InvariantCheckerTest, CatchesMappingToPoisonedFrame) {
+  Machine machine(FaultHost(""));
+  machine.AddVm(FaultVm(PolicyKind::kStatic));
+  machine.Run();
+  ASSERT_TRUE(machine.CheckInvariants().ok());
+  // Offline a frame the EPT still maps: hwpoison containment demands no
+  // live translation ever points at a poisoned frame.
+  std::vector<uint64_t> frames;
+  machine.vm(0).ept().ForEachPresent(0, PageTable::kMaxPage,
+                                     [&](PageNum, uint64_t frame, bool, bool) {
+                                       if (frames.empty()) {
+                                         frames.push_back(frame);
+                                       }
+                                     });
+  ASSERT_EQ(frames.size(), 1u);
+  machine.hypervisor().memory().Poison(static_cast<FrameId>(frames[0]));
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("hw-poisoned") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.Join();
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "src/base/units.h"
+#include "src/fault/invariant_checker.h"
+#include "src/harness/machine.h"
 #include "src/hyper/hypervisor.h"
 #include "src/hyper/vm.h"
 #include "src/mem/host_memory.h"
@@ -366,6 +369,106 @@ TEST(HyperFallbackAccounting, FallbacksCountOnlySuccessfulSpills) {
   EXPECT_EQ(hyper.PopulateEpt(vm, 9), kInvalidFrame);
   EXPECT_EQ(hyper.stats().host_tier_fallbacks, 4u);
   EXPECT_EQ(hyper.stats().ept_populates, 8u);
+}
+
+// ----------------------------------------------------- VM lifecycle churn
+
+MachineConfig LifecycleHost(int vms) {
+  MachineConfig config;
+  const uint64_t per_vm = 32 * kMiB;
+  config.tiers = {TierSpec::LocalDram(10 * kMiB * static_cast<uint64_t>(vms)),
+                  TierSpec::Pmem(3 * per_vm * static_cast<uint64_t>(vms))};
+  return config;
+}
+
+VmSetup LifecycleVm(PolicyKind policy) {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = 32 * kMiB;
+  setup.vm.fmem_ratio = 0.2;
+  setup.vm.num_vcpus = 2;
+  setup.workload = "gups";
+  setup.footprint_bytes = 24 * kMiB;
+  setup.target_transactions = 150000;
+  setup.policy = policy;
+  setup.provision = ProvisionMode::kDemeterBalloon;
+  setup.policy_period = 15 * kMillisecond;
+  setup.demeter.range.epoch_length = 2 * kMillisecond;
+  setup.demeter.sample_period = 97;
+  return setup;
+}
+
+TEST(MachineLifecycleTest, DepartingVmLeavesNoResidue) {
+  // vm0 finishes early and departs mid-run while vm1 keeps executing; every
+  // page, mapping, and TLB entry of the departed VM must be gone.
+  Machine machine(LifecycleHost(2));
+  VmSetup early = LifecycleVm(PolicyKind::kDemeter);
+  early.target_transactions = 60000;
+  early.depart_on_finish = true;
+  machine.AddVm(early);
+  machine.AddVm(LifecycleVm(PolicyKind::kDemeter));
+  machine.Run();
+
+  Vm& departed = machine.vm(0);
+  EXPECT_TRUE(departed.departed());
+  EXPECT_EQ(departed.kernel().mapped_pages(), 0u) << "rmap entries leaked";
+  EXPECT_EQ(departed.ept().mapped_count(), 0u) << "EPT mappings leaked";
+  for (int n = 0; n < 2; ++n) {
+    EXPECT_EQ(departed.kernel().node(n).used_pages(), 0u)
+        << "node " << n << " still counts pages";
+  }
+  uint64_t live_tlb = 0;
+  for (int c = 0; c < departed.num_vcpus(); ++c) {
+    departed.vcpu(c).tlb.ForEachValid([&](PageNum, const auto&) { ++live_tlb; });
+  }
+  EXPECT_EQ(live_tlb, 0u) << "stale translations survived departure";
+
+  // The survivor ran to completion and the cross-layer audit is clean.
+  EXPECT_GE(machine.result(1).transactions, 150000u);
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+
+  // Lifecycle accounting: one departure, with real pages reclaimed.
+  const MetricSnapshot m = machine.SnapshotMetrics();
+  EXPECT_EQ(m.CounterValue("vm0/lifecycle/departures"), 1u);
+  EXPECT_GT(m.CounterValue("vm0/lifecycle/reclaimed_ept_pages"), 0u);
+  EXPECT_EQ(m.CounterValue("vm1/lifecycle/departures"), 0u);
+}
+
+TEST(MachineLifecycleTest, DeferredVmBootsMidRunAndFinishes) {
+  Machine machine(LifecycleHost(2));
+  machine.AddVm(LifecycleVm(PolicyKind::kDemeter));
+  VmSetup late = LifecycleVm(PolicyKind::kDemeter);
+  late.boot_at = 20 * kMillisecond;
+  late.target_transactions = 80000;
+  machine.AddVm(late);
+  machine.Run();
+
+  EXPECT_GE(machine.result(0).transactions, 150000u);
+  EXPECT_GE(machine.result(1).transactions, 80000u);
+  const MetricSnapshot m = machine.SnapshotMetrics();
+  EXPECT_EQ(m.CounterValue("vm1/lifecycle/boots"), 1u);
+  EXPECT_GE(m.CounterValue("vm1/lifecycle/boot_ns"), 20 * kMillisecond);
+  const InvariantReport report = machine.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.Join();
+}
+
+TEST(MachineLifecycleTest, SkippedReclaimIsCaughtByChecker) {
+  // A teardown path that marks the VM gone without reclaiming must trip the
+  // departed-emptiness audit — this is the guard against silent leaks.
+  Machine machine(LifecycleHost(1));
+  machine.AddVm(LifecycleVm(PolicyKind::kStatic));
+  machine.Run();
+  ASSERT_TRUE(machine.CheckInvariants().ok());
+  machine.vm(0).set_departed(true);  // Deliberately skip ReclaimVm.
+  const InvariantReport report = machine.CheckInvariants();
+  ASSERT_FALSE(report.ok());
+  bool mentions_departed = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("departed") != std::string::npos) {
+      mentions_departed = true;
+    }
+  }
+  EXPECT_TRUE(mentions_departed) << report.Join();
 }
 
 }  // namespace
