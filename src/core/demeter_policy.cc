@@ -427,13 +427,21 @@ void DemeterPolicy::HostManageRound(Nanos now) {
   work_ns += static_cast<double>(walked) * vm_->config().mmu_costs.pte_scan_ns;
 
   // Demotion victims: FMEM-backed pages outside every hot extent, in
-  // deterministic EPT walk order.
+  // deterministic EPT walk order. On a three-tier host the same walk also
+  // collects cold SMEM pages — the second level of the demotion chain.
+  const bool has_far = host.swap() != nullptr;
   std::vector<PageNum> cold_fmem;
+  std::vector<PageNum> cold_smem;
   const uint64_t ept_touched = vm_->ept().ForEachPresent(
       0, PageTable::kMaxPage, [&](PageNum gpa, uint64_t frame, bool, bool) {
-        if (host.memory().TierOf(static_cast<FrameId>(frame)) == kFmemTier &&
-            hot_gpas.count(gpa) == 0) {
+        if (hot_gpas.count(gpa) != 0) {
+          return;
+        }
+        const TierIndex t = host.memory().TierOf(static_cast<FrameId>(frame));
+        if (t == kFmemTier) {
           cold_fmem.push_back(gpa);
+        } else if (has_far && t == kSmemTier) {
+          cold_smem.push_back(gpa);
         }
       });
   work_ns += static_cast<double>(ept_touched) * vm_->config().mmu_costs.pte_scan_ns;
@@ -460,6 +468,27 @@ void DemeterPolicy::HostManageRound(Nanos now) {
   // Demotes the next coverable cold-FMEM victim; returns false when none
   // remain. The rmap read that recovers the victim's gVA for the shootdown
   // is another guest-metadata walk the host pays for.
+  // Three-tier chain: when SMEM is full, push a cold SMEM page down to the
+  // far swap tier so the FMEM victim has a near frame to land in. The rmap
+  // shootdown mirrors the first-level demotion; no-op on two-tier hosts.
+  size_t far_demote_idx = 0;
+  auto make_far_room = [&]() -> bool {
+    while (far_demote_idx < cold_smem.size()) {
+      const PageNum victim = cold_smem[far_demote_idx++];
+      work_ns += config_.translate_ns_per_sample;
+      const RmapEntry* rmap = vm_->kernel().Rmap(victim);
+      if (rmap == nullptr) {
+        continue;
+      }
+      if (host.MigrateGpa(*vm_, victim, kSwapTier, now, &migrate_ns)) {
+        vm_->FlushGvaAll(rmap->vpn);
+        migrate_ns += vm_->SingleFlushCost();
+        ++demoted;
+        return true;
+      }
+    }
+    return false;
+  };
   auto make_room = [&]() -> bool {
     while (demote_idx < cold_fmem.size()) {
       const PageNum victim = cold_fmem[demote_idx++];
@@ -468,7 +497,8 @@ void DemeterPolicy::HostManageRound(Nanos now) {
       if (rmap == nullptr) {
         continue;  // Not process-mapped; leave it alone.
       }
-      if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns)) {
+      if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns) ||
+          (make_far_room() && host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns))) {
         vm_->FlushGvaAll(rmap->vpn);
         migrate_ns += vm_->SingleFlushCost();
         ++demoted;

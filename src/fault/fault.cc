@@ -113,6 +113,8 @@ const char* FaultSiteName(FaultSite site) {
       return "poison_fmem";
     case FaultSite::kPoisonSmem:
       return "poison_smem";
+    case FaultSite::kSwapFail:
+      return "swap_fail";
   }
   return "?";
 }
@@ -135,6 +137,8 @@ double FaultPlan::probability(FaultSite site) const {
       return poison_p[0];
     case FaultSite::kPoisonSmem:
       return poison_p[1];
+    case FaultSite::kSwapFail:
+      return swap_fail_p;
     case FaultSite::kGuestStall:
     case FaultSite::kGuestCrash:
     case FaultSite::kVirtqueueFull:
@@ -197,6 +201,11 @@ std::string FaultPlan::ToSpec() const {
                     FormatDouble(shrink.frac).c_str(), shrink.duration_ns, shrink.period_ns, t);
       append(buf);
     }
+  }
+  if (swap_fail_p > 0.0) {
+    std::snprintf(buf, sizeof(buf), "swapfail=%s/%" PRIu64, FormatDouble(swap_fail_p).c_str(),
+                  swap_retry_backoff_ns);
+    append(buf);
   }
   return spec;
 }
@@ -335,6 +344,16 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
       }
       if (shrink.frac > 0.0) {
         plan.tier_shrink[static_cast<size_t>(tier)] = shrink;
+      }
+    } else if (key == "swapfail") {
+      std::string p, d;
+      if (!SplitPair(value, &p, &d, err) || !ParseProbability(p, &plan.swap_fail_p, err) ||
+          !ParseDuration(d, &plan.swap_retry_backoff_ns, err)) {
+        return fail();
+      }
+      if (plan.swap_fail_p > 0.0 && plan.swap_retry_backoff_ns == 0) {
+        detail = "swapfail needs a non-zero retry backoff";
+        return fail();
       }
     } else {
       detail = "unknown fault key '" + key + "'";

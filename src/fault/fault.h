@@ -49,9 +49,10 @@ enum class FaultSite : int {
   kTierExhaustion,     // Preferred guest node transiently dry.
   kPoisonFmem,         // Uncorrectable error in a mapped FMEM frame.
   kPoisonSmem,         // Uncorrectable error in a mapped SMEM frame.
+  kSwapFail,           // Transient swap-device I/O error (writeback/swap-in).
 };
 
-inline constexpr int kNumFaultSites = 10;
+inline constexpr int kNumFaultSites = 11;
 
 // Host tiers addressable by tiered fault keys (`...@tier`). Matches the
 // two-tier host model (kFmemTier/kSmemTier).
@@ -78,6 +79,9 @@ const char* FaultSiteName(FaultSite site);
 //   tiershrink=F/DUR/PER@T
 //                  host tier T loses fraction F of its capacity for DUR at
 //                  the start of every PER (co-tenant pressure / link flap)
+//   swapfail=P/DUR swap-device I/O (writeback or swap-in) fails transiently
+//                  with probability P; the writeback queue retries after a
+//                  DUR backoff per failed attempt
 // Durations accept ns/us/ms/s suffixes (plain digits = ns). Windows start
 // one period in (never at t=0, which would fault the boot-time provisioning
 // of every run identically and uninterestingly). Duplicate keys are an
@@ -104,6 +108,8 @@ struct FaultPlan {
   double tier_exhaust_p = 0.0;
   std::array<double, kMaxFaultTiers> poison_p{};          // Indexed by tier.
   std::array<TierShrink, kMaxFaultTiers> tier_shrink{};   // Indexed by tier.
+  double swap_fail_p = 0.0;
+  Nanos swap_retry_backoff_ns = 0;
 
   // True when the plan injects nothing at all (the default).
   bool empty() const;

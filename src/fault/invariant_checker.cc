@@ -32,6 +32,7 @@ std::string InvariantReport::Join(size_t max_items) const {
 InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmView>& views) {
   InvariantReport report;
   HostMemory& memory = hyper.memory();
+  SwapDevice* swap = hyper.swap();
   // Frames claimed by any VM's EPT, for global uniqueness (4).
   std::unordered_map<FrameId, int> frame_owner;
   std::vector<uint64_t> tier_mapped(static_cast<size_t>(memory.num_tiers()), 0);
@@ -95,6 +96,7 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
     }
 
     // ---- 4: EPT <-> host accounting --------------------------------------
+    uint64_t vm_swap_mapped = 0;
     vm.ept().ForEachPresent(0, PageTable::kMaxPage, [&](PageNum gpa, uint64_t frame, bool, bool) {
       ++report.ept_pages_audited;
       if (kernel.NodeOfGpa(gpa) < 0) {
@@ -121,8 +123,32 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
                                     " double-mapped (also backing vm" +
                                     std::to_string(it->second) + ")");
       }
-      ++tier_mapped[static_cast<size_t>(memory.TierOf(frame))];
+      const TierIndex tier = memory.TierOf(frame);
+      ++tier_mapped[static_cast<size_t>(tier)];
+      // ---- 8: swap-slot accounting --------------------------------------
+      // Every EPT-backed far-tier frame carries exactly one slot, owned by
+      // the mapping VM (slot uniqueness per frame is structural: the device
+      // keys slots by frame).
+      if (swap != nullptr && tier == kSwapTier) {
+        ++vm_swap_mapped;
+        if (!swap->HasSlot(frame)) {
+          report.violations.push_back(prefix + "swap frame " + std::to_string(frame) +
+                                      " backing gpa " + std::to_string(gpa) + " has no slot");
+        } else if (swap->SlotOwner(frame) != i) {
+          report.violations.push_back(prefix + "swap frame " + std::to_string(frame) +
+                                      "'s slot is owned by vm" +
+                                      std::to_string(swap->SlotOwner(frame)));
+        }
+      }
     });
+    if (swap != nullptr && swap->ActiveSlotsForVm(i) != vm_swap_mapped) {
+      // Covers departed VMs too: zero mapped far pages must mean zero slots
+      // (ReclaimVm drains every backing through UnbackGpa's SlotDrop).
+      report.violations.push_back(prefix + "swap device holds " +
+                                  std::to_string(swap->ActiveSlotsForVm(i)) +
+                                  " slots but the EPT maps " + std::to_string(vm_swap_mapped) +
+                                  " far-tier pages");
+    }
 
     // ---- 4b: migrations never lose dirty state ---------------------------
     // Remap preserves A/D by construction; the counters make any future
@@ -199,6 +225,14 @@ InvariantReport InvariantChecker::Check(Hypervisor& hyper, const std::vector<VmV
                                   " used frames but EPTs map " +
                                   std::to_string(tier_mapped[static_cast<size_t>(t)]));
     }
+  }
+  // 8 (global): with per-frame and per-VM slot checks above, a total mismatch
+  // can only mean leaked slots — frames freed without SlotDrop.
+  if (swap != nullptr && swap->ActiveSlots() != memory.UsedPages(kSwapTier)) {
+    report.violations.push_back("swap device holds " + std::to_string(swap->ActiveSlots()) +
+                                " slots but tier " + std::to_string(kSwapTier) + " has " +
+                                std::to_string(memory.UsedPages(kSwapTier)) +
+                                " used frames (slot leak)");
   }
   return report;
 }

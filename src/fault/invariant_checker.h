@@ -22,6 +22,11 @@
 //   7. Departed-VM emptiness: a VM the harness removed mid-run holds
 //      nothing — zero rmap entries, zero node used_pages, zero EPT
 //      mappings, zero live TLB entries.
+//   8. Swap-slot accounting (three-tier hosts): every EPT-backed far-tier
+//      frame has exactly one device slot owned by the mapping VM; each VM's
+//      slot count equals its mapped far-tier pages (so a departed VM holds
+//      zero slots after ReclaimVm); the device's total slot count equals the
+//      far tier's used frames — any excess is a leaked slot.
 //
 // The audit is strictly read-only (const page-table walks; never the
 // A/D-clearing scan) and runs between events, so it cannot perturb the

@@ -128,6 +128,27 @@ Machine::Machine(MachineConfig config) : config_(config), rng_(config.seed) {
     fault_injector_ = std::make_unique<FaultInjector>(config_.faults, config_.seed);
     hyper_->set_fault_injector(fault_injector_.get());
   }
+  // Three-tier host: create the far swap device. Ordered after the injector
+  // bind — the device consults it for swapfail draws. The device RNG stream
+  // derives from the machine seed unless the bench pins one explicitly.
+  if (static_cast<TierIndex>(config_.tiers.size()) > kSwapTier) {
+    SwapDeviceConfig swap = config_.swap;
+    if (swap.seed == 0) {
+      swap.seed = config_.seed * 6007 + 13;
+    }
+    hyper_->EnableSwap(swap);
+  }
+  if (config_.overcommit.enabled) {
+    overcommit_ = std::make_unique<OvercommitScheduler>(hyper_.get(), config_.overcommit);
+    overcommit_->set_spill_request([this](int vm_i, int64_t delta_pages, Nanos now) {
+      DemeterBalloon* balloon = demeter_balloons_[static_cast<size_t>(vm_i)].get();
+      if (balloon == nullptr) {
+        return false;  // No double balloon to arbitrate through.
+      }
+      balloon->RequestDelta(/*node=*/0, delta_pages, now);
+      return true;
+    });
+  }
 }
 
 Machine::~Machine() = default;
@@ -346,7 +367,10 @@ void Machine::FinishVm(int i, Nanos now) {
   result.vm_stats = machine_vm.stats();
   result.mgmt = machine_vm.mgmt_account();
   result.timeline_bucket = setups_[static_cast<size_t>(i)].timeline_bucket;
-  const uint64_t mem_accesses = result.vm_stats.fmem_accesses + result.vm_stats.smem_accesses;
+  // swap_accesses is forever zero on two-tier hosts, so the fraction is
+  // unchanged there; on three-tier hosts far accesses dilute it.
+  const uint64_t mem_accesses = result.vm_stats.fmem_accesses + result.vm_stats.smem_accesses +
+                                result.vm_stats.swap_accesses;
   result.fmem_access_fraction =
       mem_accesses == 0
           ? 0.0
@@ -449,6 +473,9 @@ void Machine::Run() {
   // Tier-shrink windows (if the fault plan schedules any) live on the same
   // event queue as everything else; arm them before time starts moving.
   hyper_->ArmTierShrink();
+  if (overcommit_ != nullptr) {
+    overcommit_->Start();
+  }
 
   // Phase 1: provisioning. Balloon request/completion chains finish within
   // microseconds of virtual time; a bounded horizon (rather than draining
@@ -567,6 +594,9 @@ void Machine::Run() {
 
 void Machine::RegisterAllMetrics() {
   hyper_->RegisterMetrics(MetricScope(&registry_, "host"));
+  if (overcommit_ != nullptr) {
+    overcommit_->RegisterMetrics(MetricScope(&registry_, "host").Sub("overcommit"));
+  }
   for (int i = 0; i < num_vms(); ++i) {
     MetricScope scope(&registry_, "vm" + std::to_string(i));
     vm(i).RegisterMetrics(scope);

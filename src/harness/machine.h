@@ -19,6 +19,8 @@
 #include "src/core/api.h"
 #include "src/fault/fault.h"
 #include "src/fault/invariant_checker.h"
+#include "src/hyper/overcommit.h"
+#include "src/swap/swap_device.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/tracer.h"
 #include "src/workloads/workload.h"
@@ -65,6 +67,15 @@ struct MachineConfig {
   // loop event drain, aborting on violation. Read-only observability like
   // capture_trace: excluded from the spec content hash.
   bool check_invariants = false;
+  // Far swap tier device model; consulted only when `tiers` has more than
+  // kSwapTier entries (three-tier hosts). Two-tier machines never create
+  // the device, so these knobs are inert there. seed 0 = derive from the
+  // machine seed.
+  SwapDeviceConfig swap;
+  // FMEM overcommit arbitration (double-balloon spill scheduler). Off by
+  // default; benches that oversubscribe FMEM turn it on. Enabled configs
+  // fold into the runner's spec content hash.
+  OvercommitConfig overcommit;
 };
 
 struct VmSetup {
@@ -149,6 +160,8 @@ class Machine {
   TmmPolicy* policy(int i) { return policies_[static_cast<size_t>(i)].get(); }
   Workload* workload(int i) { return workloads_[static_cast<size_t>(i)].get(); }
   DemeterBalloon* demeter_balloon(int i) { return demeter_balloons_[static_cast<size_t>(i)].get(); }
+  // The overcommit scheduler (null unless config.overcommit.enabled).
+  OvercommitScheduler* overcommit() { return overcommit_.get(); }
 
   // Aggregate results.
   double TotalMgmtCores() const;
@@ -219,6 +232,7 @@ class Machine {
   std::unique_ptr<HostMemory> memory_;
   EventQueue events_;
   std::unique_ptr<Hypervisor> hyper_;
+  std::unique_ptr<OvercommitScheduler> overcommit_;
   std::vector<VmSetup> setups_;
   std::vector<std::unique_ptr<Workload>> workloads_;
   std::vector<std::unique_ptr<TmmPolicy>> policies_;

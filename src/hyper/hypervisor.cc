@@ -34,27 +34,44 @@ FrameId Hypervisor::CheckDestination(FrameId frame) {
   return frame;
 }
 
-FrameId Hypervisor::PopulateEpt(Vm& vm, PageNum gpa) {
+FrameId Hypervisor::PopulateEpt(Vm& vm, PageNum gpa, Nanos now) {
   const int node = NodeOfGpa(vm, gpa);
   const TierIndex desired = TierForNode(node);
   auto frame = memory_->Allocate(desired);
   if (!frame.has_value()) {
-    // Host pressure: spill to the other tier rather than failing the VM.
-    for (TierIndex t = 0; t < memory_->num_tiers(); ++t) {
-      if (t == desired) {
-        continue;
-      }
+    // Host pressure: spill to another tier rather than failing the VM.
+    // Byte-addressable tiers only, colder first, then warmer; the far swap
+    // tier is strictly the last resort once every DRAM-class tier is dry.
+    // Swapping out a page the host could still keep byte-addressable would
+    // turn a transient SMEM shortage into major faults — and would make a
+    // provisioned-to-fit host (overcommit ratio 1.0) behave differently
+    // from its two-tier twin. On a two-tier host this order degenerates to
+    // "the other tier", exactly the pre-swap behavior.
+    const TierIndex num_dram =
+        swap_ != nullptr ? kSwapTier : memory_->num_tiers();
+    for (TierIndex t = desired + 1; !frame.has_value() && t < num_dram; ++t) {
       frame = memory_->Allocate(t);
-      if (frame.has_value()) {
-        // Count a fallback only when the spill actually produced a frame,
-        // so the counter matches the number of off-tier placements.
-        ++stats_.host_tier_fallbacks;
-        break;
-      }
+    }
+    for (TierIndex t = desired; !frame.has_value() && t-- > 0;) {
+      frame = memory_->Allocate(t);
+    }
+    if (!frame.has_value() && swap_ != nullptr) {
+      frame = memory_->Allocate(kSwapTier);
+    }
+    if (frame.has_value()) {
+      // Count a fallback only when the spill actually produced a frame,
+      // so the counter matches the number of off-tier placements.
+      ++stats_.host_tier_fallbacks;
     }
   }
   if (!frame.has_value()) {
     return kInvalidFrame;
+  }
+  if (swap_ != nullptr && memory_->TierOf(*frame) == kSwapTier) {
+    // A placement in the far tier is a swap-out: open the slot and start
+    // the async writeback. The (rare) bounded-queue stall is absorbed here
+    // — first-touch placement has no migration cost account to charge.
+    swap_->SlotStore(*frame, vm.id(), now);
   }
   ++stats_.ept_populates;
   DEMETER_CHECK(vm.ept().Map(gpa, *frame, /*writable=*/true));
@@ -67,6 +84,11 @@ void Hypervisor::UnbackGpa(Vm& vm, PageNum gpa, bool flush) {
     return;  // Never backed.
   }
   ++stats_.ept_unbacks;
+  if (swap_ != nullptr && memory_->TierOf(frame) == kSwapTier) {
+    // The page dies under its slot (balloon reclaim, VM departure): the
+    // slot is released without a device read.
+    swap_->SlotDrop(frame, vm.id());
+  }
   memory_->Free(frame);
   if (flush) {
     vm.FullFlushAll();
@@ -87,13 +109,49 @@ bool Hypervisor::MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, 
     return false;
   }
   CheckDestination(*new_frame);
-  *cost_ns += memory_->tier(memory_->TierOf(old_frame)).AccessCost(now, kPageSize, false);
+  const TierIndex src_tier = memory_->TierOf(old_frame);
+  if (swap_ != nullptr && src_tier == kSwapTier) {
+    // Swap-in: the device read (or in-flight-buffer hit) releases the slot.
+    *cost_ns += swap_->SlotLoad(old_frame, vm.id(), now);
+  }
+  *cost_ns += memory_->tier(src_tier).AccessCost(now, kPageSize, false);
   *cost_ns += memory_->tier(dst_tier).AccessCost(now, kPageSize, true);
   memory_->WriteToken(*new_frame, memory_->ReadToken(old_frame));
   DEMETER_CHECK(vm.ept().Remap(gpa, *new_frame));
+  if (swap_ != nullptr && dst_tier == kSwapTier) {
+    // Swap-out: open the slot and enqueue the async writeback; a full
+    // bounded queue stalls the demotion, charged to the migration.
+    *cost_ns += swap_->SlotStore(*new_frame, vm.id(), now);
+  }
   memory_->Free(old_frame);
   ++stats_.host_migrations;
   return true;
+}
+
+void Hypervisor::EnableSwap(const SwapDeviceConfig& config) {
+  DEMETER_CHECK(swap_ == nullptr);
+  DEMETER_CHECK_GT(memory_->num_tiers(), kSwapTier);
+  swap_ = std::make_unique<SwapDevice>(config, fault_injector_);
+}
+
+TierIndex Hypervisor::SwapInTarget() const {
+  if (memory_->FreePages(kFmemTier) > ShrinkReservePages(kFmemTier) &&
+      !TierUnderShrink(kFmemTier)) {
+    return kFmemTier;  // Level-skip: a hot swap-in goes straight to FMEM.
+  }
+  return kSmemTier;
+}
+
+bool Hypervisor::SwapInGpa(Vm& vm, PageNum gpa, Nanos now, double* cost_ns) {
+  const TierIndex preferred = SwapInTarget();
+  if (MigrateGpa(vm, gpa, preferred, now, cost_ns)) {
+    return true;
+  }
+  const TierIndex other = preferred == kFmemTier ? kSmemTier : kFmemTier;
+  if (other == kFmemTier && TierUnderShrink(kFmemTier)) {
+    return false;  // Don't fight an active carve; access the page far.
+  }
+  return MigrateGpa(vm, gpa, other, now, cost_ns);
 }
 
 double Hypervisor::OnMemoryError(Vm& vm, GuestProcess& process, PageNum vpn, Nanos now) {
@@ -111,6 +169,9 @@ double Hypervisor::OnMemoryError(Vm& vm, GuestProcess& process, PageNum vpn, Nan
 
   ++poison_stats_.events;
   vm.ept().Unmap(gpa);
+  if (swap_ != nullptr) {
+    swap_->SlotDrop(frame, vm.id());  // Poisoned swap frame: slot dies too.
+  }
   memory_->Poison(frame);
   ++poison_stats_.frames_offlined;
   // The hypervisor knows the faulting gVA (the MCE hit a running access),
@@ -119,7 +180,7 @@ double Hypervisor::OnMemoryError(Vm& vm, GuestProcess& process, PageNum vpn, Nan
   double cost = vm.SingleFlushCost() + vm.config().mmu_costs.ept_fault_ns;
 
   if (!dirty) {
-    const FrameId replacement = PopulateEpt(vm, gpa);
+    const FrameId replacement = PopulateEpt(vm, gpa, now);
     if (replacement != kInvalidFrame) {
       memory_->WriteToken(replacement, token);
       cost += memory_->tier(tier).AccessCost(now, kPageSize, /*is_write=*/false);
@@ -216,7 +277,15 @@ void Hypervisor::RunShrinkBatch(TierIndex t, Nanos now) {
   // stall the run at a single instant: migrate up to kShrinkBatchPages
   // mapped pages off the shrinking tier, then reschedule.
   constexpr uint64_t kShrinkBatchPages = 128;
-  const TierIndex dst = t == kFmemTier ? kSmemTier : kFmemTier;
+  // Eviction destinations in preference order: the other DRAM tier first,
+  // then (on a three-tier host) the far swap tier as the overflow valve.
+  std::vector<TierIndex> dsts;
+  dsts.push_back(t == kFmemTier ? kSmemTier : kFmemTier);
+  for (TierIndex d = 0; d < memory_->num_tiers(); ++d) {
+    if (d != t && d != dsts.front()) {
+      dsts.push_back(d);
+    }
+  }
   uint64_t budget = std::min(need, kShrinkBatchPages);
   uint64_t evicted = 0;
   for (auto& vm_ptr : vms_) {
@@ -235,8 +304,11 @@ void Hypervisor::RunShrinkBatch(TierIndex t, Nanos now) {
     double cost_ns = 0.0;
     uint64_t moved = 0;
     for (PageNum gpa : victims) {
-      if (MigrateGpa(vm, gpa, dst, now, &cost_ns)) {
-        ++moved;
+      for (TierIndex dst : dsts) {
+        if (MigrateGpa(vm, gpa, dst, now, &cost_ns)) {
+          ++moved;
+          break;
+        }
       }
     }
     if (moved > 0) {
@@ -324,6 +396,9 @@ void Hypervisor::RegisterMetrics(MetricScope scope) {
   poison.RegisterCounter("sigbus_deliveries", &poison_stats_.sigbus_deliveries);
   poison.RegisterCounter("pages_lost", &poison_stats_.pages_lost);
   poison.RegisterCounter("bad_destination", &poison_stats_.bad_destination);
+  if (swap_ != nullptr) {
+    swap_->RegisterHostMetrics(scope.Sub("swap"));
+  }
   for (TierIndex t = 0; t < memory_->num_tiers(); ++t) {
     MetricScope tier = scope.Sub("tier" + std::to_string(t));
     HostMemory* memory = memory_;

@@ -16,6 +16,7 @@
 #include "src/hyper/vm.h"
 #include "src/mem/host_memory.h"
 #include "src/sim/event_queue.h"
+#include "src/swap/swap_device.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/tracer.h"
 
@@ -67,9 +68,10 @@ class Hypervisor {
   int NodeOfGpa(const Vm& vm, PageNum gpa) const;
 
   // EPT-fault service: backs `gpa` with a frame from the matching tier
-  // (spilling to another tier under host memory pressure). Returns the
-  // frame, or kInvalidFrame on host OOM.
-  FrameId PopulateEpt(Vm& vm, PageNum gpa);
+  // (spilling to another tier under host memory pressure; the far swap
+  // tier, when present, is last in the chain and a placement there opens a
+  // swap slot at `now`). Returns the frame, or kInvalidFrame on host OOM.
+  FrameId PopulateEpt(Vm& vm, PageNum gpa, Nanos now = 0);
 
   // Frees the backing of `gpa` (balloon inflation / free-page reporting).
   // Safe to call for never-backed pages. When `flush` is true a full EPT
@@ -79,8 +81,29 @@ class Hypervisor {
   // Host-side migration of one backed gPA to `dst_tier` (used by
   // hypervisor-based TMM). Does NOT flush; callers batch migrations and
   // issue one full flush per batch via vm.FullFlushAll(). Returns false if
-  // the page is unbacked or the destination tier is exhausted.
+  // the page is unbacked or the destination tier is exhausted. On a
+  // three-tier host this is also the swap boundary: migrating out of
+  // kSwapTier pays the device swap-in (slot released), migrating into it
+  // enqueues the async writeback (slot opened).
   bool MigrateGpa(Vm& vm, PageNum gpa, TierIndex dst_tier, Nanos now, double* cost_ns);
+
+  // ---- far swap tier ------------------------------------------------------
+  // Creates the swap device backing kSwapTier. Call once before any VM
+  // touches memory, and only on hosts with more than kSwapTier tiers; the
+  // device consults the bound fault injector (swapfail), so bind that
+  // first. Two-tier hosts never call this and swap() stays null.
+  void EnableSwap(const SwapDeviceConfig& config);
+  SwapDevice* swap() const { return swap_.get(); }
+
+  // Promotion target for a hot swap-in: FMEM when it has free pages beyond
+  // the shrink reserve and is not mid-shrink (the level-skip promotion),
+  // else SMEM.
+  TierIndex SwapInTarget() const;
+
+  // Swaps one backed gPA out of kSwapTier into SwapInTarget() (falling back
+  // to the other non-swap tier). Returns false when no destination has a
+  // free frame — the page then stays far and is accessed in place.
+  bool SwapInGpa(Vm& vm, PageNum gpa, Nanos now, double* cost_ns);
 
   // MMU-notifier-style scan over a VM's EPT: visits every backed gPA with
   // its pre-clear Accessed bit and clears the bits. The hypervisor cannot
@@ -171,6 +194,7 @@ class Hypervisor {
   EventQueue* events_;
   Tracer* tracer_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
+  std::unique_ptr<SwapDevice> swap_;
   std::vector<std::unique_ptr<Vm>> vms_;
   Stats stats_;
   PoisonStats poison_stats_;

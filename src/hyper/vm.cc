@@ -66,8 +66,12 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   // guest fault, then EPT fault) — hence the larger armed retry bound. The
   // worst chain is guest fault, EPT fault, poisoned access, then the SIGBUS
   // discard's own guest fault + EPT fault before the access finally lands.
-  const int max_attempts = fault != nullptr ? 5 : 3;
+  // A three-tier host can add one swap-in retry (plus one more after a
+  // poison recovery repopulates into swap under extreme pressure).
+  SwapDevice* swap = host_->swap();
+  const int max_attempts = (fault != nullptr ? 5 : 3) + (swap != nullptr ? 2 : 0);
   bool poison_drawn = false;
+  bool swap_in_place = false;
   for (int attempt = 0;; ++attempt) {
     tr = Translate2D(v.tlb, process.gpt(), ept_, vpn, is_write, config_.mmu_costs);
     total += tr.cost_ns;
@@ -75,11 +79,32 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
       walk_cost_ns_.Record(static_cast<uint64_t>(tr.cost_ns));
     }
     if (tr.status == TranslateStatus::kOk) {
-      if (fault != nullptr && !poison_drawn) {
+      const TierIndex ft = host_->memory().TierOf(tr.frame);
+      if (swap != nullptr && ft == kSwapTier && !swap_in_place) {
+        // Major fault: the page lives in the far swap tier. The guest
+        // blocks while the host swaps it in (device read or in-flight
+        // buffer hit, inside SwapInGpa's migration) and promotes it —
+        // straight to FMEM when there is headroom, else SMEM.
+        ++stats_.swap_ins;
+        // A TLB hit short-circuits the walk, leaving tr.gpa_page unset —
+        // recover the faulting page's gPA from the GPT before asking the
+        // host to swap it in (a real major fault re-walks the same way).
+        const PageNum swap_gpa =
+            tr.tlb_hit ? process.gpt().Lookup(vpn).target : tr.gpa_page;
+        double cost = 0.0;
+        if (host_->SwapInGpa(*this, swap_gpa, now, &cost)) {
+          FlushGvaAll(vpn);
+          total += cost + SingleFlushCost();
+          continue;  // Re-translate onto the promoted frame.
+        }
+        // No free frame anywhere above: access the page in place, far.
+        total += cost;
+        swap_in_place = true;
+      }
+      if (fault != nullptr && !poison_drawn && ft < kMaxFaultTiers) {
         poison_drawn = true;
-        const TierIndex pt = host_->memory().TierOf(tr.frame);
         const FaultSite site =
-            pt == kFmemTier ? FaultSite::kPoisonFmem : FaultSite::kPoisonSmem;
+            ft == kFmemTier ? FaultSite::kPoisonFmem : FaultSite::kPoisonSmem;
         if (fault->ShouldInject(site, id())) {
           total += host_->OnMemoryError(*this, process, vpn, now);
           continue;  // The access retries once the MCE is handled.
@@ -98,7 +123,7 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
     } else {
       ++stats_.ept_faults;
       total += config_.mmu_costs.ept_fault_ns;
-      const FrameId frame = host_->PopulateEpt(*this, tr.gpa_page);
+      const FrameId frame = host_->PopulateEpt(*this, tr.gpa_page, now);
       DEMETER_CHECK_NE(frame, kInvalidFrame) << "host OOM populating gpa " << tr.gpa_page;
     }
   }
@@ -108,6 +133,8 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   total += mem;
   if (t == kFmemTier) {
     ++stats_.fmem_accesses;
+  } else if (t == kSwapTier) {
+    ++stats_.swap_accesses;
   } else {
     ++stats_.smem_accesses;
   }
@@ -209,10 +236,20 @@ bool Vm::MovePage(GuestProcess& process, PageNum vpn, int dst_node, Nanos now, d
   // Back the destination before copying (first touch by the copy loop).
   if (!ept_.Lookup(*new_gpa).present) {
     *cost_ns += config_.mmu_costs.ept_fault_ns;
-    const FrameId frame = host_->PopulateEpt(*this, *new_gpa);
+    const FrameId frame = host_->PopulateEpt(*this, *new_gpa, now);
     if (frame == kInvalidFrame) {
       kernel_->FreeGpa(*new_gpa);
       return false;
+    }
+  }
+  // A far-tier source makes this move a swap-in: the copy's read side pays
+  // the device (in-flight hit or seeded read) and releases the slot, so the
+  // free-page report below finds no slot to drop.
+  SwapDevice* swap = host_->swap();
+  if (swap != nullptr) {
+    const auto src_ept = ept_.Lookup(old_gpa);
+    if (src_ept.present && host_->memory().TierOf(src_ept.target) == kSwapTier) {
+      *cost_ns += swap->SlotLoad(src_ept.target, id(), now);
     }
   }
   *cost_ns += PageCopyCost(old_gpa, *new_gpa, now);
@@ -249,7 +286,7 @@ bool Vm::SwapPages(GuestProcess& proc_a, PageNum vpn_a, GuestProcess& proc_b, Pa
   for (PageNum gpa : {gpa_a, gpa_b}) {
     if (!ept_.Lookup(gpa).present) {
       *cost_ns += config_.mmu_costs.ept_fault_ns;
-      if (host_->PopulateEpt(*this, gpa) == kInvalidFrame) {
+      if (host_->PopulateEpt(*this, gpa, now) == kInvalidFrame) {
         return false;
       }
     }
@@ -275,6 +312,19 @@ bool Vm::SwapPages(GuestProcess& proc_a, PageNum vpn_a, GuestProcess& proc_b, Pa
   const uint64_t token_a = mem.ReadToken(frame_a);
   mem.WriteToken(frame_a, mem.ReadToken(frame_b));
   mem.WriteToken(frame_b, token_a);
+  // A far-tier side keeps its frame (balanced swap allocates nothing) but
+  // exchanges contents: read the old contents back from the device and
+  // enqueue a fresh writeback for the new ones. Load-then-store nets out to
+  // the same single slot, so the frame<->slot bijection holds.
+  SwapDevice* swap = host_->swap();
+  if (swap != nullptr) {
+    for (const FrameId frame : {frame_a, frame_b}) {
+      if (mem.TierOf(frame) == kSwapTier) {
+        *cost_ns += swap->SlotLoad(frame, id(), now);
+        *cost_ns += swap->SlotStore(frame, id(), now);
+      }
+    }
+  }
 
   // Cross-remap: each vpn adopts the other's gPA (and thus its node/tier).
   DEMETER_CHECK(proc_a.gpt().Map(vpn_a, gpa_b, /*writable=*/true));
@@ -303,6 +353,13 @@ void Vm::RegisterMetrics(MetricScope scope) {
   stats.RegisterCounter("pages_demoted", &stats_.pages_demoted);
   stats.RegisterCounter("context_switches", &stats_.context_switches);
   stats.RegisterGauge("total_access_ns", &stats_.total_access_ns);
+  // Far-tier counters exist only on hosts with a swap device, keeping
+  // two-tier metric output unchanged.
+  if (host_->swap() != nullptr) {
+    stats.RegisterCounter("swap_accesses", &stats_.swap_accesses);
+    stats.RegisterCounter("swap_ins", &stats_.swap_ins);
+    host_->swap()->RegisterVmMetrics(scope.Sub("swap"), id());
+  }
 
   for (const auto& v : vcpus_) {
     MetricScope vscope = scope.Sub("vcpu" + std::to_string(v->id));

@@ -78,6 +78,10 @@ struct VmStats {
   uint64_t ept_faults = 0;
   uint64_t fmem_accesses = 0;
   uint64_t smem_accesses = 0;
+  // Far-tier traffic; forever zero on two-tier hosts (and the counters are
+  // only registered when the host has a swap device).
+  uint64_t swap_accesses = 0;  // Served in place from kSwapTier (no room up).
+  uint64_t swap_ins = 0;       // Major faults: page promoted out of swap.
   uint64_t pages_promoted = 0;  // Into node 0.
   uint64_t pages_demoted = 0;   // Out of node 0.
   uint64_t context_switches = 0;

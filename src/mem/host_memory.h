@@ -21,11 +21,14 @@ namespace demeter {
 using FrameId = uint64_t;
 inline constexpr FrameId kInvalidFrame = ~static_cast<FrameId>(0);
 
-// Index of a tier within a HostMemory. By convention in two-tier setups,
-// tier 0 is FMEM (fast) and tier 1 is SMEM (slow).
+// Index of a tier within a HostMemory. By convention, tier 0 is FMEM
+// (fast) and tier 1 is SMEM (slow); three-tier setups add tier 2, the far
+// swap tier (compressed RAM / SSD, see src/swap). Two-tier hosts never see
+// kSwapTier: every swap path is gated on num_tiers() > kSwapTier.
 using TierIndex = int;
 inline constexpr TierIndex kFmemTier = 0;
 inline constexpr TierIndex kSmemTier = 1;
+inline constexpr TierIndex kSwapTier = 2;
 
 class HostMemory {
  public:

@@ -39,6 +39,21 @@ TierSpec TierSpec::Pmem(uint64_t capacity_bytes) {
   return spec;
 }
 
+TierSpec TierSpec::Zswap(uint64_t capacity_bytes) {
+  TierSpec spec;
+  spec.media = MediaKind::kZswap;
+  // Compressed-RAM pool fronting an SSD: the base store/load cost is the
+  // (de)compression pass, a couple of orders of magnitude above DRAM but far
+  // below the swap device itself (modeled separately by SwapDevice). lzo-rle
+  // class throughput on one core.
+  spec.read_latency_ns = 1500.0;
+  spec.write_latency_ns = 2500.0;
+  spec.read_bw_mbps = 4000.0;
+  spec.write_bw_mbps = 3000.0;
+  spec.capacity_bytes = capacity_bytes;
+  return spec;
+}
+
 const char* MediaKindName(MediaKind media) {
   switch (media) {
     case MediaKind::kLocalDram:
@@ -47,6 +62,8 @@ const char* MediaKindName(MediaKind media) {
       return "remote-dram(cxl)";
     case MediaKind::kPmem:
       return "pmem";
+    case MediaKind::kZswap:
+      return "zswap";
   }
   return "?";
 }
@@ -57,6 +74,12 @@ double MemoryTier::Utilization() const {
   const double bw = (2.0 * spec_.read_bw_mbps + spec_.write_bw_mbps) / 3.0;
   const double bytes_per_ns = bw * 1e-3;  // MB/s -> bytes/ns.
   const double capacity = bytes_per_ns * 2.0 * static_cast<double>(kWindowNs);
+  // A tier whose effective capacity has collapsed (a tiershrink carve taking
+  // a small tier to empty, or a degenerate spec) must saturate, not divide
+  // by ~zero: any traffic against no capacity is full contention.
+  if (capacity < kMinWindowCapacityBytes) {
+    return (window_bytes_ + prev_window_bytes_) > 0 ? kMaxUtilization : 0.0;
+  }
   const double util =
       static_cast<double>(window_bytes_ + prev_window_bytes_) / capacity;
   return std::min(util, kMaxUtilization);
@@ -64,7 +87,11 @@ double MemoryTier::Utilization() const {
 
 double MemoryTier::AccessCost(Nanos now, uint64_t bytes, bool is_write) {
   const double base = is_write ? spec_.write_latency_ns : spec_.read_latency_ns;
-  const double bw = is_write ? spec_.write_bw_mbps : spec_.read_bw_mbps;
+  // Floor the direction bandwidth so a zero/near-zero spec (or a carve that
+  // leaves no effective capacity) yields a very slow but finite service
+  // time instead of inf/NaN poisoning every downstream cost accumulator.
+  const double bw = std::max(is_write ? spec_.write_bw_mbps : spec_.read_bw_mbps,
+                             kMinBandwidthMbps);
   const double bytes_per_ns = bw * 1e-3;  // MB/s -> bytes/ns.
   const double service = static_cast<double>(bytes) / bytes_per_ns;
 

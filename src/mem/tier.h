@@ -30,6 +30,7 @@ enum class MediaKind : int {
   kLocalDram = 0,
   kRemoteDram = 1,  // Also CXL.mem emulation.
   kPmem = 2,
+  kZswap = 3,  // Compressed-RAM/SSD far tier (swap backend).
 };
 
 struct TierSpec {
@@ -45,6 +46,7 @@ struct TierSpec {
   static TierSpec LocalDram(uint64_t capacity_bytes);
   static TierSpec RemoteDram(uint64_t capacity_bytes);  // CXL.mem emulation.
   static TierSpec Pmem(uint64_t capacity_bytes);
+  static TierSpec Zswap(uint64_t capacity_bytes);  // Far tier (swap backend).
 };
 
 // Cache-hit latency (does not reach any memory tier).
@@ -75,6 +77,12 @@ class MemoryTier {
 
   static constexpr Nanos kWindowNs = kMillisecond;
   static constexpr double kMaxUtilization = 0.95;
+  // Guards against degenerate specs / fully-carved tiers: a direction
+  // bandwidth below this floor is clamped (AccessCost stays finite), and a
+  // per-window byte capacity below kMinWindowCapacityBytes pins Utilization
+  // at kMaxUtilization whenever any traffic is present (no divide-by-~zero).
+  static constexpr double kMinBandwidthMbps = 1.0;
+  static constexpr double kMinWindowCapacityBytes = 1.0;
 
  private:
   TierSpec spec_;

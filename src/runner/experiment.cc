@@ -29,6 +29,26 @@ void HashMachineConfig(HashStream& h, const MachineConfig& config) {
   if (!config.faults.empty()) {
     h.Str(config.faults.ToSpec());
   }
+  // The far-tier knobs only exist on three-tier hosts (which already hash
+  // differently through `tiers`), and overcommit only when enabled; gating
+  // both keeps every pre-existing two-tier spec hash stable.
+  if (static_cast<TierIndex>(config.tiers.size()) > kSwapTier) {
+    h.U64(config.swap.queue_depth)
+        .F64(config.swap.write_latency_ns)
+        .F64(config.swap.read_latency_ns)
+        .F64(config.swap.latency_jitter)
+        .F64(config.swap.inflight_hit_ns)
+        .I32(config.swap.max_retries)
+        .U64(config.swap.seed);
+  }
+  if (config.overcommit.enabled) {
+    h.Bool(config.overcommit.enabled)
+        .F64(config.overcommit.ratio)
+        .U64(config.overcommit.period_ns)
+        .F64(config.overcommit.low_free_frac)
+        .F64(config.overcommit.high_free_frac)
+        .U64(config.overcommit.max_batch_pages);
+  }
 }
 
 void HashDemeterConfig(HashStream& h, const DemeterConfig& d) {

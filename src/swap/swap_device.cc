@@ -1,0 +1,162 @@
+#include "src/swap/swap_device.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+SwapDevice::SwapDevice(const SwapDeviceConfig& config, FaultInjector* injector)
+    : config_(config), injector_(injector), rng_(config.seed) {}
+
+SwapDevice::VmStats& SwapDevice::vm_stats(int vm) {
+  DEMETER_CHECK_GE(vm, 0);
+  while (vms_.size() <= static_cast<size_t>(vm)) {
+    vms_.push_back(std::make_unique<VmStats>());
+  }
+  return *vms_[static_cast<size_t>(vm)];
+}
+
+double SwapDevice::DrawLatency(double mean_ns) {
+  const double jitter = config_.latency_jitter;
+  return mean_ns * (1.0 + jitter * (2.0 * rng_.NextDouble() - 1.0));
+}
+
+int SwapDevice::DrawRetries(int vm) {
+  if (injector_ == nullptr) {
+    return 0;
+  }
+  int failed = 0;
+  while (failed < config_.max_retries &&
+         injector_->ShouldInject(FaultSite::kSwapFail, vm)) {
+    ++failed;
+  }
+  return failed;
+}
+
+double SwapDevice::SlotStore(FrameId frame, int vm, Nanos now) {
+  DEMETER_CHECK(slots_.count(frame) == 0);
+
+  // Retire writebacks that completed before `now`; they no longer occupy
+  // queue entries.
+  const double now_ns = static_cast<double>(now);
+  while (!pending_.empty() && pending_.front() <= now_ns) {
+    pending_.pop_front();
+  }
+
+  // Bounded queue: with queue_depth writebacks in flight the demotion
+  // stalls until the oldest drains, and the stall is returned to be charged
+  // to the migration.
+  double stall_ns = 0.0;
+  if (config_.queue_depth > 0 && pending_.size() >= config_.queue_depth) {
+    stall_ns = pending_.front() - now_ns;
+    pending_.pop_front();
+    ++writeback_stalls_;
+    writeback_stall_ns_ += static_cast<uint64_t>(stall_ns);
+  }
+
+  // The serial device starts this writeback when it is free; each injected
+  // swapfail costs a full (wasted) write plus the retry backoff.
+  const double write_ns = DrawLatency(config_.write_latency_ns);
+  const int failed = DrawRetries(vm);
+  const double backoff =
+      static_cast<double>(injector_ != nullptr ? injector_->plan().swap_retry_backoff_ns : 0);
+  const double start = std::max(now_ns + stall_ns, busy_until_ns_);
+  const double done = start + write_ns + failed * (write_ns + backoff);
+  busy_until_ns_ = done;
+  pending_.push_back(done);
+
+  slots_.emplace(frame, Slot{vm, done});
+  ++stores_;
+  retries_ += static_cast<uint64_t>(failed);
+  peak_slots_ = std::max(peak_slots_, static_cast<uint64_t>(slots_.size()));
+  VmStats& s = vm_stats(vm);
+  ++s.stores;
+  s.retries += static_cast<uint64_t>(failed);
+  return stall_ns;
+}
+
+double SwapDevice::SlotLoad(FrameId frame, int vm, Nanos now) {
+  auto it = slots_.find(frame);
+  DEMETER_CHECK(it != slots_.end());
+  const bool inflight = static_cast<double>(now) < it->second.writeback_done_ns;
+  // The pending writeback entry stays in the queue either way: the serial
+  // device has already committed to the write (wasted bandwidth when the
+  // page is swapped back in first), it just no longer backs a slot.
+  slots_.erase(it);
+
+  ++loads_;
+  VmStats& s = vm_stats(vm);
+  ++s.loads;
+  if (inflight) {
+    // Contents still in the compressed staging buffer; no device read, no
+    // rng draw (keeps the device stream untouched on this fast path).
+    ++inflight_hits_;
+    ++s.inflight_hits;
+    return config_.inflight_hit_ns;
+  }
+  const double read_ns = DrawLatency(config_.read_latency_ns);
+  const int failed = DrawRetries(vm);
+  const double backoff =
+      static_cast<double>(injector_ != nullptr ? injector_->plan().swap_retry_backoff_ns : 0);
+  ++device_reads_;
+  ++s.device_reads;
+  retries_ += static_cast<uint64_t>(failed);
+  s.retries += static_cast<uint64_t>(failed);
+  return read_ns + failed * (read_ns + backoff);
+}
+
+void SwapDevice::SlotDrop(FrameId frame, int vm) {
+  auto it = slots_.find(frame);
+  if (it == slots_.end()) {
+    return;
+  }
+  slots_.erase(it);
+  ++drops_;
+  ++vm_stats(vm).drops;
+}
+
+int SwapDevice::SlotOwner(FrameId frame) const {
+  auto it = slots_.find(frame);
+  return it == slots_.end() ? -1 : it->second.vm;
+}
+
+uint64_t SwapDevice::ActiveSlotsForVm(int vm) const {
+  uint64_t count = 0;
+  for (const auto& [frame, slot] : slots_) {
+    if (slot.vm == vm) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool SwapDevice::WritebackPending(FrameId frame, Nanos now) const {
+  auto it = slots_.find(frame);
+  return it != slots_.end() && static_cast<double>(now) < it->second.writeback_done_ns;
+}
+
+void SwapDevice::RegisterHostMetrics(MetricScope scope) {
+  scope.RegisterCounter("stores", &stores_);
+  scope.RegisterCounter("loads", &loads_);
+  scope.RegisterCounter("inflight_hits", &inflight_hits_);
+  scope.RegisterCounter("device_reads", &device_reads_);
+  scope.RegisterCounter("writeback_stalls", &writeback_stalls_);
+  scope.RegisterCounter("writeback_stall_ns", &writeback_stall_ns_);
+  scope.RegisterCounter("retries", &retries_);
+  scope.RegisterCounter("drops", &drops_);
+  scope.RegisterCounter("peak_slots", &peak_slots_);
+  scope.RegisterCounterFn("active_slots", [this]() { return ActiveSlots(); });
+}
+
+void SwapDevice::RegisterVmMetrics(MetricScope scope, int vm) {
+  VmStats& s = vm_stats(vm);
+  scope.RegisterCounter("stores", &s.stores);
+  scope.RegisterCounter("loads", &s.loads);
+  scope.RegisterCounter("inflight_hits", &s.inflight_hits);
+  scope.RegisterCounter("device_reads", &s.device_reads);
+  scope.RegisterCounter("retries", &s.retries);
+  scope.RegisterCounter("drops", &s.drops);
+}
+
+}  // namespace demeter

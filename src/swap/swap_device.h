@@ -1,0 +1,152 @@
+// Far-tier swap backend: compressed-RAM/SSD device model with a bounded
+// async writeback queue and per-frame slot accounting.
+//
+// The swap tier (kSwapTier) stores page contents like any other HostMemory
+// tier, but sits behind a slow device: demoting a page into it enqueues an
+// asynchronous writeback (the dirty contents drain to the device over
+// simulated time), and swapping a page back in pays either a cheap
+// in-flight-buffer hit — the writeback has not completed yet, so the
+// contents are still in the compressed-RAM staging buffer — or a full
+// device read with latency drawn from a seeded distribution.
+//
+// The device is modeled analytically rather than with EventQueue events: a
+// single busy-until accumulator serializes writebacks, and each writeback's
+// completion time is computed at enqueue. "Writeback pending at `now`" is
+// then a pure comparison (`now < completion`), which keeps the model exact
+// under the simulator's loosely-synchronized vCPU clocks and byte-identical
+// across --jobs values. The queue is bounded: when `queue_depth` writebacks
+// are in flight, a demotion stalls until the oldest completes, and the
+// stall is charged to the demotion's migration cost.
+//
+// Slot lifecycle (the InvariantChecker cross-checks this against the
+// HostMemory allocator): every allocated swap-tier frame has exactly one
+// active slot, created when the frame is populated (SlotStore) and released
+// on swap-in (SlotLoad) or frame free (SlotDrop, e.g. VM departure via
+// ReclaimVm). No slot survives its frame.
+//
+// Fault hook: FaultSite::kSwapFail injects transient device I/O errors.
+// A failed writeback attempt occupies the device for the full write and is
+// retried after a backoff; a failed swap-in read is retried the same way.
+// Both paths give up injecting after kMaxRetries and succeed (the fault is
+// transient by definition — data is never lost).
+
+#ifndef DEMETER_SRC_SWAP_SWAP_DEVICE_H_
+#define DEMETER_SRC_SWAP_SWAP_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/fault/fault.h"
+#include "src/mem/host_memory.h"
+#include "src/telemetry/metrics.h"
+
+namespace demeter {
+
+struct SwapDeviceConfig {
+  // Writebacks in flight before demotions stall (bounded async queue).
+  uint64_t queue_depth = 64;
+  // Mean device latencies; per-operation draws are uniform in
+  // mean * [1 - jitter, 1 + jitter] from the device's seeded stream.
+  double write_latency_ns = 80'000.0;
+  double read_latency_ns = 60'000.0;
+  double latency_jitter = 0.5;
+  // Swap-in cost when the page's writeback is still in flight: the
+  // contents are read back from the compressed staging buffer.
+  double inflight_hit_ns = 2'000.0;
+  // Injected swapfail errors per operation before the device succeeds
+  // regardless (transient faults never lose data).
+  int max_retries = 4;
+  uint64_t seed = 0;
+};
+
+class SwapDevice {
+ public:
+  // `injector` may be null (fault-free run); only FaultSite::kSwapFail is
+  // consulted, on its own per-VM streams.
+  SwapDevice(const SwapDeviceConfig& config, FaultInjector* injector);
+
+  const SwapDeviceConfig& config() const { return config_; }
+
+  // Creates the slot for `frame` (must not already have one) and enqueues
+  // its async writeback at `now` on behalf of `vm`. Returns the stall in ns
+  // the caller must charge to the demotion (non-zero only when the bounded
+  // queue was full).
+  double SlotStore(FrameId frame, int vm, Nanos now);
+
+  // Swap-in: releases `frame`'s slot (must exist) and returns the device
+  // cost in ns — the in-flight-buffer hit when the writeback is still
+  // pending at `now`, else a full seeded device read (plus swapfail
+  // retry backoffs when injected).
+  double SlotLoad(FrameId frame, int vm, Nanos now);
+
+  // Releases `frame`'s slot without a device read (frame freed under the
+  // page, e.g. VM departure). No-op when the frame has no slot.
+  void SlotDrop(FrameId frame, int vm);
+
+  bool HasSlot(FrameId frame) const { return slots_.count(frame) != 0; }
+  int SlotOwner(FrameId frame) const;  // VM id, or -1 when no slot.
+  uint64_t ActiveSlots() const { return slots_.size(); }
+  uint64_t ActiveSlotsForVm(int vm) const;
+
+  // True when `frame`'s writeback has not completed by `now`.
+  bool WritebackPending(FrameId frame, Nanos now) const;
+
+  // Registers host-wide counters under `scope` (the harness passes
+  // "host/swap") and per-VM counters ("vm<i>/swap").
+  void RegisterHostMetrics(MetricScope scope);
+  void RegisterVmMetrics(MetricScope scope, int vm);
+
+ private:
+  struct Slot {
+    int vm = -1;
+    double writeback_done_ns = 0.0;  // Completion time of the writeback.
+  };
+  struct VmStats {
+    uint64_t stores = 0;         // Pages swapped out (slots created).
+    uint64_t loads = 0;          // Pages swapped back in.
+    uint64_t inflight_hits = 0;  // Swap-ins served from the staging buffer.
+    uint64_t device_reads = 0;   // Swap-ins that paid the full device read.
+    uint64_t retries = 0;        // swapfail retry attempts (both directions).
+    uint64_t drops = 0;          // Slots released without a read.
+  };
+
+  VmStats& vm_stats(int vm);
+  double DrawLatency(double mean_ns);
+  // Failed attempts for one operation: 0 when no injector / no injection.
+  int DrawRetries(int vm);
+
+  SwapDeviceConfig config_;
+  FaultInjector* injector_;  // Not owned; may be null.
+  Rng rng_;
+
+  std::unordered_map<FrameId, Slot> slots_;
+  // Completion times of in-flight writebacks, ascending (the device is
+  // serial, so each enqueue completes after every earlier one). Entries
+  // whose time has passed are lazily popped on the next enqueue.
+  std::deque<double> pending_;
+  double busy_until_ns_ = 0.0;
+
+  // Host-wide counters (registered views; hot path stays ++field).
+  uint64_t stores_ = 0;
+  uint64_t loads_ = 0;
+  uint64_t inflight_hits_ = 0;
+  uint64_t device_reads_ = 0;
+  uint64_t writeback_stalls_ = 0;
+  uint64_t writeback_stall_ns_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t peak_slots_ = 0;
+
+  // unique_ptr elements keep counter addresses stable across growth (the
+  // metric registry holds raw pointers into VmStats).
+  std::vector<std::unique_ptr<VmStats>> vms_;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_SWAP_SWAP_DEVICE_H_

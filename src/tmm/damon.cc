@@ -157,19 +157,31 @@ void DamonPolicy::RunAggregation(Nanos now) {
   if (PromotionThrottled(*vm_)) {
     hot.clear();
   }
-  for (const Region* region : hot) {
-    for (PageNum vpn = PageOf(region->start);
-         vpn < PageOf(region->end) && migrated < config_.max_migrate_per_aggregation; ++vpn) {
-      if (vm_->NodeOfVpn(*process_, vpn) != 1) {
-        continue;
-      }
-      if (kernel.node(0).free_pages() <= kernel.node(0).watermark_min() && !demote_one()) {
-        migrated = config_.max_migrate_per_aggregation;
-        break;
-      }
-      if (vm_->MovePage(*process_, vpn, 0, now, &migrate_ns)) {
-        ++total_promoted_;
-        ++migrated;
+  // Region granularity hides which pages are far: within a hot region,
+  // spend the migration budget on swap-backed pages first (every access to
+  // one is a device read), then the SMEM rest. Two-tier hosts have no far
+  // pass and run the single pass exactly as before.
+  const bool has_far = vm_->host().swap() != nullptr;
+  for (int pass = has_far ? 0 : 1; pass < 2; ++pass) {
+    const bool far_pass = has_far && pass == 0;
+    for (const Region* region : hot) {
+      for (PageNum vpn = PageOf(region->start);
+           vpn < PageOf(region->end) && migrated < config_.max_migrate_per_aggregation;
+           ++vpn) {
+        if (vm_->NodeOfVpn(*process_, vpn) != 1) {
+          continue;
+        }
+        if (far_pass != SwapBacked(*vm_, *process_, vpn)) {
+          continue;
+        }
+        if (kernel.node(0).free_pages() <= kernel.node(0).watermark_min() && !demote_one()) {
+          migrated = config_.max_migrate_per_aggregation;
+          break;
+        }
+        if (vm_->MovePage(*process_, vpn, 0, now, &migrate_ns)) {
+          ++total_promoted_;
+          ++migrated;
+        }
       }
     }
   }

@@ -64,9 +64,14 @@ void HTppPolicy::RunScan(Nanos now) {
   }
   classify_ns += static_cast<double>(snapshot.size()) * config_.classify_ns_per_page;
 
-  // Classification by gPA access streaks (no gVA locality available).
+  // Classification by gPA access streaks (no gVA locality available). The
+  // promote list already covers the far swap tier (`tier != kFmemTier`), so
+  // a hot swapped-out page skips levels straight to FMEM; cold SMEM pages
+  // feed the second level of the demotion chain on three-tier hosts.
+  const bool has_far = host.swap() != nullptr;
   std::vector<PageNum> promote;
   std::vector<PageNum> demote;
+  std::vector<PageNum> far_demote;  // Cold SMEM pages: SMEM -> swap victims.
   for (const Seen& s : snapshot) {
     if (s.accessed) {
       const int streak = ++hit_streak_[s.gpa];
@@ -78,6 +83,8 @@ void HTppPolicy::RunScan(Nanos now) {
       hit_streak_.erase(s.gpa);
       if (s.tier == kFmemTier) {
         demote.push_back(s.gpa);
+      } else if (has_far && s.tier == kSmemTier) {
+        far_demote.push_back(s.gpa);
       }
     }
   }
@@ -91,13 +98,30 @@ void HTppPolicy::RunScan(Nanos now) {
   }
   size_t demoted_this_scan = 0;
   size_t next_demote = 0;
+  size_t next_far_demote = 0;
   uint64_t migrated = 0;
   for (PageNum gpa : promote) {
     if (memory.FreePages(kFmemTier) == 0) {
-      // Make room by demoting a cold FMEM page of this VM.
+      // Make room by demoting a cold FMEM page of this VM. On a three-tier
+      // host a full SMEM continues the chain: push a cold SMEM page down to
+      // the far swap tier first, then retry the FMEM victim into the frame
+      // that freed (FMEM -> SMEM -> swap, never FMEM -> swap directly).
       bool made_room = false;
       while (next_demote < demote.size()) {
         const PageNum victim = demote[next_demote++];
+        if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns)) {
+          ++total_demoted_;
+          ++demoted_this_scan;
+          made_room = true;
+          break;
+        }
+        while (next_far_demote < far_demote.size()) {
+          if (host.MigrateGpa(*vm_, far_demote[next_far_demote++], kSwapTier, now,
+                              &migrate_ns)) {
+            ++demoted_this_scan;
+            break;
+          }
+        }
         if (host.MigrateGpa(*vm_, victim, kSmemTier, now, &migrate_ns)) {
           ++total_demoted_;
           ++demoted_this_scan;

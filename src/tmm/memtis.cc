@@ -100,6 +100,14 @@ void MemtisPolicy::RunClassify(Nanos now) {
   }
   std::sort(hot.begin(), hot.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
+  // Three-tier hosts: swap-backed hot pages jump the queue. Each sampled
+  // access to one was a device read, so per unit of hotness they buy back
+  // far more latency than an SMEM page (level-skip promotion).
+  if (vm_->host().swap() != nullptr) {
+    std::stable_partition(hot.begin(), hot.end(), [this](const auto& entry) {
+      return SwapBacked(*vm_, *process_, entry.first);
+    });
+  }
   classify_ns += static_cast<double>(page_counts_.size()) * 20.0;
 
   uint64_t migrated = 0;

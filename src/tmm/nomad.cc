@@ -30,6 +30,12 @@ bool NomadPolicy::TransactionalMove(PageNum vpn, int dst_node, Nanos now, double
   const auto ept_entry = vm_->ept().Lookup(gpt_entry.target);
   const TierIndex src_tier =
       ept_entry.present ? memory.TierOf(ept_entry.target) : kFmemTier;
+  // A swapped-out page has no writers — nothing can dirty it mid-copy, so
+  // the shadow copy trivially commits and the dirty-abort lottery is
+  // skipped (MovePage below pays the device swap-in). Three-tier only.
+  if (src_tier == kSwapTier) {
+    return vm_->MovePage(*process_, vpn, dst_node, now, cost_ns);
+  }
   for (int attempt = 0; attempt < config_.max_copy_retries; ++attempt) {
     // Shadow copy of the page contents while still mapped.
     *cost_ns += memory.tier(src_tier).AccessCost(now, kPageSize, /*is_write=*/false);

@@ -28,6 +28,22 @@ uint64_t DemoteForHeadroom(Vm& vm, uint64_t count, Nanos now, double* cost_ns);
 // runs (no window can be scheduled).
 bool PromotionThrottled(Vm& vm);
 
+// True when `vpn`'s backing frame sits in the far swap tier. The guest
+// observes this as major-fault latency on the page, so delegated policies
+// may treat such pages as top promotion candidates (a swap-in skips levels
+// straight to FMEM when it has headroom). Always false on two-tier hosts.
+bool SwapBacked(Vm& vm, const GuestProcess& process, PageNum vpn);
+
+// Second-level demotion (three-tier hosts only): host-migrates up to
+// `count` of this VM's cold SMEM-backed pages down to the far swap tier,
+// in deterministic EPT order, so first-level demotions out of FMEM have
+// somewhere near to land. Coldness is clock-style over the EPT A bits:
+// each call clears the bits it finds set and demotes pages whose bit
+// stayed clear since the previous call (the first call only arms the
+// scan). Returns pages moved; 0 when the host has no swap device.
+// Accumulates CPU cost including its own batched full TLB flush.
+uint64_t FarDemoteForHeadroom(Vm& vm, uint64_t count, Nanos now, double* cost_ns);
+
 }  // namespace demeter
 
 #endif  // DEMETER_SRC_TMM_POLICY_UTIL_H_

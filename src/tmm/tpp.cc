@@ -47,7 +47,11 @@ void TppPolicy::RunScan(Nanos now) {
     tracking_ns += vm_->SingleFlushCost();
     if (kernel.NodeOfGpa(gpa) != 0) {
       const int streak = ++hit_streak_[vpn];
-      if (streak >= config_.promote_after_hits &&
+      // A swap-backed page qualifies on its first observed hit: every
+      // access it takes is a major fault, so making it wait out the
+      // streak threshold costs device reads, not just SMEM latency.
+      // (Always false on two-tier hosts.)
+      if ((streak >= config_.promote_after_hits || SwapBacked(*vm_, *process_, vpn)) &&
           promote_candidates.size() < config_.max_promote_per_scan) {
         promote_candidates.push_back(vpn);
       }
@@ -91,6 +95,20 @@ void TppPolicy::RunScan(Nanos now) {
     const uint64_t need = target_free - fmem.free_pages();
     total_demoted_ += DemoteForHeadroom(
         *vm_, std::min<uint64_t>(need, config_.max_demote_per_scan), now, &migrate_ns);
+  }
+
+  // Three-tier hosts: continue the chain one level down, TPP's per-tier
+  // wmark demotion generalized. Only once the far tier is actually in use
+  // (a host that never spilled must not start taking major faults on its
+  // own) and SMEM is out of headroom: proactively push this VM's cold
+  // SMEM-backed frames to swap so demotions out of FMEM keep a near tier
+  // to land in (FMEM -> CXL -> swap). The helper clock-scans EPT A bits
+  // and pays its own batched flush.
+  Hypervisor& host = vm_->host();
+  if (host.swap() != nullptr && host.memory().UsedPages(kSwapTier) > 0 &&
+      host.memory().FreePages(kSmemTier) < config_.max_demote_per_scan) {
+    total_far_demoted_ +=
+        FarDemoteForHeadroom(*vm_, config_.max_demote_per_scan, now, &migrate_ns);
   }
 
   // Hint-fault-driven promotion: each promotion pays a software page fault

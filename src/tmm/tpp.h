@@ -9,6 +9,11 @@
 // hint fault and migrates to FMEM. Proactive demotion keeps a free-page
 // headroom in FMEM, migrating FIFO victims to SMEM. Migrations are
 // sequential allocate-copy-remap (temporary-page style), not balanced swaps.
+// On three-tier hosts the demotion chain continues per TPP's per-tier
+// watermarks: when host SMEM headroom runs low, cold SMEM-backed frames are
+// host-migrated down to the far swap tier (FMEM -> CXL -> swap, never
+// FMEM -> swap directly), and swap-backed pages skip the hit-streak
+// threshold on promotion (every access is a major fault).
 
 #ifndef DEMETER_SRC_TMM_TPP_H_
 #define DEMETER_SRC_TMM_TPP_H_
@@ -43,11 +48,13 @@ class TppPolicy : public TmmPolicy {
     scope.RegisterCounter("scans_run", &scans_run_);
     scope.RegisterCounter("pages_promoted", &total_promoted_);
     scope.RegisterCounter("pages_demoted", &total_demoted_);
+    scope.RegisterCounter("pages_far_demoted", &total_far_demoted_);
   }
 
   uint64_t scans_run() const { return scans_run_; }
   uint64_t total_promoted() const { return total_promoted_; }
   uint64_t total_demoted() const { return total_demoted_; }
+  uint64_t total_far_demoted() const { return total_far_demoted_; }
 
  private:
   void RunScan(Nanos now);
@@ -61,6 +68,7 @@ class TppPolicy : public TmmPolicy {
   uint64_t scans_run_ = 0;
   uint64_t total_promoted_ = 0;
   uint64_t total_demoted_ = 0;
+  uint64_t total_far_demoted_ = 0;  // SMEM -> swap (three-tier hosts only).
 };
 
 }  // namespace demeter

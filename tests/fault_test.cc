@@ -76,6 +76,20 @@ TEST(FaultPlanTest, PoisonAndShrinkRoundTrip) {
   EXPECT_EQ(again->ToSpec(), plan->ToSpec());
 }
 
+TEST(FaultPlanTest, SwapFailRoundTrips) {
+  std::string error;
+  const auto plan = FaultPlan::Parse("swapfail=0.3/1ms", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->empty());
+  EXPECT_DOUBLE_EQ(plan->swap_fail_p, 0.3);
+  EXPECT_EQ(plan->swap_retry_backoff_ns, kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kSwapFail), 0.3);
+  const auto again = FaultPlan::Parse(plan->ToSpec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *plan);
+  EXPECT_EQ(again->ToSpec(), plan->ToSpec());
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   const char* bad[] = {
       "nonsense",            // No key=value shape.
@@ -97,6 +111,10 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
       "tiershrink=2/3ms/10ms@0",     // Fraction out of range.
       "tiershrink=0.5/30ms/10ms@0",  // Duration longer than period.
       "tiershrink=0.5/0/10ms@0",     // Zero duration.
+      "swapfail=0.5",                // Missing the /backoff half.
+      "swapfail=0.5/0",              // Zero retry backoff.
+      "swapfail=1.5/1ms",            // Probability out of range.
+      "swapfail=x/1ms",              // Not a number.
   };
   for (const char* spec : bad) {
     std::string error;
@@ -125,6 +143,8 @@ TEST(FaultPlanTest, ErrorsNameTheOffendingToken) {
       {"tiershrink=0.5/20ms/10ms@0", "tiershrink=0.5/20ms/10ms@0",
        "tiershrink needs 0 < duration <= period"},
       {"bdrop=9", "bdrop=9", "probability must be a number in [0,1]"},
+      {"bdrop=0.1,swapfail=0.5", "swapfail=0.5", "expected 'A/B'"},
+      {"swapfail=0.5/0", "swapfail=0.5/0", "swapfail needs a non-zero retry backoff"},
   };
   for (const Case& c : cases) {
     std::string error;
@@ -145,6 +165,7 @@ TEST(FaultPlanTest, ProbabilityPerSite) {
   EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kBalloonDrop), 0.3);
   EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kPebsSampleLoss), 0.7);
   EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kBalloonDelay), 0.0);
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kSwapFail), 0.0);
   // Window and capacity sites are not probability-driven.
   EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kGuestStall), 0.0);
   EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kVirtqueueFull), 0.0);

@@ -471,5 +471,189 @@ TEST(MachineLifecycleTest, SkippedReclaimIsCaughtByChecker) {
   EXPECT_TRUE(mentions_departed) << report.Join();
 }
 
+// ----------------------------------------------------- Three-tier placement
+
+class ThreeTierTest : public ::testing::Test {
+ protected:
+  ThreeTierTest()
+      : memory_({TierSpec::LocalDram(8 * kPageSize), TierSpec::Pmem(16 * kPageSize),
+                 TierSpec::Zswap(64 * kPageSize)}),
+        hyper_(&memory_, &events_) {
+    hyper_.EnableSwap(SwapDeviceConfig{});
+  }
+
+  Vm& MakeVm(uint64_t total_bytes = 64 * kPageSize) {
+    VmConfig config;
+    config.id = hyper_.num_vms();
+    config.num_vcpus = 2;
+    config.total_memory_bytes = total_bytes;
+    config.fmem_ratio = 0.25;
+    config.cache_hit_rate = 0.0;
+    return hyper_.CreateVm(config);
+  }
+
+  HostMemory memory_;
+  EventQueue events_;
+  Hypervisor hyper_;
+};
+
+TEST_F(ThreeTierTest, DemotionChainRetainsFlagsAndSlot) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, /*is_write=*/true);  // Sets A and D.
+  const PageNum vpn = PageOf(addr);
+  const PageNum gpa = proc.gpt().Lookup(vpn).target;
+  const FrameId fmem_frame = vm.ept().Lookup(gpa).target;
+  ASSERT_EQ(memory_.TierOf(fmem_frame), kFmemTier);
+  memory_.WriteToken(fmem_frame, 0xcafe);
+
+  // Full chain: FMEM -> SMEM -> swap, each hop host-side with the
+  // caller-owned flush the MigrateGpa contract requires.
+  double cost = 0.0;
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kSmemTier, 0, &cost));
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kSwapTier, 0, &cost));
+  vm.FullFlushAll();
+  const FrameId swap_frame = vm.ept().Lookup(gpa).target;
+  EXPECT_EQ(memory_.TierOf(swap_frame), kSwapTier);
+  EXPECT_TRUE(hyper_.swap()->HasSlot(swap_frame));
+  EXPECT_EQ(hyper_.swap()->SlotOwner(swap_frame), vm.id());
+  EXPECT_EQ(memory_.ReadToken(swap_frame), 0xcafeu) << "contents travel the chain";
+
+  // Promote back to FMEM (level skip): slot released, W/A/D flags and the
+  // guest mapping (same gpa, same rmap entry) intact end to end.
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kFmemTier, 0, &cost));
+  vm.FullFlushAll();
+  const auto ept = vm.ept().Lookup(gpa);
+  EXPECT_EQ(memory_.TierOf(ept.target), kFmemTier);
+  EXPECT_TRUE(ept.was_accessed) << "A flag must survive the round trip";
+  EXPECT_TRUE(ept.was_dirty) << "D flag must survive the round trip";
+  EXPECT_EQ(hyper_.swap()->ActiveSlots(), 0u) << "slot released on swap-in";
+  EXPECT_EQ(memory_.UsedPages(kSwapTier), 0u);
+  EXPECT_EQ(proc.gpt().Lookup(vpn).target, gpa) << "guest view never changed";
+  const RmapEntry* rmap = vm.kernel().Rmap(gpa);
+  ASSERT_NE(rmap, nullptr);
+  EXPECT_EQ(rmap->vpn, vpn);
+  EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok());
+}
+
+TEST_F(ThreeTierTest, AccessToSwapPageSwapsInToFmem) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, true);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  double cost = 0.0;
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kSwapTier, 0, &cost));
+  vm.FullFlushAll();
+
+  // FMEM has headroom: the major fault promotes straight to FMEM,
+  // skipping SMEM (level-skip swap-in).
+  const AccessResult r = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_EQ(r.tier, kFmemTier);
+  EXPECT_EQ(vm.stats().swap_ins, 1u);
+  EXPECT_EQ(vm.stats().swap_accesses, 0u) << "served after promotion, not in place";
+  EXPECT_EQ(hyper_.swap()->ActiveSlots(), 0u);
+  EXPECT_GT(r.ns, 1000.0) << "the access pays the device/staging cost";
+  EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok());
+}
+
+TEST_F(ThreeTierTest, SwapInFallsBackToSmemWhenFmemFull) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  // Fill the tiny FMEM tier (8 frames) plus one SMEM page.
+  const uint64_t base = proc.HeapAlloc(10 * kPageSize);
+  for (uint64_t i = 0; i < 9; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, false);
+  }
+  ASSERT_EQ(memory_.FreePages(kFmemTier), 0u);
+
+  // Swap out page 0 (frees its FMEM frame), then refill FMEM with a fresh
+  // touch so the level-skip target is dry again.
+  const PageNum gpa = proc.gpt().Lookup(PageOf(base)).target;
+  double cost = 0.0;
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kSwapTier, 0, &cost));
+  vm.FullFlushAll();
+  vm.ExecuteAccess(0, proc, base + 9 * kPageSize, false);
+  ASSERT_EQ(memory_.FreePages(kFmemTier), 0u);
+
+  const AccessResult r = vm.ExecuteAccess(0, proc, base, false);
+  EXPECT_EQ(r.tier, kSmemTier) << "no FMEM headroom: swap-in lands in SMEM";
+  EXPECT_EQ(vm.stats().swap_ins, 1u);
+  EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok());
+}
+
+TEST_F(ThreeTierTest, TlbHitSwapInMigratesTheFaultingPage) {
+  // Regression: a TLB hit short-circuits the 2D walk, so the translation
+  // result's gpa_page field is unset (0). The swap-in path used to pass it
+  // to SwapInGpa verbatim, migrating whatever page happened to be gpa 0 —
+  // and leaving every TLB entry for gpa 0's vpn stale (no flush), since
+  // SwapInGpa's caller only flushes the vpn it thinks it promoted.
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = proc.HeapAlloc(25 * kPageSize);
+  // Exhaust FMEM and SMEM with the first 24 pages.
+  for (uint64_t i = 0; i < 24; ++i) {
+    vm.ExecuteAccess(0, proc, base + i * kPageSize, i == 0);
+  }
+  ASSERT_EQ(memory_.FreePages(kFmemTier), 0u);
+  ASSERT_EQ(memory_.FreePages(kSmemTier), 0u);
+  // Whichever page owns gpa 0 is the one the buggy path used to migrate.
+  PageNum zero_vpn = ~static_cast<PageNum>(0);
+  for (uint64_t i = 0; i < 24; ++i) {
+    if (proc.gpt().Lookup(PageOf(base) + i).target == 0) {
+      zero_vpn = PageOf(base) + i;
+    }
+  }
+  ASSERT_NE(zero_vpn, ~static_cast<PageNum>(0)) << "gpa 0 unmapped; regression scenario void";
+  const FrameId zero_frame = vm.ept().Lookup(0).target;
+  // Page 24 can only be backed far; its swap-in attempt finds no room, so
+  // the access runs in place and the TLB caches the swap-tier frame.
+  const uint64_t addr = base + 24 * kPageSize;
+  vm.ExecuteAccess(0, proc, addr, false);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  ASSERT_EQ(memory_.TierOf(vm.ept().Lookup(gpa).target), kSwapTier);
+  ASSERT_EQ(vm.stats().swap_accesses, 1u) << "accessed in place, TLB caches far frame";
+
+  // Free one FMEM frame by swapping out an FMEM-backed page that is NOT
+  // gpa 0, then re-access: the TLB hit on the far frame must swap in THE
+  // FAULTING page, not gpa 0.
+  PageNum victim_vpn = ~static_cast<PageNum>(0);
+  for (uint64_t i = 0; i < 24 && victim_vpn == ~static_cast<PageNum>(0); ++i) {
+    const PageNum cand_gpa = proc.gpt().Lookup(PageOf(base) + i).target;
+    if (cand_gpa != 0 && memory_.TierOf(vm.ept().Lookup(cand_gpa).target) == kFmemTier) {
+      victim_vpn = PageOf(base) + i;
+    }
+  }
+  ASSERT_NE(victim_vpn, ~static_cast<PageNum>(0));
+  double cost = 0.0;
+  ASSERT_TRUE(
+      hyper_.MigrateGpa(vm, proc.gpt().Lookup(victim_vpn).target, kSwapTier, 0, &cost));
+  vm.FlushGvaAll(victim_vpn);
+  const AccessResult r = vm.ExecuteAccess(0, proc, addr, false);
+  EXPECT_EQ(r.tier, kFmemTier) << "swap-in promoted the faulting page";
+  EXPECT_EQ(memory_.TierOf(vm.ept().Lookup(gpa).target), kFmemTier);
+  // gpa 0's backing never moved, and no TLB entry anywhere went stale.
+  EXPECT_EQ(vm.ept().Lookup(0).target, zero_frame);
+  EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok()) << "no stale TLB entries";
+}
+
+TEST_F(ThreeTierTest, UnbackReleasesSlotWithoutRead) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t addr = proc.HeapAlloc(kPageSize);
+  vm.ExecuteAccess(0, proc, addr, false);
+  const PageNum gpa = proc.gpt().Lookup(PageOf(addr)).target;
+  double cost = 0.0;
+  ASSERT_TRUE(hyper_.MigrateGpa(vm, gpa, kSwapTier, 0, &cost));
+  vm.FullFlushAll();
+  ASSERT_EQ(hyper_.swap()->ActiveSlots(), 1u);
+  // The page dies under its slot (balloon reclaim / VM teardown path):
+  // no device read, the slot just drops.
+  hyper_.UnbackGpa(vm, gpa, /*flush=*/true);
+  EXPECT_EQ(hyper_.swap()->ActiveSlots(), 0u);
+  EXPECT_EQ(memory_.UsedPages(kSwapTier), 0u);
+}
+
 }  // namespace
 }  // namespace demeter

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <optional>
 #include <set>
 #include <vector>
@@ -166,6 +167,59 @@ TEST(MediaKindNames, AllNamed) {
   EXPECT_STREQ(MediaKindName(MediaKind::kLocalDram), "local-dram");
   EXPECT_STREQ(MediaKindName(MediaKind::kRemoteDram), "remote-dram(cxl)");
   EXPECT_STREQ(MediaKindName(MediaKind::kPmem), "pmem");
+  EXPECT_STREQ(MediaKindName(MediaKind::kZswap), "zswap");
+}
+
+TEST(TierSpec, ZswapIsSlowerThanEveryByteAddressableTier) {
+  const TierSpec z = TierSpec::Zswap(kGiB);
+  EXPECT_EQ(z.media, MediaKind::kZswap);
+  // The compression pass dominates: well above PMem, well below the swap
+  // device latencies SwapDevice adds on top.
+  EXPECT_GT(z.read_latency_ns, TierSpec::Pmem(kGiB).read_latency_ns);
+  EXPECT_GT(z.write_latency_ns, z.read_latency_ns);
+  EXPECT_LT(z.read_bw_mbps, TierSpec::Pmem(kGiB).read_bw_mbps);
+  EXPECT_EQ(z.capacity_pages(), kGiB / kPageSize);
+}
+
+TEST(HostMemory, ThreeTierLayout) {
+  HostMemory mem({TierSpec::LocalDram(kMiB), TierSpec::Pmem(kMiB),
+                  TierSpec::Zswap(2 * kMiB)});
+  EXPECT_EQ(mem.num_tiers(), 3);
+  EXPECT_EQ(mem.CapacityPages(kSwapTier), 2 * kMiB / kPageSize);
+  auto f = mem.Allocate(kSwapTier);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(mem.TierOf(*f), kSwapTier);
+  // Swap frames live above both DRAM tiers in the flat frame space.
+  EXPECT_GE(*f, mem.CapacityPages(kFmemTier) + mem.CapacityPages(kSmemTier));
+}
+
+// Regression: a degenerate spec (zero bandwidth — e.g. a tiershrink carve
+// that took a small tier to nothing) must yield slow-but-finite costs, never
+// inf/NaN that would poison every downstream latency accumulator.
+TEST(MemoryTier, ZeroBandwidthSpecStaysFinite) {
+  TierSpec spec = TierSpec::Pmem(kGiB);
+  spec.read_bw_mbps = 0.0;
+  spec.write_bw_mbps = 0.0;
+  MemoryTier tier(spec);
+  const double cost = tier.AccessCost(0, kPageSize, /*is_write=*/true);
+  EXPECT_TRUE(std::isfinite(cost));
+  EXPECT_GT(cost, 0.0);
+  // Clamped to the bandwidth floor: a page takes ~kPageSize/(1 MB/s) = ~4 ms,
+  // times at most the capped queueing factor.
+  EXPECT_LT(cost, 1e9);
+  EXPECT_TRUE(std::isfinite(tier.Utilization()));
+}
+
+// Regression: with ~zero window capacity, any traffic pins utilization at
+// the cap instead of dividing by ~zero.
+TEST(MemoryTier, ZeroCapacitySaturatesUtilization) {
+  TierSpec spec = TierSpec::LocalDram(kGiB);
+  spec.read_bw_mbps = 0.0;
+  spec.write_bw_mbps = 0.0;
+  MemoryTier tier(spec);
+  EXPECT_DOUBLE_EQ(tier.Utilization(), 0.0);  // No traffic yet: idle.
+  tier.AccessCost(0, 64, /*is_write=*/false);
+  EXPECT_DOUBLE_EQ(tier.Utilization(), MemoryTier::kMaxUtilization);
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+// src/swap: the far-tier device model — slot lifecycle, the bounded async
+// writeback queue, in-flight-buffer hits vs full device reads, seeded
+// determinism, and swapfail retry/backoff behavior.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/fault/fault.h"
+#include "src/swap/swap_device.h"
+
+namespace demeter {
+namespace {
+
+SwapDeviceConfig QuietConfig() {
+  SwapDeviceConfig config;
+  config.latency_jitter = 0.0;  // Deterministic latencies for exact asserts.
+  return config;
+}
+
+TEST(SwapDeviceTest, SlotLifecycle) {
+  SwapDevice dev(QuietConfig(), nullptr);
+  EXPECT_EQ(dev.ActiveSlots(), 0u);
+  EXPECT_FALSE(dev.HasSlot(42));
+  EXPECT_EQ(dev.SlotOwner(42), -1);
+
+  dev.SlotStore(42, /*vm=*/3, /*now=*/0);
+  EXPECT_TRUE(dev.HasSlot(42));
+  EXPECT_EQ(dev.SlotOwner(42), 3);
+  EXPECT_EQ(dev.ActiveSlots(), 1u);
+  EXPECT_EQ(dev.ActiveSlotsForVm(3), 1u);
+  EXPECT_EQ(dev.ActiveSlotsForVm(0), 0u);
+
+  dev.SlotLoad(42, 3, kMillisecond);
+  EXPECT_FALSE(dev.HasSlot(42));
+  EXPECT_EQ(dev.ActiveSlots(), 0u);
+}
+
+TEST(SwapDeviceTest, SlotDropReleasesWithoutRead) {
+  SwapDevice dev(QuietConfig(), nullptr);
+  dev.SlotStore(7, 0, 0);
+  dev.SlotDrop(7, 0);
+  EXPECT_FALSE(dev.HasSlot(7));
+  // Dropping a frame without a slot is a no-op (frees of never-swapped
+  // frames route through here too).
+  dev.SlotDrop(7, 0);
+  dev.SlotDrop(99, 1);
+  EXPECT_EQ(dev.ActiveSlots(), 0u);
+}
+
+TEST(SwapDeviceTest, DoubleStoreAborts) {
+  SwapDevice dev(QuietConfig(), nullptr);
+  dev.SlotStore(7, 0, 0);
+  EXPECT_DEATH(dev.SlotStore(7, 0, 0), "");
+}
+
+TEST(SwapDeviceTest, LoadWithoutSlotAborts) {
+  SwapDevice dev(QuietConfig(), nullptr);
+  EXPECT_DEATH(dev.SlotLoad(7, 0, 0), "");
+}
+
+TEST(SwapDeviceTest, InflightHitVsDeviceRead) {
+  SwapDeviceConfig config = QuietConfig();
+  SwapDevice dev(config, nullptr);
+
+  // Swap-in immediately after the store: the writeback (80 us) has not
+  // completed, so the load is a cheap staging-buffer hit.
+  dev.SlotStore(1, 0, 0);
+  EXPECT_TRUE(dev.WritebackPending(1, kMicrosecond));
+  const double hit = dev.SlotLoad(1, 0, kMicrosecond);
+  EXPECT_DOUBLE_EQ(hit, config.inflight_hit_ns);
+
+  // Swap-in long after the store: the writeback drained, so the load pays
+  // the full device read.
+  dev.SlotStore(2, 0, 0);
+  EXPECT_FALSE(dev.WritebackPending(2, kSecond));
+  const double read = dev.SlotLoad(2, 0, kSecond);
+  EXPECT_DOUBLE_EQ(read, config.read_latency_ns);
+}
+
+TEST(SwapDeviceTest, BoundedQueueStallsWhenFull) {
+  SwapDeviceConfig config = QuietConfig();
+  config.queue_depth = 2;
+  SwapDevice dev(config, nullptr);
+
+  // Two writebacks fill the queue; the serial device finishes them at
+  // 1x and 2x the write latency.
+  EXPECT_DOUBLE_EQ(dev.SlotStore(1, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dev.SlotStore(2, 0, 0), 0.0);
+  // The third store at t=0 must wait for the oldest writeback to drain.
+  const double stall = dev.SlotStore(3, 0, 0);
+  EXPECT_DOUBLE_EQ(stall, config.write_latency_ns);
+
+  // Once enough virtual time has passed, completed writebacks retire
+  // lazily and stores stop stalling.
+  EXPECT_DOUBLE_EQ(dev.SlotStore(4, 0, kSecond), 0.0);
+}
+
+TEST(SwapDeviceTest, SerialDeviceSerializesWritebacks) {
+  SwapDeviceConfig config = QuietConfig();
+  SwapDevice dev(config, nullptr);
+  dev.SlotStore(1, 0, 0);
+  dev.SlotStore(2, 0, 0);
+  // Frame 2's writeback starts only after frame 1's: still pending at a
+  // time where a lone writeback would have finished.
+  const Nanos between = static_cast<Nanos>(1.5 * config.write_latency_ns);
+  EXPECT_FALSE(dev.WritebackPending(1, between));
+  EXPECT_TRUE(dev.WritebackPending(2, between));
+}
+
+TEST(SwapDeviceTest, SameSeedSameCosts) {
+  SwapDeviceConfig config;  // Default jitter: latencies are seeded draws.
+  config.seed = 1234;
+  SwapDevice a(config, nullptr);
+  SwapDevice b(config, nullptr);
+  std::vector<double> costs_a;
+  std::vector<double> costs_b;
+  for (FrameId f = 0; f < 32; ++f) {
+    costs_a.push_back(a.SlotStore(f, 0, 0));
+    costs_b.push_back(b.SlotStore(f, 0, 0));
+  }
+  for (FrameId f = 0; f < 32; ++f) {
+    costs_a.push_back(a.SlotLoad(f, 0, kSecond));
+    costs_b.push_back(b.SlotLoad(f, 0, kSecond));
+  }
+  EXPECT_EQ(costs_a, costs_b);
+  // A different seed yields a different latency stream.
+  config.seed = 4321;
+  SwapDevice c(config, nullptr);
+  std::vector<double> costs_c;
+  for (FrameId f = 0; f < 32; ++f) {
+    costs_c.push_back(c.SlotStore(f, 0, 0));
+  }
+  for (FrameId f = 0; f < 32; ++f) {
+    costs_c.push_back(c.SlotLoad(f, 0, kSecond));
+  }
+  EXPECT_NE(costs_a, costs_c);
+}
+
+TEST(SwapDeviceTest, SwapFailRetriesWithBackoff) {
+  const auto plan = FaultPlan::Parse("swapfail=1/1ms");  // Always inject.
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector injector(*plan, /*seed=*/7);
+  SwapDeviceConfig config = QuietConfig();
+  SwapDevice dev(config, &injector);
+
+  // With p=1 every operation burns all max_retries attempts, each costing a
+  // wasted device op plus the 1 ms backoff — and then succeeds anyway
+  // (transient faults never lose data).
+  dev.SlotStore(1, 0, 0);
+  EXPECT_TRUE(dev.HasSlot(1));
+  const double read = dev.SlotLoad(1, 0, kSecond);
+  const double expect = config.read_latency_ns +
+                        config.max_retries *
+                            (config.read_latency_ns + static_cast<double>(kMillisecond));
+  EXPECT_DOUBLE_EQ(read, expect);
+
+  // The in-flight fast path never touches the device, so swapfail cannot
+  // fire on it.
+  dev.SlotStore(2, 0, 2 * kSecond);
+  EXPECT_DOUBLE_EQ(dev.SlotLoad(2, 0, 2 * kSecond), config.inflight_hit_ns);
+}
+
+TEST(SwapDeviceTest, FaultFreeInjectorDrawsNothing) {
+  // A null injector and an empty-plan injector cost exactly the same: the
+  // swapfail site must not perturb the device's seeded latency stream.
+  const auto empty = FaultPlan::Parse("");
+  ASSERT_TRUE(empty.has_value());
+  FaultInjector injector(*empty, 7);
+  SwapDeviceConfig config;
+  config.seed = 99;
+  SwapDevice with(config, &injector);
+  SwapDevice without(config, nullptr);
+  for (FrameId f = 0; f < 16; ++f) {
+    EXPECT_DOUBLE_EQ(with.SlotStore(f, 0, 0), without.SlotStore(f, 0, 0));
+  }
+  for (FrameId f = 0; f < 16; ++f) {
+    EXPECT_DOUBLE_EQ(with.SlotLoad(f, 0, kSecond), without.SlotLoad(f, 0, kSecond));
+  }
+}
+
+TEST(SwapDeviceTest, PerVmSlotAccounting) {
+  SwapDevice dev(QuietConfig(), nullptr);
+  dev.SlotStore(1, 0, 0);
+  dev.SlotStore(2, 1, 0);
+  dev.SlotStore(3, 1, 0);
+  EXPECT_EQ(dev.ActiveSlotsForVm(0), 1u);
+  EXPECT_EQ(dev.ActiveSlotsForVm(1), 2u);
+  EXPECT_EQ(dev.ActiveSlots(), 3u);
+  // VM 1 departs: both its slots drop, VM 0's survives.
+  dev.SlotDrop(2, 1);
+  dev.SlotDrop(3, 1);
+  EXPECT_EQ(dev.ActiveSlotsForVm(1), 0u);
+  EXPECT_EQ(dev.ActiveSlotsForVm(0), 1u);
+  EXPECT_EQ(dev.SlotOwner(1), 0);
+}
+
+}  // namespace
+}  // namespace demeter

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/base/units.h"
+#include "src/fault/invariant_checker.h"
 #include "src/hyper/hypervisor.h"
 #include "src/mem/host_memory.h"
 #include "src/sim/event_queue.h"
+#include "src/tmm/damon.h"
 #include "src/tmm/htpp.h"
 #include "src/tmm/memtis.h"
 #include "src/tmm/nomad.h"
@@ -215,6 +219,165 @@ TEST_F(TmmTest, StoppedPoliciesCeaseWork) {
   vm.vcpu(0).clock_ns += static_cast<double>(10 * kSecond);
   events_.RunUntil(vm.vcpu(0).now());
   EXPECT_LE(policy.scans_run(), 1u);
+}
+
+// ----------------------------------------------------- Three-tier placement
+
+// A host whose DRAM tiers are smaller than the VM, so first-touch spill
+// continues the chain into the far swap tier and every policy has both
+// swap-backed pages to promote and far headroom to demote into.
+class ThreeTierTmmTest : public ::testing::Test {
+ protected:
+  ThreeTierTmmTest()
+      : memory_({TierSpec::LocalDram(4 * kMiB), TierSpec::Pmem(6 * kMiB),
+                 TierSpec::Zswap(64 * kMiB)}),
+        hyper_(&memory_, &events_) {
+    hyper_.EnableSwap(SwapDeviceConfig{});
+  }
+
+  Vm& MakeVm() {
+    VmConfig config;
+    config.id = hyper_.num_vms();
+    config.total_memory_bytes = 16 * kMiB;
+    config.fmem_ratio = 0.25;
+    config.cache_hit_rate = 0.0;
+    config.num_vcpus = 2;
+    return hyper_.CreateVm(config);
+  }
+
+  uint64_t FillHeap(Vm& vm, GuestProcess& proc, uint64_t pages) {
+    const uint64_t base = proc.HeapAlloc(pages * kPageSize);
+    for (uint64_t i = 0; i < pages; ++i) {
+      vm.ExecuteAccess(0, proc, base + i * kPageSize, true);
+    }
+    return base;
+  }
+
+  void DriveHot(Vm& vm, GuestProcess& proc, uint64_t hot_base, uint64_t hot_pages, int rounds,
+                int reps = 4) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int rep = 0; rep < reps; ++rep) {
+        for (uint64_t i = 0; i < hot_pages; ++i) {
+          const auto res = vm.ExecuteAccess(0, proc, hot_base + i * kPageSize, false);
+          vm.vcpu(0).clock_ns += res.ns + 500;
+        }
+      }
+      vm.vcpu(0).clock_ns += 30 * kMillisecond;
+      events_.RunUntil(vm.vcpu(0).now());
+    }
+  }
+
+  HostMemory memory_;
+  EventQueue events_;
+  Hypervisor hyper_;
+};
+
+TEST_F(ThreeTierTmmTest, FarDemoteForHeadroomMovesColdSmemPagesOnly) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  FillHeap(vm, proc, 2048);  // 1024 FMEM + 1024 SMEM, every EPT A bit set.
+  ASSERT_EQ(memory_.UsedPages(kSwapTier), 0u);
+
+  // Every page was just touched, so the first (arming) call only clears
+  // A bits and must refuse to demote.
+  double cost = 0.0;
+  EXPECT_EQ(FarDemoteForHeadroom(vm, 64, 0, &cost), 0u);
+
+  // Re-touch a handful of hot pages; the next call picks only cold SMEM
+  // victims — never the hot ones, never FMEM.
+  const uint64_t base = proc.space().vmas()[0].start;
+  const uint64_t hot = base + 1500 * kPageSize;  // SMEM-backed region.
+  for (uint64_t i = 0; i < 16; ++i) {
+    vm.ExecuteAccess(0, proc, hot + i * kPageSize, false);
+  }
+  const uint64_t moved = FarDemoteForHeadroom(vm, 64, 0, &cost);
+  EXPECT_EQ(moved, 64u);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(memory_.UsedPages(kSwapTier), 64u);
+  EXPECT_EQ(hyper_.swap()->ActiveSlots(), 64u) << "every far demotion opened a slot";
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(SwapBacked(vm, proc, PageOf(hot) + i)) << "hot page " << i << " demoted";
+  }
+  EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok());
+}
+
+TEST_F(ThreeTierTmmTest, SwapBackedSeesOnlyFarPages) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t base = FillHeap(vm, proc, 3584);  // Overflows into swap.
+  ASSERT_GT(memory_.UsedPages(kSwapTier), 0u);
+  EXPECT_FALSE(SwapBacked(vm, proc, PageOf(base))) << "first touch landed in FMEM";
+  EXPECT_TRUE(SwapBacked(vm, proc, PageOf(base) + 3583)) << "last touch spilled far";
+  EXPECT_FALSE(SwapBacked(vm, proc, PageOf(base) + 4000)) << "unmapped page is not far";
+}
+
+TEST_F(ThreeTierTmmTest, TppFarDemotesWhenSmemIsTight) {
+  Vm& vm = MakeVm();
+  GuestProcess& proc = vm.kernel().CreateProcess();
+  const uint64_t total = 3584;
+  const uint64_t base = FillHeap(vm, proc, total);
+  const uint64_t hot_base = base + (total - 256) * kPageSize;
+  ASSERT_TRUE(SwapBacked(vm, proc, PageOf(hot_base)));
+
+  TppPolicy policy;
+  policy.Attach(vm, proc, vm.vcpu(0).now());
+  DriveHot(vm, proc, hot_base, 128, 50);
+
+  // The chain ran in both directions: cold SMEM pages continued down to
+  // swap (SMEM has no free headroom), and the hot far pages came back up.
+  EXPECT_GT(policy.total_far_demoted(), 0u) << "SMEM -> swap leg never ran";
+  EXPECT_GT(policy.total_promoted(), 0u);
+  EXPECT_FALSE(SwapBacked(vm, proc, PageOf(hot_base))) << "hot page still far";
+  EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok());
+}
+
+// Every delegated policy must promote a hot swap-backed page back up the
+// chain, and leave the cross-layer state (rmap, slots, TLBs) consistent.
+TEST_F(ThreeTierTmmTest, EveryPolicyPromotesHotSwapBackedPages) {
+  struct Entry {
+    const char* name;
+    std::unique_ptr<TmmPolicy> policy;
+  };
+  MemtisConfig memtis_config;
+  memtis_config.sample_period = 19;
+  memtis_config.classify_period = 100 * kMillisecond;
+  memtis_config.hot_count_threshold = 1.0;
+  Entry entries[] = {
+      {"tpp", std::make_unique<TppPolicy>()},
+      {"htpp", std::make_unique<HTppPolicy>()},
+      {"memtis", std::make_unique<MemtisPolicy>(memtis_config)},
+      {"nomad", std::make_unique<NomadPolicy>()},
+      {"damon", std::make_unique<DamonPolicy>()},
+  };
+  for (Entry& entry : entries) {
+    Vm& vm = MakeVm();
+    GuestProcess& proc = vm.kernel().CreateProcess();
+    const uint64_t total = 3584;
+    const uint64_t base = FillHeap(vm, proc, total);
+    const uint64_t hot_base = base + (total - 128) * kPageSize;
+    ASSERT_TRUE(SwapBacked(vm, proc, PageOf(hot_base))) << entry.name;
+
+    entry.policy->Attach(vm, proc, vm.vcpu(0).now());
+    DriveHot(vm, proc, hot_base, 64, 50);
+    entry.policy->Stop();
+
+    EXPECT_FALSE(SwapBacked(vm, proc, PageOf(hot_base)))
+        << entry.name << ": hot page still swap-backed after 50 scan rounds";
+    // The guest mapping survived the round trip: the rmap still names the
+    // page, and no TLB anywhere went stale.
+    const PageNum gpa = proc.gpt().Lookup(PageOf(hot_base)).target;
+    const RmapEntry* rmap = vm.kernel().Rmap(gpa);
+    ASSERT_NE(rmap, nullptr) << entry.name;
+    EXPECT_EQ(rmap->vpn, PageOf(hot_base)) << entry.name;
+    EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok()) << entry.name;
+
+    // Each policy gets the host to itself: the finished VM departs, which
+    // must return every frame and release every swap slot it held.
+    hyper_.ReclaimVm(vm);
+    EXPECT_EQ(hyper_.swap()->ActiveSlotsForVm(vm.id()), 0u)
+        << entry.name << ": departure leaked swap slots";
+    EXPECT_TRUE(InvariantChecker::Check(hyper_, {}).ok()) << entry.name << " post-departure";
+  }
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 //   demeter_sim [--workload NAME] [--policy NAME] [--vms N] [--vm-mib N]
 //               [--footprint-mib N] [--txns N] [--smem pmem|cxl]
 //               [--provision static|virtio-balloon|demeter-balloon|hotplug]
-//               [--seed N]
+//               [--overcommit R] [--seed N]
 //
 // Prints one result row per VM plus aggregates. Example:
 //
@@ -29,6 +29,9 @@ struct Options {
   uint64_t txns = 400000;
   std::string smem = "pmem";
   std::string provision = "static";
+  // FMEM overcommit ratio: > 1.0 provisions fast-node demand / R of FMEM,
+  // adds the far swap tier, and arms the overcommit spill scheduler.
+  double overcommit = 1.0;
   uint64_t seed = 42;
 };
 
@@ -60,6 +63,12 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->smem = v;
     } else if (const char* v = next("--provision")) {
       options->provision = v;
+    } else if (const char* v = next("--overcommit")) {
+      options->overcommit = std::strtod(v, nullptr);
+      if (options->overcommit < 1.0) {
+        std::fprintf(stderr, "--overcommit needs a ratio >= 1.0, got %s\n", v);
+        std::exit(2);
+      }
     } else if (const char* v = next("--seed")) {
       options->seed = std::strtoull(v, nullptr, 10);
     } else {
@@ -97,11 +106,18 @@ int Run(int argc, char** argv) {
   host.seed = options.seed;
   const uint64_t n = static_cast<uint64_t>(options.vms);
   const uint64_t fmem = PageCeil(static_cast<uint64_t>(
-      static_cast<double>(options.vm_mib * kMiB * n) * 0.2 * 1.25));
+      static_cast<double>(options.vm_mib * kMiB * n) * 0.2 * 1.25 / options.overcommit));
   const uint64_t smem_bytes = options.vm_mib * kMiB * n * 2;
   host.tiers = {TierSpec::LocalDram(fmem), options.smem == "cxl"
                                                ? TierSpec::RemoteDram(smem_bytes)
                                                : TierSpec::Pmem(smem_bytes)};
+  if (options.overcommit > 1.0) {
+    // Oversubscribed FMEM needs somewhere for the displaced tail to go once
+    // SMEM also fills: add the far swap tier and arm the spill scheduler.
+    host.tiers.push_back(TierSpec::Zswap(options.vm_mib * kMiB * n));
+    host.overcommit.enabled = true;
+    host.overcommit.ratio = options.overcommit;
+  }
   Machine machine(host);
   for (int v = 0; v < options.vms; ++v) {
     VmSetup setup;
@@ -121,11 +137,12 @@ int Run(int argc, char** argv) {
   machine.Run();
 
   std::printf("workload=%s policy=%s vms=%d vm=%lluMiB footprint=%lluMiB smem=%s "
-              "provision=%s seed=%llu\n\n",
+              "provision=%s overcommit=%.2f seed=%llu\n\n",
               options.workload.c_str(), options.policy.c_str(), options.vms,
               static_cast<unsigned long long>(options.vm_mib),
               static_cast<unsigned long long>(options.footprint_mib), options.smem.c_str(),
-              options.provision.c_str(), static_cast<unsigned long long>(options.seed));
+              options.provision.c_str(), options.overcommit,
+              static_cast<unsigned long long>(options.seed));
 
   TablePrinter table({"vm", "elapsed-s", "txn/s", "fmem-hit", "promoted", "demoted",
                       "tlb-single", "tlb-full", "mgmt-cores", "p99-lat-us"});
