@@ -10,18 +10,48 @@ uint64_t Rng::NextZipf(uint64_t n, double theta) {
   if (n <= 1) {
     return 0;
   }
-  double q = theta;
-  if (q == 1.0) {
-    q = 1.0 + 1e-9;
+
+  // Setup constants are a pure function of (n, theta); look them up before
+  // paying five pow() calls to rebuild them.
+  ZipfSetup* setup = nullptr;
+  for (ZipfSetup& slot : zipf_cache_) {
+    if (slot.valid && slot.n == n && slot.theta == theta) {
+      setup = &slot;
+      break;
+    }
   }
-  const double one_minus_q = 1.0 - q;
-  const double one_minus_q_inv = 1.0 / one_minus_q;
+  if (setup == nullptr) {
+    setup = &zipf_cache_[zipf_next_slot_];
+    zipf_next_slot_ = (zipf_next_slot_ + 1) % kZipfCacheSlots;
+
+    double q = theta;
+    if (q == 1.0) {
+      q = 1.0 + 1e-9;
+    }
+    const double one_minus_q = 1.0 - q;
+    const double one_minus_q_inv = 1.0 / one_minus_q;
+    auto h = [&](double x) { return std::pow(x, one_minus_q) * one_minus_q_inv; };
+    auto h_inv = [&](double x) { return std::pow(one_minus_q * x, 1.0 / one_minus_q); };
+
+    setup->n = n;
+    setup->theta = theta;
+    setup->q = q;
+    setup->one_minus_q = one_minus_q;
+    setup->one_minus_q_inv = one_minus_q_inv;
+    setup->h_x1 = h(1.5) - 1.0;
+    setup->h_n = h(static_cast<double>(n) + 0.5);
+    setup->s = 2.0 - h_inv(h(2.5) - std::pow(2.0, -q));
+    setup->valid = true;
+  }
+
+  const double q = setup->q;
+  const double one_minus_q = setup->one_minus_q;
+  const double one_minus_q_inv = setup->one_minus_q_inv;
+  const double h_x1 = setup->h_x1;
+  const double h_n = setup->h_n;
+  const double s = setup->s;
   auto h = [&](double x) { return std::pow(x, one_minus_q) * one_minus_q_inv; };
   auto h_inv = [&](double x) { return std::pow(one_minus_q * x, 1.0 / one_minus_q); };
-
-  const double h_x1 = h(1.5) - 1.0;
-  const double h_n = h(static_cast<double>(n) + 0.5);
-  const double s = 2.0 - h_inv(h(2.5) - std::pow(2.0, -q));
 
   for (;;) {
     const double u = h_n + NextDouble() * (h_x1 - h_n);

@@ -65,7 +65,28 @@ class Rng {
  private:
   static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+  // The rejection-inversion setup needs five pow() evaluations that depend
+  // only on (n, theta). Workloads draw millions of ranks from a handful of
+  // fixed distributions, so a small cache of those constants removes the
+  // dominant libm cost of every Zipf draw. Pure memoization: the cached
+  // values are produced by exactly the expressions the uncached path runs,
+  // so every draw consumes the same uniforms and returns the same rank.
+  struct ZipfSetup {
+    uint64_t n = 0;
+    double theta = 0.0;
+    bool valid = false;
+    double q = 0.0;
+    double one_minus_q = 0.0;
+    double one_minus_q_inv = 0.0;
+    double h_x1 = 0.0;
+    double h_n = 0.0;
+    double s = 0.0;
+  };
+  static constexpr int kZipfCacheSlots = 4;
+
   uint64_t state_[4];
+  ZipfSetup zipf_cache_[kZipfCacheSlots];
+  int zipf_next_slot_ = 0;
 };
 
 }  // namespace demeter

@@ -146,6 +146,12 @@ class FaultInjector {
   // when it fires. Zero-probability sites return false without drawing.
   bool ShouldInject(FaultSite site, int vm);
 
+  // True when `site` can ever fire (plan probability > 0). Hot paths may
+  // cache this and skip the per-opportunity ShouldInject call for unarmed
+  // sites — observationally identical, because zero-probability sites never
+  // draw (stream state is untouched either way).
+  bool Arms(FaultSite site) const { return plan_.probability(site) > 0.0; }
+
   // Records a non-Bernoulli injection (window hits, ring backpressure).
   void Count(FaultSite site, int vm);
 

@@ -184,7 +184,7 @@ int Machine::AddVm(const VmSetup& setup) {
   results_.emplace_back();
 
   // Workload-characteristic cache behaviour.
-  const_cast<VmConfig&>(vm.config()).cache_hit_rate = workloads_.back()->CacheHitRate();
+  vm.set_cache_hit_rate(workloads_.back()->CacheHitRate());
   return resolved.vm.id;
 }
 
@@ -287,19 +287,137 @@ Nanos Machine::MinActiveClock() const {
     any = true;
     const Vm& machine_vm = hyper_->vm(static_cast<int>(i));
     for (int v = 0; v < machine_vm.num_vcpus(); ++v) {
-      const Nanos c = const_cast<Vm&>(machine_vm).vcpu(v).now();
-      min_clock = std::min(min_clock, c);
+      min_clock = std::min(min_clock, machine_vm.vcpu(v).now());
     }
   }
   return any ? min_clock : 0;
 }
 
-void Machine::RunVmQuantum(int i) {
-  Vm& machine_vm = vm(i);
+void Machine::AccountOp(int i, int v, int ops_per_txn, double op_ns, Nanos clock_after) {
   VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
   VmRunResult& result = results_[static_cast<size_t>(i)];
+  const VmSetup& setup = setups_[static_cast<size_t>(i)];
+
+  int& in_txn = rt.ops_in_txn[static_cast<size_t>(v)];
+  SimClock& latency = rt.txn_latency_ns[static_cast<size_t>(v)];
+  latency += op_ns;
+  if (++in_txn >= ops_per_txn) {
+    in_txn = 0;
+    result.txn_latency_ns.Record(static_cast<uint64_t>(latency.value()));
+    latency = 0.0;
+    ++rt.transactions;
+    size_t bucket = static_cast<size_t>((clock_after - rt.start_time) / setup.timeline_bucket);
+    if (bucket >= kMaxTimelineBuckets) {
+      bucket = kMaxTimelineBuckets - 1;  // Overflow txns pile into the last bucket.
+    }
+    if (result.timeline.size() <= bucket) {
+      result.timeline.resize(bucket + 1, 0);
+    }
+    ++result.timeline[bucket];
+    if (rt.transactions >= setup.target_transactions) {
+      FinishVm(i, clock_after);
+    }
+  }
+}
+
+void Machine::RunVmQuantum(int i) {
+  if (!config_.batched_execution) {
+    RunVmQuantumScalar(i);
+    return;
+  }
+  Vm& machine_vm = vm(i);
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
   Workload& wl = *workloads_[static_cast<size_t>(i)];
   const VmSetup& setup = setups_[static_cast<size_t>(i)];
+  const int ops_per_txn = wl.OpsPerTransaction();
+  // Cap arithmetic below treats one-op transactions and "every op is a
+  // transaction" (ops_per_txn <= 1) identically, matching the scalar check.
+  const uint64_t opt = ops_per_txn > 1 ? static_cast<uint64_t>(ops_per_txn) : 1;
+
+  for (int v = 0; v < machine_vm.num_vcpus() && !rt.finished; ++v) {
+    Vcpu& vcpu = machine_vm.vcpu(v);
+    const double quantum_end = vcpu.clock_ns + static_cast<double>(config_.quantum);
+    auto& batch = rt.batches[static_cast<size_t>(v)];
+    size_t& pos = rt.batch_pos[static_cast<size_t>(v)];
+    while (vcpu.clock_ns < quantum_end && !rt.finished) {
+      if (pos >= batch.size()) {
+        batch.clear();
+        pos = 0;
+        wl.NextBatch(v, config_.batch_ops, rng_, &batch);
+        DEMETER_CHECK(!batch.empty()) << "workload produced no ops";
+      }
+      // Chunk horizon: the next instant the scalar loop would have done
+      // anything between ops — the context-switch tick or the quantum end.
+      // ExecuteBatch runs ops until the clock crosses it (inclusive: the
+      // crossing op executes, exactly like the scalar post-op checks).
+      const double stop_at =
+          std::min(quantum_end, static_cast<double>(vcpu.next_context_switch));
+      // Never hand down ops past the transaction target: FinishVm snapshots
+      // stats the moment the target transaction completes, so the op that
+      // completes it must be the last op executed.
+      size_t take = batch.size() - pos;
+      const uint64_t txns_left = setup.target_transactions - rt.transactions;
+      if (txns_left <= (take + opt - 1) / opt) {
+        const uint64_t ops_left =
+            txns_left * opt - static_cast<uint64_t>(rt.ops_in_txn[static_cast<size_t>(v)]);
+        if (ops_left < take) {
+          take = static_cast<size_t>(ops_left);
+        }
+      }
+      if (rt.steps.size() < take) {
+        rt.steps.resize(take);
+      }
+      const size_t done = machine_vm.ExecuteBatch(
+          v, *rt.process, std::span<const AccessOp>(batch.data() + pos, take), stop_at,
+          rt.steps.data());
+      pos += done;
+      // Per-op accounting with the container lookups hoisted to chunk scope:
+      // this is AccountOp unrolled over the chunk (same operations, same
+      // order), resolving rt/result/latency references once per chunk
+      // instead of once per op.
+      {
+        VmRunResult& result = results_[static_cast<size_t>(i)];
+        int& in_txn = rt.ops_in_txn[static_cast<size_t>(v)];
+        SimClock& latency = rt.txn_latency_ns[static_cast<size_t>(v)];
+        const BatchStep* steps = rt.steps.data();
+        for (size_t k = 0; k < done; ++k) {
+          latency += steps[k].ns;
+          if (++in_txn >= ops_per_txn) {
+            in_txn = 0;
+            result.txn_latency_ns.Record(static_cast<uint64_t>(latency.value()));
+            latency = 0.0;
+            ++rt.transactions;
+            const Nanos clock_after = steps[k].clock_after;
+            size_t bucket =
+                static_cast<size_t>((clock_after - rt.start_time) / setup.timeline_bucket);
+            if (bucket >= kMaxTimelineBuckets) {
+              bucket = kMaxTimelineBuckets - 1;  // Overflow txns pile into the last bucket.
+            }
+            if (result.timeline.size() <= bucket) {
+              result.timeline.resize(bucket + 1, 0);
+            }
+            ++result.timeline[bucket];
+            if (rt.transactions >= setup.target_transactions) {
+              FinishVm(i, clock_after);
+            }
+          }
+        }
+      }
+      // Timer tick / scheduler: context switches drain PEBS (Demeter hook).
+      // Runs after the chunk like the scalar loop runs it after each op —
+      // the chunk was cut at the tick, so at most the final op crossed it.
+      if (vcpu.clock_ns >= static_cast<double>(vcpu.next_context_switch)) {
+        vcpu.clock_ns += machine_vm.OnContextSwitch(v, vcpu.now());
+        vcpu.next_context_switch += machine_vm.config().context_switch_period;
+      }
+    }
+  }
+}
+
+void Machine::RunVmQuantumScalar(int i) {
+  Vm& machine_vm = vm(i);
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  Workload& wl = *workloads_[static_cast<size_t>(i)];
   const int ops_per_txn = wl.OpsPerTransaction();
 
   for (int v = 0; v < machine_vm.num_vcpus() && !rt.finished; ++v) {
@@ -317,26 +435,7 @@ void Machine::RunVmQuantum(int i) {
       const AccessOp op = batch[pos++];
       const AccessResult r = machine_vm.ExecuteAccess(v, *rt.process, op.gva, op.is_write);
       vcpu.clock_ns += r.ns;
-
-      // Transaction accounting.
-      int& in_txn = rt.ops_in_txn[static_cast<size_t>(v)];
-      double& latency = rt.txn_latency_ns[static_cast<size_t>(v)];
-      latency += r.ns;
-      if (++in_txn >= ops_per_txn) {
-        in_txn = 0;
-        result.txn_latency_ns.Record(static_cast<uint64_t>(latency));
-        latency = 0.0;
-        ++rt.transactions;
-        const size_t bucket = static_cast<size_t>((vcpu.now() - rt.start_time) /
-                                                  setup.timeline_bucket);
-        if (result.timeline.size() <= bucket) {
-          result.timeline.resize(bucket + 1, 0);
-        }
-        ++result.timeline[bucket];
-        if (rt.transactions >= setup.target_transactions) {
-          FinishVm(i, vcpu.now());
-        }
-      }
+      AccountOp(i, v, ops_per_txn, r.ns, vcpu.now());
       // Timer tick / scheduler: context switches drain PEBS (Demeter hook).
       if (vcpu.clock_ns >= static_cast<double>(vcpu.next_context_switch)) {
         vcpu.clock_ns += machine_vm.OnContextSwitch(v, vcpu.now());
@@ -436,13 +535,13 @@ void Machine::BootVm(int i, Nanos at) {
   rt.batches.resize(static_cast<size_t>(vcpus));
   rt.batch_pos.assign(static_cast<size_t>(vcpus), 0);
   rt.ops_in_txn.assign(static_cast<size_t>(vcpus), 0);
-  rt.txn_latency_ns.assign(static_cast<size_t>(vcpus), 0.0);
+  rt.txn_latency_ns.assign(static_cast<size_t>(vcpus), SimClock{});
 
   // Align this VM's vCPUs to their own max (init-pass skew), mirroring the
   // phase-3 alignment boot-time VMs get.
   double start = 0.0;
   for (int v = 0; v < vcpus; ++v) {
-    start = std::max(start, machine_vm.vcpu(v).clock_ns);
+    start = std::max(start, machine_vm.vcpu(v).clock_ns.value());
   }
   rt.start_time = static_cast<Nanos>(start);
   for (int v = 0; v < vcpus; ++v) {
@@ -507,7 +606,7 @@ void Machine::Run() {
     rt.batches.resize(static_cast<size_t>(vcpus));
     rt.batch_pos.assign(static_cast<size_t>(vcpus), 0);
     rt.ops_in_txn.assign(static_cast<size_t>(vcpus), 0);
-    rt.txn_latency_ns.assign(static_cast<size_t>(vcpus), 0.0);
+    rt.txn_latency_ns.assign(static_cast<size_t>(vcpus), SimClock{});
   }
 
   // Phase 3: align all clocks so VMs contend from the same instant.
@@ -517,7 +616,7 @@ void Machine::Run() {
       continue;
     }
     for (int v = 0; v < vm(i).num_vcpus(); ++v) {
-      global_start = std::max(global_start, vm(i).vcpu(v).clock_ns);
+      global_start = std::max(global_start, vm(i).vcpu(v).clock_ns.value());
     }
   }
   for (int i = 0; i < num_vms(); ++i) {

@@ -20,6 +20,8 @@
 #include "src/fault/fault.h"
 #include "src/fault/invariant_checker.h"
 #include "src/hyper/overcommit.h"
+#include "src/hyper/vm.h"
+#include "src/sim/sim_clock.h"
 #include "src/swap/swap_device.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/tracer.h"
@@ -76,7 +78,20 @@ struct MachineConfig {
   // default; benches that oversubscribe FMEM turn it on. Enabled configs
   // fold into the runner's spec content hash.
   OvercommitConfig overcommit;
+  // Hand whole workload batches to Vm::ExecuteBatch instead of one
+  // ExecuteAccess per op. A pure execution-strategy switch: both paths
+  // produce byte-identical simulation output (the batched-vs-scalar
+  // property test pins this), so — like capture_trace — it is excluded
+  // from the runner's spec content hash. The scalar path is kept for that
+  // test and for bisecting any future divergence.
+  bool batched_execution = true;
 };
+
+// Hard cap on a VM's throughput-timeline length. A vCPU parked far past its
+// last bucket (a long stall/crash window, or an extreme timeline_bucket
+// choice) used to grow `timeline` by resize(bucket + 1) without bound;
+// transactions landing beyond the cap all accumulate in the final bucket.
+inline constexpr size_t kMaxTimelineBuckets = size_t{1} << 20;
 
 struct VmSetup {
   VmConfig vm;
@@ -203,8 +218,12 @@ class Machine {
     GuestProcess* process = nullptr;
     std::vector<std::vector<AccessOp>> batches;  // Per vCPU.
     std::vector<size_t> batch_pos;
-    std::vector<int> ops_in_txn;          // Per vCPU: ops so far in current txn.
-    std::vector<double> txn_latency_ns;   // Per vCPU: accumulated latency.
+    std::vector<int> ops_in_txn;  // Per vCPU: ops so far in current txn.
+    // Per vCPU: accumulated latency of the current transaction. Compensated
+    // like the vCPU clock — at long virtual horizons a plain double sum
+    // drops sub-ulp op costs, skewing recorded latencies.
+    std::vector<SimClock> txn_latency_ns;
+    std::vector<BatchStep> steps;  // ExecuteBatch scratch (batched path).
     uint64_t transactions = 0;
     Nanos start_time = 0;
     bool booted = false;
@@ -216,6 +235,13 @@ class Machine {
   void InitPass(int i);
   void MaybeAuditInvariants(const char* where);
   void RunVmQuantum(int i);
+  // Legacy one-op-at-a-time quantum body (config.batched_execution=false).
+  void RunVmQuantumScalar(int i);
+  // Per-op transaction accounting shared verbatim by both quantum bodies:
+  // latency accumulation, txn-latency histogram, timeline bucketing (capped
+  // at kMaxTimelineBuckets), and the transaction-target FinishVm trigger.
+  // `clock_after` is the vCPU's integer clock right after the op landed.
+  void AccountOp(int i, int v, int ops_per_txn, double op_ns, Nanos clock_after);
   Nanos MinActiveClock() const;
   void FinishVm(int i, Nanos now);
   // Mid-run boot of a deferred VM at virtual time `at`: provision, workload

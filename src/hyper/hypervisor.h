@@ -59,6 +59,7 @@ class Hypervisor {
   Vm& CreateVm(const VmConfig& config);
   int num_vms() const { return static_cast<int>(vms_.size()); }
   Vm& vm(int i) { return *vms_[static_cast<size_t>(i)]; }
+  const Vm& vm(int i) const { return *vms_[static_cast<size_t>(i)]; }
 
   // Host tier that should back gPA pages of guest NUMA node `node` (identity
   // mapping: node i <-> tier i).

@@ -38,10 +38,44 @@ Vm::Vm(const VmConfig& config, Hypervisor* host)
     vcpu->next_context_switch = config.context_switch_period;
     vcpus_.push_back(std::move(vcpu));
   }
+  // Host subsystem aliases (see the member comment for the ordering
+  // contract that makes these safe to bind once here).
+  mem_ = &host->memory();
+  fault_ = host->fault_injector();
+  swap_ = host->swap();
+  if (fault_ != nullptr) {
+    poison_armed_[kFmemTier] = fault_->Arms(FaultSite::kPoisonFmem);
+    poison_armed_[kSmemTier] = fault_->Arms(FaultSite::kPoisonSmem);
+  }
 }
 
 AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva, bool is_write) {
+  return ExecuteAccessImpl(vcpu(vcpu_id), process, gva, is_write, /*memo=*/nullptr);
+}
+
+size_t Vm::ExecuteBatch(int vcpu_id, GuestProcess& process, std::span<const AccessOp> ops,
+                        double stop_at_ns, BatchStep* steps) {
   Vcpu& v = vcpu(vcpu_id);
+  RunMemo memo;
+  size_t done = 0;
+  while (done < ops.size()) {
+    const AccessOp& op = ops[done];
+    const AccessResult r = ExecuteAccessImpl(v, process, op.gva, op.is_write, &memo);
+    v.clock_ns += r.ns;
+    steps[done] = BatchStep{r.ns, v.now()};
+    ++done;
+    // Mirror the scalar loop's post-op horizon check: at least one op runs,
+    // and the op that crosses the horizon is included (then we stop, so the
+    // caller can account it and service the context-switch tick).
+    if (!(v.clock_ns < stop_at_ns)) {
+      break;
+    }
+  }
+  return done;
+}
+
+AccessResult Vm::ExecuteAccessImpl(Vcpu& v, GuestProcess& process, uint64_t gva, bool is_write,
+                                   RunMemo* memo) {
   ++v.accesses;
   ++stats_.accesses;
   if (is_write) {
@@ -52,7 +86,11 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   if (rng_.NextBool(config_.cache_hit_rate)) {
     ++stats_.cache_hits;
     double ns = kL2HitLatencyNs;
-    ns += v.pebs->OnAccess(gva, kL2HitLatencyNs, is_write, now);
+    const double pmi = v.pebs->OnAccess(gva, kL2HitLatencyNs, is_write, now);
+    ns += pmi;
+    if (pmi != 0.0 && memo != nullptr) {
+      memo->vpn = RunMemo::kNone;  // The PMI handler may have moved pages.
+    }
     stats_.total_access_ns += ns;
     return AccessResult{ns, /*cache_hit=*/true, kFmemTier};
   }
@@ -60,76 +98,116 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   const PageNum vpn = PageOf(gva);
   double total = 0.0;
   TranslationResult tr;
-  FaultInjector* fault = host_->fault_injector();
-  // One poison draw per access: an MCE retires the frame mid-access and the
-  // access retries after recovery, which can itself refault (SIGBUS path:
-  // guest fault, then EPT fault) — hence the larger armed retry bound. The
-  // worst chain is guest fault, EPT fault, poisoned access, then the SIGBUS
-  // discard's own guest fault + EPT fault before the access finally lands.
-  // A three-tier host can add one swap-in retry (plus one more after a
-  // poison recovery repopulates into swap under extreme pressure).
-  SwapDevice* swap = host_->swap();
-  const int max_attempts = (fault != nullptr ? 5 : 3) + (swap != nullptr ? 2 : 0);
+  FaultInjector* const fault = fault_;
+  SwapDevice* const swap = swap_;
   bool poison_drawn = false;
-  bool swap_in_place = false;
-  for (int attempt = 0;; ++attempt) {
-    tr = Translate2D(v.tlb, process.gpt(), ept_, vpn, is_write, config_.mmu_costs);
-    total += tr.cost_ns;
-    if (!tr.tlb_hit) {
-      walk_cost_ns_.Record(static_cast<uint64_t>(tr.cost_ns));
-    }
-    if (tr.status == TranslateStatus::kOk) {
-      const TierIndex ft = host_->memory().TierOf(tr.frame);
-      if (swap != nullptr && ft == kSwapTier && !swap_in_place) {
-        // Major fault: the page lives in the far swap tier. The guest
-        // blocks while the host swaps it in (device read or in-flight
-        // buffer hit, inside SwapInGpa's migration) and promotes it —
-        // straight to FMEM when there is headroom, else SMEM.
-        ++stats_.swap_ins;
-        // A TLB hit short-circuits the walk, leaving tr.gpa_page unset —
-        // recover the faulting page's gPA from the GPT before asking the
-        // host to swap it in (a real major fault re-walks the same way).
-        const PageNum swap_gpa =
-            tr.tlb_hit ? process.gpt().Lookup(vpn).target : tr.gpa_page;
-        double cost = 0.0;
-        if (host_->SwapInGpa(*this, swap_gpa, now, &cost)) {
-          FlushGvaAll(vpn);
-          total += cost + SingleFlushCost();
-          continue;  // Re-translate onto the promoted frame.
-        }
-        // No free frame anywhere above: access the page in place, far.
-        total += cost;
-        swap_in_place = true;
+  TierIndex t = kFmemTier;
+  bool translated = false;
+
+  // Same-page run fast path: the previous non-cache-hit access of this
+  // batch translated this very page and nothing since could have moved it
+  // (the memo is dropped on any PMI or poison recovery, and the page's own
+  // TLB entry is pinned by being the most recently touched). Costs and
+  // counters are exactly those of a scalar TLB hit — including the dirty
+  // micro-walk, done once per run (it is idempotent and counter-free) and
+  // the per-access poison draw — only the set scan is skipped.
+  if (memo != nullptr && memo->vpn == vpn) {
+    total += config_.mmu_costs.tlb_hit_ns;
+    v.tlb.CountCoalescedHit();
+    if (is_write && !memo->dirty_done) {
+      const PageTable::WalkResult gpt_leaf =
+          process.gpt().Translate(vpn, /*is_write=*/true, /*set_bits=*/true);
+      if (gpt_leaf.present) {
+        ept_.Translate(gpt_leaf.target, /*is_write=*/true, /*set_bits=*/true);
       }
-      if (fault != nullptr && !poison_drawn && ft < kMaxFaultTiers) {
-        poison_drawn = true;
-        const FaultSite site =
-            ft == kFmemTier ? FaultSite::kPoisonFmem : FaultSite::kPoisonSmem;
-        if (fault->ShouldInject(site, id())) {
-          total += host_->OnMemoryError(*this, process, vpn, now);
-          continue;  // The access retries once the MCE is handled.
-        }
-      }
-      break;
+      memo->dirty_done = true;
     }
-    DEMETER_CHECK_LT(attempt, max_attempts) << "translation did not converge for gva " << gva;
-    if (tr.status == TranslateStatus::kGuestFault) {
-      ++stats_.guest_faults;
-      total += config_.mmu_costs.guest_fault_ns;
-      double extra = 0.0;
-      auto gpa = kernel_->HandleFault(process, vpn, &extra);
-      total += extra;
-      DEMETER_CHECK(gpa.has_value()) << "guest OOM: vm " << id() << " gva " << gva;
-    } else {
-      ++stats_.ept_faults;
-      total += config_.mmu_costs.ept_fault_ns;
-      const FrameId frame = host_->PopulateEpt(*this, tr.gpa_page, now);
-      DEMETER_CHECK_NE(frame, kInvalidFrame) << "host OOM populating gpa " << tr.gpa_page;
+    t = memo->tier;
+    tr.frame = memo->frame;
+    tr.tlb_hit = true;
+    translated = true;
+    if (fault != nullptr && t < kMaxFaultTiers && poison_armed_[static_cast<size_t>(t)]) {
+      poison_drawn = true;
+      const FaultSite site = t == kFmemTier ? FaultSite::kPoisonFmem : FaultSite::kPoisonSmem;
+      if (fault->ShouldInject(site, id())) {
+        memo->vpn = RunMemo::kNone;  // Recovery unmaps + flushes the page.
+        total += host_->OnMemoryError(*this, process, vpn, now);
+        translated = false;  // Retry through the full loop, like scalar.
+      }
     }
   }
 
-  const TierIndex t = host_->memory().TierOf(tr.frame);
-  const double mem = host_->memory().tier(t).AccessCost(now, 64, is_write);
+  if (!translated) {
+    // One poison draw per access: an MCE retires the frame mid-access and
+    // the access retries after recovery, which can itself refault (SIGBUS
+    // path: guest fault, then EPT fault) — hence the larger armed retry
+    // bound. The worst chain is guest fault, EPT fault, poisoned access,
+    // then the SIGBUS discard's own guest fault + EPT fault before the
+    // access finally lands. A three-tier host can add one swap-in retry
+    // (plus one more after a poison recovery repopulates into swap under
+    // extreme pressure).
+    const int max_attempts = (fault != nullptr ? 5 : 3) + (swap != nullptr ? 2 : 0);
+    bool swap_in_place = false;
+    for (int attempt = 0;; ++attempt) {
+      tr = Translate2D(v.tlb, process.gpt(), ept_, vpn, is_write, config_.mmu_costs);
+      total += tr.cost_ns;
+      if (!tr.tlb_hit) {
+        walk_cost_ns_.Record(static_cast<uint64_t>(tr.cost_ns));
+      }
+      if (tr.status == TranslateStatus::kOk) {
+        const TierIndex ft = mem_->TierOf(tr.frame);
+        if (swap != nullptr && ft == kSwapTier && !swap_in_place) {
+          // Major fault: the page lives in the far swap tier. The guest
+          // blocks while the host swaps it in (device read or in-flight
+          // buffer hit, inside SwapInGpa's migration) and promotes it —
+          // straight to FMEM when there is headroom, else SMEM.
+          ++stats_.swap_ins;
+          // A TLB hit short-circuits the walk, leaving tr.gpa_page unset —
+          // recover the faulting page's gPA from the GPT before asking the
+          // host to swap it in (a real major fault re-walks the same way).
+          const PageNum swap_gpa =
+              tr.tlb_hit ? process.gpt().Lookup(vpn).target : tr.gpa_page;
+          double cost = 0.0;
+          if (host_->SwapInGpa(*this, swap_gpa, now, &cost)) {
+            FlushGvaAll(vpn);
+            total += cost + SingleFlushCost();
+            continue;  // Re-translate onto the promoted frame.
+          }
+          // No free frame anywhere above: access the page in place, far.
+          total += cost;
+          swap_in_place = true;
+        }
+        if (fault != nullptr && !poison_drawn && ft < kMaxFaultTiers &&
+            poison_armed_[static_cast<size_t>(ft)]) {
+          poison_drawn = true;
+          const FaultSite site =
+              ft == kFmemTier ? FaultSite::kPoisonFmem : FaultSite::kPoisonSmem;
+          if (fault->ShouldInject(site, id())) {
+            total += host_->OnMemoryError(*this, process, vpn, now);
+            continue;  // The access retries once the MCE is handled.
+          }
+        }
+        t = ft;
+        break;
+      }
+      DEMETER_CHECK_LT(attempt, max_attempts) << "translation did not converge for gva " << gva;
+      if (tr.status == TranslateStatus::kGuestFault) {
+        ++stats_.guest_faults;
+        total += config_.mmu_costs.guest_fault_ns;
+        double extra = 0.0;
+        auto gpa = kernel_->HandleFault(process, vpn, &extra);
+        total += extra;
+        DEMETER_CHECK(gpa.has_value()) << "guest OOM: vm " << id() << " gva " << gva;
+      } else {
+        ++stats_.ept_faults;
+        total += config_.mmu_costs.ept_fault_ns;
+        const FrameId frame = host_->PopulateEpt(*this, tr.gpa_page, now);
+        DEMETER_CHECK_NE(frame, kInvalidFrame) << "host OOM populating gpa " << tr.gpa_page;
+      }
+    }
+  }
+
+  const double mem = mem_->tier(t).AccessCost(now, 64, is_write);
   total += mem;
   if (t == kFmemTier) {
     ++stats_.fmem_accesses;
@@ -138,7 +216,22 @@ AccessResult Vm::ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva,
   } else {
     ++stats_.smem_accesses;
   }
-  total += v.pebs->OnAccess(gva, mem, is_write, now);
+  const double pmi = v.pebs->OnAccess(gva, mem, is_write, now);
+  total += pmi;
+  if (memo != nullptr) {
+    if (pmi != 0.0 || t == kSwapTier) {
+      // A PMI handler may migrate pages and flush TLBs; a far-tier access
+      // must re-fault every time. Either way, no run to continue.
+      memo->vpn = RunMemo::kNone;
+    } else {
+      // Start (or continue) the run. The page is live in the TLB here: a
+      // hit kept its entry, a miss just inserted it.
+      memo->dirty_done = (memo->vpn == vpn && memo->dirty_done) || is_write;
+      memo->vpn = vpn;
+      memo->frame = tr.frame;
+      memo->tier = t;
+    }
+  }
   stats_.total_access_ns += total;
   return AccessResult{total, /*cache_hit=*/false, t};
 }

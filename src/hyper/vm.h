@@ -13,8 +13,10 @@
 #ifndef DEMETER_SRC_HYPER_VM_H_
 #define DEMETER_SRC_HYPER_VM_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/base/histogram.h"
@@ -28,11 +30,14 @@
 #include "src/mmu/walker.h"
 #include "src/pebs/pebs.h"
 #include "src/sim/cpu_account.h"
+#include "src/sim/sim_clock.h"
 #include "src/telemetry/metrics.h"
+#include "src/workloads/workload.h"
 
 namespace demeter {
 
 class Hypervisor;
+class SwapDevice;
 
 struct VmConfig {
   int id = 0;
@@ -61,13 +66,13 @@ struct VmConfig {
 
 struct Vcpu {
   int id = 0;
-  double clock_ns = 0.0;  // Local virtual time.
+  SimClock clock_ns;  // Local virtual time (compensated; reads as double).
   Tlb tlb;
   std::unique_ptr<PebsUnit> pebs;
   uint64_t accesses = 0;
   Nanos next_context_switch = 0;
 
-  Nanos now() const { return static_cast<Nanos>(clock_ns); }
+  Nanos now() const { return clock_ns.now(); }
 };
 
 struct VmStats {
@@ -94,6 +99,15 @@ struct AccessResult {
   TierIndex tier = kFmemTier;
 };
 
+// One executed op of a batch: its cost and the vCPU clock right after the
+// op landed (already truncated to integer Nanos, i.e. what vcpu.now()
+// returned at that instant). The harness replays its per-op transaction
+// accounting from these without re-entering the VM.
+struct BatchStep {
+  double ns = 0.0;
+  Nanos clock_after = 0;
+};
+
 class Vm {
  public:
   Vm(const VmConfig& config, Hypervisor* host);
@@ -101,12 +115,18 @@ class Vm {
   const VmConfig& config() const { return config_; }
   int id() const { return config_.id; }
 
+  // The workload's cache behaviour is only known once the harness pairs a
+  // workload with the VM, after construction; everything else in VmConfig
+  // stays immutable (this replaces a const_cast in the harness).
+  void set_cache_hit_rate(double rate) { config_.cache_hit_rate = rate; }
+
   GuestKernel& kernel() { return *kernel_; }
   PageTable& ept() { return ept_; }
   Hypervisor& host() { return *host_; }
 
   int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
   Vcpu& vcpu(int i) { return *vcpus_[static_cast<size_t>(i)]; }
+  const Vcpu& vcpu(int i) const { return *vcpus_[static_cast<size_t>(i)]; }
 
   VmStats& stats() { return stats_; }
   const VmStats& stats() const { return stats_; }
@@ -121,6 +141,23 @@ class Vm {
   // Handles guest and EPT faults inline. The caller advances the vCPU clock
   // by the returned cost.
   AccessResult ExecuteAccess(int vcpu_id, GuestProcess& process, uint64_t gva, bool is_write);
+
+  // Executes `ops` front to back on `vcpu_id`, advancing the vCPU clock
+  // after each op (the scalar caller's `clock_ns += r.ns`) and recording
+  // each op's cost + post-op clock into steps[k]. Stops early — always
+  // after at least one op — once the clock reaches `stop_at_ns` (the
+  // caller's next horizon: quantum end or context-switch tick, whichever
+  // comes first). Returns the number of ops executed; `steps` must have
+  // room for ops.size() entries.
+  //
+  // Observable behaviour (stats, RNG draws, TLB/PEBS/tier state, costs) is
+  // bit-identical to calling ExecuteAccess op by op. Batching adds one
+  // private speedup: consecutive non-cache-hit accesses to the same page
+  // coalesce into a run whose TLB probe and dirty micro-walk happen once
+  // (see ExecuteAccessImpl's memo) — a pure execution-strategy change that
+  // the batched-vs-scalar property test locks in.
+  size_t ExecuteBatch(int vcpu_id, GuestProcess& process, std::span<const AccessOp> ops,
+                      double stop_at_ns, BatchStep* steps);
 
   // ---- TLB shootdowns ----------------------------------------------------
   // Single-address invalidation on every vCPU (guest-side IPI shootdown).
@@ -166,11 +203,39 @@ class Vm {
   double OnContextSwitch(int vcpu_id, Nanos now);
 
  private:
+  // Same-page run memo for ExecuteBatch: the last cleanly translated page
+  // of the current batch. While the memo matches, repeat accesses skip the
+  // TLB set scan (counted as hits via Tlb::CountCoalescedHit) and repeat
+  // the dirty-bit micro-walk only once per run. The memo is only valid
+  // within one ExecuteBatch call: anything that can move pages or flush
+  // TLBs mid-batch (a PMI handler, a poison recovery) invalidates it, and
+  // context switches / event drains only happen between batches.
+  struct RunMemo {
+    static constexpr PageNum kNone = ~static_cast<PageNum>(0);
+    PageNum vpn = kNone;
+    FrameId frame = kInvalidFrame;
+    TierIndex tier = kFmemTier;
+    bool dirty_done = false;  // D bit already set in both dimensions.
+  };
+
+  // The access pipeline shared by ExecuteAccess (memo == nullptr: exact
+  // legacy behaviour) and ExecuteBatch (memo tracks same-page runs).
+  AccessResult ExecuteAccessImpl(Vcpu& v, GuestProcess& process, uint64_t gva, bool is_write,
+                                 RunMemo* memo);
+
   // Charges a page-sized transfer against the host tier backing `gpa`.
   double PageCopyCost(PageNum src_gpa, PageNum dst_gpa, Nanos now);
 
   VmConfig config_;
   Hypervisor* host_;
+  // Hot-path aliases of host subsystems, bound at VM creation. The harness
+  // (and every test fixture) wires the fault injector and swap device into
+  // the hypervisor before creating VMs, and HostMemory outlives the
+  // hypervisor — so these never dangle and never change. Caching them
+  // removes two pointer chases through host_ from every simulated access.
+  HostMemory* mem_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  SwapDevice* swap_ = nullptr;
   std::unique_ptr<GuestKernel> kernel_;
   PageTable ept_;
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
@@ -179,6 +244,12 @@ class Vm {
   Histogram walk_cost_ns_;
   Rng rng_;
   bool departed_ = false;
+  // Cached per-tier poison arming (plan probability > 0), fixed at VM
+  // creation. FaultInjector::ShouldInject on a zero-probability site is a
+  // guaranteed no-draw no-op, so skipping the call entirely when a tier is
+  // unarmed is observationally identical — and saves a per-access stream
+  // lookup on faulted-but-unpoisoned runs.
+  std::array<bool, kMaxFaultTiers> poison_armed_{};
 };
 
 }  // namespace demeter

@@ -99,18 +99,6 @@ bool HostMemory::IsAllocated(FrameId frame) const {
   return state.allocated[frame - state.base];
 }
 
-TierIndex HostMemory::TierOf(FrameId frame) const {
-  DEMETER_CHECK_LT(frame, total_frames_);
-  for (size_t i = 0; i < states_.size(); ++i) {
-    const TierState& state = states_[i];
-    if (frame >= state.base && frame < state.base + state.num_frames) {
-      return static_cast<TierIndex>(i);
-    }
-  }
-  DEMETER_CHECK(false) << "frame " << frame << " not in any tier";
-  return -1;
-}
-
 uint64_t HostMemory::CapacityPages(TierIndex t) const {
   return states_[static_cast<size_t>(t)].num_frames;
 }

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/base/units.h"
 #include "src/mem/tier.h"
 
@@ -42,7 +43,19 @@ class HostMemory {
   std::optional<FrameId> Allocate(TierIndex t);
   void Free(FrameId frame);
 
-  TierIndex TierOf(FrameId frame) const;
+  // Inline: called once per memory access on the hot path; with 2-3 tiers
+  // the range scan is a couple of compares.
+  TierIndex TierOf(FrameId frame) const {
+    DEMETER_CHECK_LT(frame, total_frames_);
+    for (size_t i = 0; i < states_.size(); ++i) {
+      const TierState& state = states_[i];
+      if (frame >= state.base && frame < state.base + state.num_frames) {
+        return static_cast<TierIndex>(i);
+      }
+    }
+    DEMETER_CHECK(false) << "frame " << frame << " not in any tier";
+    return -1;
+  }
 
   // True when `frame` is currently handed out by its tier's allocator.
   bool IsAllocated(FrameId frame) const;

@@ -68,50 +68,6 @@ const char* MediaKindName(MediaKind media) {
   return "?";
 }
 
-double MemoryTier::Utilization() const {
-  // Average read/write bandwidth weighted 2:1 toward reads as the capacity
-  // reference; precise per-direction accounting is below the model's noise.
-  const double bw = (2.0 * spec_.read_bw_mbps + spec_.write_bw_mbps) / 3.0;
-  const double bytes_per_ns = bw * 1e-3;  // MB/s -> bytes/ns.
-  const double capacity = bytes_per_ns * 2.0 * static_cast<double>(kWindowNs);
-  // A tier whose effective capacity has collapsed (a tiershrink carve taking
-  // a small tier to empty, or a degenerate spec) must saturate, not divide
-  // by ~zero: any traffic against no capacity is full contention.
-  if (capacity < kMinWindowCapacityBytes) {
-    return (window_bytes_ + prev_window_bytes_) > 0 ? kMaxUtilization : 0.0;
-  }
-  const double util =
-      static_cast<double>(window_bytes_ + prev_window_bytes_) / capacity;
-  return std::min(util, kMaxUtilization);
-}
-
-double MemoryTier::AccessCost(Nanos now, uint64_t bytes, bool is_write) {
-  const double base = is_write ? spec_.write_latency_ns : spec_.read_latency_ns;
-  // Floor the direction bandwidth so a zero/near-zero spec (or a carve that
-  // leaves no effective capacity) yields a very slow but finite service
-  // time instead of inf/NaN poisoning every downstream cost accumulator.
-  const double bw = std::max(is_write ? spec_.write_bw_mbps : spec_.read_bw_mbps,
-                             kMinBandwidthMbps);
-  const double bytes_per_ns = bw * 1e-3;  // MB/s -> bytes/ns.
-  const double service = static_cast<double>(bytes) / bytes_per_ns;
-
-  const uint64_t window = now / kWindowNs;
-  if (window > current_window_) {
-    prev_window_bytes_ = (window == current_window_ + 1) ? window_bytes_ : 0;
-    current_window_ = window;
-    window_bytes_ = 0;
-  }
-  // Accesses timestamped behind the newest window (vCPU clock skew) fold
-  // into the current window: load is load, wherever the clock says it came
-  // from.
-  window_bytes_ += bytes;
-  bytes_transferred_ += bytes;
-
-  const double util = Utilization();
-  const double queue_factor = util * util / (1.0 - util);  // M/M/1-flavoured.
-  return (base + service) * (1.0 + queue_factor);
-}
-
 void MemoryTier::ResetContention() {
   current_window_ = 0;
   window_bytes_ = 0;

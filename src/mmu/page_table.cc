@@ -97,9 +97,11 @@ bool PageTable::Remap(PageNum vpn, uint64_t new_target) {
   return true;
 }
 
-PageTable::WalkResult PageTable::Translate(PageNum vpn, bool is_write, bool set_bits) {
+PageTable::WalkResult PageTable::TranslateCold(PageNum vpn, bool is_write, bool set_bits) {
   WalkResult result;
-  // Memoized walk: a warm leaf-cache slot replaces the radix descent. Cost
+  // Memoized walk: a warm leaf-cache slot replaces the radix descent (the
+  // warm case is fully inlined in the header; this cold tail still probes
+  // via FindLeaf, which installs the slot on a successful descent). Cost
   // accounting is unchanged — a cached leaf exists, so the descent it
   // replaces would have touched exactly kLevels entries; partial (faulting)
   // walks never come from the cache and still report their true depth.

@@ -66,8 +66,34 @@ class PageTable {
   bool Remap(PageNum vpn, uint64_t new_target);
 
   // Hardware-walk emulation: descends the tree; when `set_bits` is true and
-  // the leaf is present, sets Accessed (and Dirty on writes).
-  WalkResult Translate(PageNum vpn, bool is_write, bool set_bits);
+  // the leaf is present, sets Accessed (and Dirty on writes). The warm
+  // leaf-cache case is inlined here — it runs on every translation the TLB
+  // does not absorb, plus twice per TLB-hit write (the dirty micro-walk) —
+  // and the cold descent stays out of line.
+  WalkResult Translate(PageNum vpn, bool is_write, bool set_bits) {
+    const PageNum tag = vpn >> kBitsPerLevel;
+    const LeafCacheSlot& slot = leaf_cache_[static_cast<size_t>(tag) & (kLeafCacheSlots - 1)];
+    if (slot.tag == tag && slot.epoch == structure_epoch_) {
+      WalkResult result;
+      result.levels_touched = kLevels;
+      uint64_t& pte = slot.leaf->entries[static_cast<size_t>(IndexAt(vpn, kLevels - 1))];
+      if ((pte & PteFlags::kPresent) == 0) {
+        return result;
+      }
+      result.present = true;
+      result.target = pte >> PteFlags::kTargetShift;
+      result.was_accessed = (pte & PteFlags::kAccessed) != 0;
+      result.was_dirty = (pte & PteFlags::kDirty) != 0;
+      if (set_bits) {
+        pte |= PteFlags::kAccessed;
+        if (is_write) {
+          pte |= PteFlags::kDirty;
+        }
+      }
+      return result;
+    }
+    return TranslateCold(vpn, is_write, set_bits);
+  }
 
   // Point query without side effects.
   WalkResult Lookup(PageNum vpn) const;
@@ -130,6 +156,10 @@ class PageTable {
   // Leaf node containing vpn's PTE, or nullptr if the subtree is absent.
   // Serves from the leaf cache when warm; installs on a successful descent.
   Node* FindLeaf(PageNum vpn) const;
+
+  // Out-of-line tail of Translate(): cold leaf cache — full descent (which
+  // installs the cache slot) or a partial walk over an absent subtree.
+  WalkResult TranslateCold(PageNum vpn, bool is_write, bool set_bits);
 
   uint64_t* FindEntry(PageNum vpn) const;
   uint64_t* FindOrCreateEntry(PageNum vpn);

@@ -1,70 +1,17 @@
 #include "src/mmu/tlb.h"
 
 #include "src/base/logging.h"
-#include "src/base/rng.h"
 
 namespace demeter {
 
 Tlb::Tlb(int num_sets, int ways) : num_sets_(num_sets), ways_(ways) {
   DEMETER_CHECK_GT(num_sets, 0);
   DEMETER_CHECK_GT(ways, 0);
-  entries_.resize(static_cast<size_t>(num_sets) * static_cast<size_t>(ways));
-}
-
-size_t Tlb::SetOf(PageNum vpn) const {
-  // Multiplicative hash spreads contiguous pages across sets.
-  uint64_t h = vpn * 0x9e3779b97f4a7c15ULL;
-  return static_cast<size_t>((h >> 32) % static_cast<uint64_t>(num_sets_)) *
-         static_cast<size_t>(ways_);
-}
-
-FrameId Tlb::Lookup(PageNum vpn) {
-  const size_t base = SetOf(vpn);
-  for (int w = 0; w < ways_; ++w) {
-    Entry& e = entries_[base + static_cast<size_t>(w)];
-    if (IsLive(e) && e.vpn == vpn) {
-      e.lru_tick = ++tick_;
-      ++stats_.hits;
-      return e.frame;
-    }
-  }
-  ++stats_.misses;
-  return kInvalidFrame;
-}
-
-void Tlb::Insert(PageNum vpn, FrameId frame) {
-  const size_t base = SetOf(vpn);
-  Entry* victim = nullptr;
-  for (int w = 0; w < ways_; ++w) {
-    Entry& e = entries_[base + static_cast<size_t>(w)];
-    if (IsLive(e) && e.vpn == vpn) {
-      e.frame = frame;
-      e.lru_tick = ++tick_;
-      return;
-    }
-    if (!IsLive(e)) {
-      victim = &e;
-    } else if (victim == nullptr || (IsLive(*victim) && e.lru_tick < victim->lru_tick)) {
-      victim = &e;
-    }
-  }
-  victim->vpn = vpn;
-  victim->frame = frame;
-  victim->lru_tick = ++tick_;
-  victim->epoch = epoch_;
-  victim->valid = true;
-}
-
-void Tlb::InvalidatePage(PageNum vpn) {
-  ++stats_.single_flushes;
-  const size_t base = SetOf(vpn);
-  for (int w = 0; w < ways_; ++w) {
-    Entry& e = entries_[base + static_cast<size_t>(w)];
-    if (IsLive(e) && e.vpn == vpn) {
-      e.valid = false;
-      return;
-    }
-  }
+  const size_t cap = static_cast<size_t>(num_sets) * static_cast<size_t>(ways);
+  vpns_.resize(cap, ~0ULL);
+  epochs_.resize(cap, 0);  // Sentinel: everything starts stale.
+  frames_.resize(cap, kInvalidFrame);
+  lru_.resize(cap, 0);
 }
 
 void Tlb::InvalidateAll() {
@@ -78,14 +25,6 @@ void Tlb::InvalidateAll() {
   // RESETS to one capacity instead of stacking (back-to-back chunked
   // MMU-notifier scans used to accumulate up to 4x, overcharging refills).
   cold_walks_ = static_cast<uint64_t>(capacity());
-}
-
-double Tlb::ConsumeWalkFactor() {
-  if (cold_walks_ == 0) {
-    return 1.0;
-  }
-  --cold_walks_;
-  return kColdWalkFactor;
 }
 
 }  // namespace demeter

@@ -8,6 +8,15 @@
 // full invalidation to re-arm PTE.A/D observation; guest-based tracking can
 // use single-address invalidations because it knows the gVA. Table 1 counts
 // exactly these two instruction kinds.
+//
+// Storage is structure-of-arrays: the probe tags (vpn + insertion epoch)
+// live in their own dense arrays, separate from the payload (frame, LRU
+// tick). A set probe touches 8 contiguous vpns and 8 contiguous epochs —
+// two cache lines — instead of striding across 40-byte AoS entries; only
+// the hitting way's payload is loaded. Liveness is encoded in the epoch
+// tag alone: an entry is live iff its epoch equals the TLB's current epoch
+// (epoch 0 is the never-valid/invalidated sentinel; the current epoch
+// starts at 1 and only grows).
 
 #ifndef DEMETER_SRC_MMU_TLB_H_
 #define DEMETER_SRC_MMU_TLB_H_
@@ -44,13 +53,73 @@ class Tlb {
   explicit Tlb(int num_sets = 1024, int ways = 8);
 
   // Looks up gVA page `vpn`; returns the cached hPA frame or kInvalidFrame.
-  FrameId Lookup(PageNum vpn);
+  FrameId Lookup(PageNum vpn) {
+    const size_t base = SetOf(vpn);
+    for (int w = 0; w < ways_; ++w) {
+      const size_t i = base + static_cast<size_t>(w);
+      if (epochs_[i] == epoch_ && vpns_[i] == vpn) {
+        lru_[i] = ++tick_;
+        ++stats_.hits;
+        return frames_[i];
+      }
+    }
+    ++stats_.misses;
+    return kInvalidFrame;
+  }
+
+  // Accounts a hit whose set scan was skipped because the probing vCPU just
+  // translated the same page (ExecuteBatch's same-page run coalescing). The
+  // hit counter advances exactly as Lookup would have; the LRU tick is NOT
+  // re-bumped — the entry already holds the set's maximum tick from the
+  // run's first probe, and bumping a sole maximum never changes the set's
+  // relative LRU order, so victim selection is unaffected.
+  void CountCoalescedHit() { ++stats_.hits; }
 
   // Installs vpn -> frame after a successful walk.
-  void Insert(PageNum vpn, FrameId frame);
+  void Insert(PageNum vpn, FrameId frame) {
+    const size_t base = SetOf(vpn);
+    // Victim choice, in way order: a same-vpn live entry is updated in
+    // place; otherwise the LAST non-live way wins, and only when every way
+    // is live does true LRU (lowest tick) pick.
+    size_t victim = base;
+    bool victim_set = false;
+    bool victim_live = false;
+    for (int w = 0; w < ways_; ++w) {
+      const size_t i = base + static_cast<size_t>(w);
+      const bool live = epochs_[i] == epoch_;
+      if (live && vpns_[i] == vpn) {
+        frames_[i] = frame;
+        lru_[i] = ++tick_;
+        return;
+      }
+      if (!live) {
+        victim = i;
+        victim_set = true;
+        victim_live = false;
+      } else if (!victim_set || (victim_live && lru_[i] < lru_[victim])) {
+        victim = i;
+        victim_set = true;
+        victim_live = true;
+      }
+    }
+    vpns_[victim] = vpn;
+    frames_[victim] = frame;
+    lru_[victim] = ++tick_;
+    epochs_[victim] = epoch_;
+  }
 
   // Single-address invalidation (guest knows the gVA).
-  void InvalidatePage(PageNum vpn);
+  void InvalidatePage(PageNum vpn) {
+    ++stats_.single_flushes;
+    const size_t base = SetOf(vpn);
+    for (int w = 0; w < ways_; ++w) {
+      const size_t i = base + static_cast<size_t>(w);
+      if (epochs_[i] == epoch_ && vpns_[i] == vpn) {
+        epochs_[i] = 0;  // Sentinel: dead until re-inserted.
+        return;
+      }
+    }
+  }
 
   // Full invalidation of all entries (invept; also used for CR3-class full
   // flushes). The paper's full-invalidation counter counts these. Besides
@@ -68,14 +137,20 @@ class Tlb {
 
   // Walk-cost multiplier for a miss happening now; decays as the
   // paging-structure caches rewarm (call once per miss).
-  double ConsumeWalkFactor();
+  double ConsumeWalkFactor() {
+    if (cold_walks_ == 0) {
+      return 1.0;
+    }
+    --cold_walks_;
+    return kColdWalkFactor;
+  }
 
   // Read-only walk over every valid entry, for audits: fn(vpn, frame).
   template <typename Fn>
   void ForEachValid(Fn&& fn) const {
-    for (const Entry& entry : entries_) {
-      if (entry.valid && entry.epoch == epoch_) {
-        fn(entry.vpn, entry.frame);
+    for (size_t i = 0; i < epochs_.size(); ++i) {
+      if (epochs_[i] == epoch_) {
+        fn(vpns_[i], frames_[i]);
       }
     }
   }
@@ -86,24 +161,22 @@ class Tlb {
   int capacity() const { return num_sets_ * ways_; }
 
  private:
-  struct Entry {
-    PageNum vpn = ~0ULL;
-    FrameId frame = kInvalidFrame;
-    uint64_t lru_tick = 0;
-    uint64_t epoch = 0;  // Insertion epoch; stale (< epoch_) means invalid.
-    bool valid = false;
-  };
-
-  // An entry participates in lookups and LRU only when it is valid AND was
-  // inserted under the current epoch; anything older was dropped by a full
-  // invalidation that never touched the entry itself.
-  bool IsLive(const Entry& e) const { return e.valid && e.epoch == epoch_; }
-
-  size_t SetOf(PageNum vpn) const;
+  size_t SetOf(PageNum vpn) const {
+    // Multiplicative hash spreads contiguous pages across sets.
+    uint64_t h = vpn * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>((h >> 32) % static_cast<uint64_t>(num_sets_)) *
+           static_cast<size_t>(ways_);
+  }
 
   int num_sets_;
   int ways_;
-  std::vector<Entry> entries_;  // num_sets_ * ways_, set-major.
+  // SoA storage, set-major (way i of set s lives at s*ways_ + i). The scan
+  // arrays (vpns_, epochs_) decide hit/miss/victim; payload arrays are only
+  // touched for the chosen way.
+  std::vector<PageNum> vpns_;
+  std::vector<uint64_t> epochs_;  // 0 = never valid / invalidated sentinel.
+  std::vector<FrameId> frames_;
+  std::vector<uint64_t> lru_;
   uint64_t tick_ = 0;
   uint64_t epoch_ = 1;       // Bumped by InvalidateAll; entries start stale.
   uint64_t cold_walks_ = 0;  // Misses left that pay the cold-walk multiplier.

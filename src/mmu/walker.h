@@ -45,8 +45,66 @@ struct TranslationResult {
 
 // Performs one translation of gVA page `vpn`, setting A/D bits in both
 // dimensions on success and installing the flattened entry in the TLB.
-TranslationResult Translate2D(Tlb& tlb, PageTable& gpt, PageTable& ept, PageNum vpn,
-                              bool is_write, const MmuCosts& costs);
+// Defined inline: this sits directly on the per-access hot path and the
+// call (plus the TLB probe it wraps) inlines into ExecuteAccessImpl.
+inline TranslationResult Translate2D(Tlb& tlb, PageTable& gpt, PageTable& ept, PageNum vpn,
+                                     bool is_write, const MmuCosts& costs) {
+  TranslationResult result;
+
+  const FrameId cached = tlb.Lookup(vpn);
+  if (cached != kInvalidFrame) {
+    result.tlb_hit = true;
+    result.frame = cached;
+    result.cost_ns = costs.tlb_hit_ns;
+    // A/D bits: hardware sets them on the TLB-fill walk; a hit does not
+    // re-set them. On writes the D bit must be set, which hardware does by
+    // re-walking when the cached entry lacks the dirty permission; we fold
+    // that microcode walk into leaf updates in BOTH dimensions without
+    // charging a full walk. The EPT leaf is reached via the gPA recorded in
+    // the GPT leaf — dropping it here left hypervisor-side dirty tracking
+    // blind to every write that hit the TLB.
+    if (is_write) {
+      const PageTable::WalkResult gpt_leaf =
+          gpt.Translate(vpn, /*is_write=*/true, /*set_bits=*/true);
+      if (gpt_leaf.present) {
+        ept.Translate(gpt_leaf.target, /*is_write=*/true, /*set_bits=*/true);
+      }
+    }
+    return result;
+  }
+
+  // After a full invalidation the paging-structure caches are cold and the
+  // refill walks cost more (the destructive invept effect of §2.3.1).
+  const double walk_factor = tlb.ConsumeWalkFactor();
+
+  // GPT walk: each of the L_g guest levels requires translating the guest
+  // page-table page through the EPT (L_e touches each) plus the touch itself.
+  PageTable::WalkResult gpt_walk = gpt.Translate(vpn, is_write, /*set_bits=*/true);
+  const int ept_levels = PageTable::kLevels;
+  double touches =
+      static_cast<double>(gpt_walk.levels_touched) * static_cast<double>(ept_levels + 1);
+
+  if (!gpt_walk.present) {
+    result.status = TranslateStatus::kGuestFault;
+    result.cost_ns = touches * costs.pt_touch_ns * walk_factor;
+    return result;
+  }
+  result.gpa_page = gpt_walk.target;
+
+  // Final EPT walk for the data page itself.
+  PageTable::WalkResult ept_walk = ept.Translate(gpt_walk.target, is_write, /*set_bits=*/true);
+  touches += static_cast<double>(ept_walk.levels_touched);
+  result.cost_ns = touches * costs.pt_touch_ns * walk_factor;
+
+  if (!ept_walk.present) {
+    result.status = TranslateStatus::kEptFault;
+    return result;
+  }
+
+  result.frame = static_cast<FrameId>(ept_walk.target);
+  tlb.Insert(vpn, result.frame);
+  return result;
+}
 
 }  // namespace demeter
 

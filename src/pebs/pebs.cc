@@ -12,20 +12,7 @@ PebsUnit::PebsUnit(const PebsConfig& config) : config_(config), countdown_(confi
   buffer_.reserve(config.buffer_capacity);
 }
 
-double PebsUnit::OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos now) {
-  if (!enabled_) {
-    return 0.0;
-  }
-  // The load-latency and L3-miss events count loads only.
-  if (is_store) {
-    return 0.0;
-  }
-  ++stats_.events_counted;
-  if (--countdown_ != 0) {
-    return 0.0;
-  }
-  countdown_ = config_.sample_period;
-
+double PebsUnit::OnSampledEvent(uint64_t gva, double latency_ns, Nanos now) {
   // Threshold filter: cache hits do not produce records.
   if (config_.event == PebsEvent::kLoadLatency && latency_ns < config_.latency_threshold_ns) {
     return 0.0;
@@ -37,7 +24,8 @@ double PebsUnit::OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos 
     return 0.0;
   }
 
-  buffer_.push_back(PebsRecord{gva, latency_ns, is_store, now});
+  // is_store is always false here: stores never reach the sampled path.
+  buffer_.push_back(PebsRecord{gva, latency_ns, /*is_store=*/false, now});
   ++stats_.records_written;
 
   if (buffer_.size() < config_.buffer_capacity) {

@@ -89,7 +89,23 @@ class PebsUnit {
 
   // Observes one memory access by the owning vCPU while in guest mode.
   // Returns the PMI cost in ns when this access triggered a PMI, else 0.
-  double OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos now);
+  // The counting fast path (all but one access in sample_period) is inline;
+  // only the every-4093rd sampled event takes the out-of-line slow path.
+  double OnAccess(uint64_t gva, double latency_ns, bool is_store, Nanos now) {
+    if (!enabled_) {
+      return 0.0;
+    }
+    // The load-latency and L3-miss events count loads only.
+    if (is_store) {
+      return 0.0;
+    }
+    ++stats_.events_counted;
+    if (--countdown_ != 0) {
+      return 0.0;
+    }
+    countdown_ = config_.sample_period;
+    return OnSampledEvent(gva, latency_ns, now);
+  }
 
   // Proactive drain (polling designs, or Demeter's context-switch drain).
   std::vector<PebsRecord> Drain();
@@ -105,6 +121,11 @@ class PebsUnit {
   }
 
  private:
+  // Slow path of OnAccess, entered once per sample_period loads: threshold
+  // filter, injected sample loss, record write, and the PMI when the buffer
+  // fills. Returns the PMI cost (0 when no PMI fired).
+  double OnSampledEvent(uint64_t gva, double latency_ns, Nanos now);
+
   PebsConfig config_;
   bool enabled_ = false;
   uint64_t countdown_;

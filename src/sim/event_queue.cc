@@ -39,8 +39,4 @@ size_t EventQueue::RunUntil(Nanos until) {
   return fired;
 }
 
-Nanos EventQueue::NextEventTime() const {
-  return heap_.empty() ? kNoEvent : heap_.front().when;
-}
-
 }  // namespace demeter

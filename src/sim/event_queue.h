@@ -44,8 +44,10 @@ class EventQueue {
   // Time of the earliest pending event, or kNoEvent when empty. Cancelled
   // events may still occupy the heap top, so this is a lower bound — safe
   // for lock-step advancement.
+  // Inline: the harness polls this once per execution chunk to compute the
+  // batch horizon.
   static constexpr Nanos kNoEvent = ~static_cast<Nanos>(0);
-  Nanos NextEventTime() const;
+  Nanos NextEventTime() const { return heap_.empty() ? kNoEvent : heap_.front().when; }
 
   bool empty() const { return live_.empty(); }
   size_t size() const { return live_.size(); }

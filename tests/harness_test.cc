@@ -192,6 +192,64 @@ TEST(Machine, TraceCaptureRecordsEventsWithoutChangingResults) {
   EXPECT_GT(events, 0u) << "enabled tracer should have captured migration/PMI events";
 }
 
+TEST(Machine, LongHorizonClockKeepsSubUlpCosts) {
+  // At a boot time of 2^57 ns the double ulp is 32 ns: a naive double vCPU
+  // clock rounds every ~50 ns op cost to a multiple of 32, systematically
+  // drifting virtual time (the same cost always rounds the same way). The
+  // compensated SimClock must reproduce the boot_at=0 run: identical access
+  // and transaction counts, and elapsed time within rounding noise instead
+  // of milliseconds of bias.
+  uint64_t accesses[2];
+  uint64_t transactions[2];
+  double elapsed[2];
+  const Nanos far_future = Nanos{1} << 57;
+  for (int pass = 0; pass < 2; ++pass) {
+    Machine machine(SmallHost());
+    VmSetup setup = SmallVm(PolicyKind::kStatic);
+    setup.target_transactions = 100000;
+    setup.boot_at = pass == 0 ? 0 : far_future;
+    const int i = machine.AddVm(setup);
+    machine.Run();
+    accesses[pass] = machine.result(i).vm_stats.accesses;
+    transactions[pass] = machine.result(i).transactions;
+    elapsed[pass] = machine.result(i).elapsed_s;
+  }
+  EXPECT_EQ(transactions[0], transactions[1]);
+  EXPECT_EQ(accesses[0], accesses[1]);
+  // 32 ns reads at 2^57 bound the per-comparison error; over this run the
+  // compensated clock stays within microseconds. The naive accumulator was
+  // off by milliseconds here.
+  EXPECT_NEAR(elapsed[0], elapsed[1], 1e-4);
+}
+
+TEST(Machine, TimelineGrowthCappedUnderPathologicalBucketing) {
+  // A 1 ns timeline bucket with a stall schedule used to resize the
+  // timeline to one slot per elapsed nanosecond — hundreds of millions of
+  // entries. Growth must stop at kMaxTimelineBuckets, with every overflow
+  // transaction accounted in the final bucket.
+  MachineConfig config = SmallHost();
+  const auto plan = FaultPlan::Parse("stall=5ms/20ms");
+  ASSERT_TRUE(plan.has_value());
+  config.faults = *plan;
+  Machine machine(config);
+  VmSetup setup = SmallVm(PolicyKind::kStatic);
+  setup.target_transactions = 50000;
+  setup.timeline_bucket = 1;  // 1 ns: pathological.
+  const int i = machine.AddVm(setup);
+  machine.Run();
+  const VmRunResult& result = machine.result(i);
+  EXPECT_LE(result.timeline.size(), kMaxTimelineBuckets);
+  uint64_t sum = 0;
+  for (const uint64_t b : result.timeline) {
+    sum += b;
+  }
+  EXPECT_EQ(sum, result.transactions);
+  // The run outlives the cap by orders of magnitude, so the final bucket
+  // must actually have absorbed overflow.
+  ASSERT_FALSE(result.timeline.empty());
+  EXPECT_GT(result.timeline.back(), 1u);
+}
+
 TEST(Machine, PolicyNamesRoundTrip) {
   for (PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kDemeter, PolicyKind::kTpp,
                           PolicyKind::kHTpp, PolicyKind::kMemtis, PolicyKind::kNomad}) {
