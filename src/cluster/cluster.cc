@@ -1,0 +1,372 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/mem/host_memory.h"
+
+namespace demeter {
+
+namespace {
+
+// Per-host seed stride: host 0 keeps the cluster seed bit-unchanged (the
+// single-host cluster must be byte-identical to a bare Machine), and the
+// golden-ratio stride separates neighbouring hosts' streams before the
+// SplitMix64 whitening every consumer applies.
+uint64_t HostSeed(uint64_t cluster_seed, int host) {
+  return cluster_seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(host);
+}
+
+uint64_t PagesFor(const VmSetup& setup) {
+  return (setup.vm.total_memory_bytes + kPageSize - 1) / kPageSize;
+}
+
+// The slice of a VM's commitment that wants to live in FMEM — its hot-set
+// share under the configured tier ratio. Placement treats this as the part
+// of the promise that must fit in the near tier.
+uint64_t FmemShareFor(const VmSetup& setup) {
+  return static_cast<uint64_t>(static_cast<double>(PagesFor(setup)) * setup.vm.fmem_ratio);
+}
+
+}  // namespace
+
+Cluster::Cluster(const MachineConfig& config, const ClusterSetup& setup)
+    : setup_(setup), placer_(setup.placement, setup.placement_headroom) {
+  DEMETER_CHECK_GE(setup_.num_hosts, 1) << "a cluster needs at least one host";
+  DEMETER_CHECK_GT(setup_.epoch, 0) << "barrier epoch must be positive";
+  hosts_.reserve(static_cast<size_t>(setup_.num_hosts));
+  for (int h = 0; h < setup_.num_hosts; ++h) {
+    MachineConfig host_config = config;
+    host_config.seed = HostSeed(config.seed, h);
+    if (!setup_.host_faults.empty()) {
+      host_config.faults =
+          setup_.host_faults[static_cast<size_t>(h) % setup_.host_faults.size()];
+    }
+    hosts_.push_back(std::make_unique<Machine>(host_config));
+  }
+  cooldown_until_.assign(hosts_.size(), 0);
+  // The cluster-scoped injector owns the migratefail site (keyed by source
+  // host, not VM); it deliberately seeds from the *cluster* seed, so the
+  // per-host machines' injectors — seeded per host — never share streams
+  // with it.
+  if (!config.faults.empty()) {
+    faults_ = std::make_unique<FaultInjector>(config.faults, config.seed);
+  }
+  migrator_ = std::make_unique<LiveMigrator>(setup_.migration, hosts_, faults_.get());
+
+  MetricScope scope(&registry_, "cluster");
+  scope.Gauge("hosts") = static_cast<double>(setup_.num_hosts);
+  migrator_->RegisterMetrics(scope.Sub("migration"));
+  MetricScope placement = scope.Sub("placement");
+  placement.RegisterCounter("placements", &placer_.stats().placements);
+  placement.RegisterCounter("rejects", &placer_.stats().rejects);
+  placement.RegisterCounter("fallbacks", &placement_fallbacks_);
+  placement.RegisterCounter("deferred", &deferred_placements_);
+  scope.Sub("evacuation").RegisterCounter("no_destination", &evac_no_destination_);
+  if (faults_ != nullptr) {
+    scope.Sub("fault").RegisterCounterFn("live_migrate_fail_injected", [this] {
+      return faults_->total_injected(FaultSite::kLiveMigrateFail);
+    });
+  }
+}
+
+int Cluster::AddVm(const VmSetup& setup) {
+  DEMETER_CHECK(!ran_) << "AddVm after Run";
+  const int i = static_cast<int>(setups_.size());
+  setups_.push_back(setup);
+  locations_.push_back(ClusterVmLocation{});
+  return i;
+}
+
+const VmRunResult& Cluster::result(int i) const {
+  const ClusterVmLocation& loc = locations_[static_cast<size_t>(i)];
+  DEMETER_CHECK_GE(loc.host, 0) << "vm " << i << " was never placed";
+  return hosts_[static_cast<size_t>(loc.host)]->result(loc.index);
+}
+
+std::vector<HostLoad> Cluster::Loads(const std::vector<Reservation>& reserved,
+                                     const std::vector<int>& assigned_vms) const {
+  // Live free counts overstate real headroom: a lazily-backed VM maps pages
+  // as it touches them, so a freshly admitted tenant looks nearly weightless
+  // at the next barrier and grows toward its full promise later. Charge
+  // every resident VM its commitment (total memory, split into its FMEM
+  // hot-set share and the far-tier remainder) minus what it has already
+  // mapped, and charge in-flight migrations' full commitment to their
+  // destination — stop-and-copy will materialize it all at once.
+  std::vector<Reservation> committed(hosts_.size());
+  for (size_t i = 0; i < setups_.size(); ++i) {
+    const ClusterVmLocation& loc = locations_[i];
+    if (loc.host < 0 || !hosts_[static_cast<size_t>(loc.host)]->VmActive(loc.index)) {
+      continue;
+    }
+    const uint64_t share = FmemShareFor(setups_[i]);
+    committed[static_cast<size_t>(loc.host)].fmem_pages += share;
+    committed[static_cast<size_t>(loc.host)].far_pages += PagesFor(setups_[i]) - share;
+  }
+  for (const LiveMigrator::Completion& route : migrator_->InflightRoutes()) {
+    for (size_t i = 0; i < setups_.size(); ++i) {
+      const ClusterVmLocation& loc = locations_[i];
+      if (loc.host == route.src_host && loc.index == route.src_vm) {
+        const uint64_t share = FmemShareFor(setups_[i]);
+        committed[static_cast<size_t>(route.dst_host)].fmem_pages += share;
+        committed[static_cast<size_t>(route.dst_host)].far_pages += PagesFor(setups_[i]) - share;
+        break;
+      }
+    }
+  }
+  std::vector<HostLoad> loads(hosts_.size());
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    Machine& machine = *hosts_[h];
+    const HostMemory& mem = machine.hypervisor().memory();
+    HostLoad& load = loads[h];
+    load.fmem_free_pages = mem.FreePages(kFmemTier);
+    const uint64_t used_fmem = mem.UsedPages(kFmemTier);
+    for (int tier = kSmemTier; tier < mem.num_tiers(); ++tier) {
+      load.far_free_pages += mem.FreePages(static_cast<TierIndex>(tier));
+      load.far_used_pages += mem.UsedPages(static_cast<TierIndex>(tier));
+    }
+    for (int tier = 0; tier < mem.num_tiers(); ++tier) {
+      load.capacity_pages += mem.CapacityPages(static_cast<TierIndex>(tier));
+      load.poisoned_pages += mem.PoisonedPages(static_cast<TierIndex>(tier));
+    }
+    load.carved_pages = mem.CarvedPages(kFmemTier);
+    load.resident_vms = machine.NumActiveVms() + assigned_vms[h];
+    load.shrinking = machine.hypervisor().TierUnderShrink(kFmemTier);
+    // Uncommitted growth plus same-batch reservations drain each tier's
+    // own share; FMEM overflow spills to far, like the first-touch
+    // allocations they model.
+    const Reservation& c = committed[h];
+    const uint64_t growth_fmem =
+        c.fmem_pages > used_fmem ? c.fmem_pages - used_fmem : 0;
+    const uint64_t growth_far =
+        c.far_pages > load.far_used_pages ? c.far_pages - load.far_used_pages : 0;
+    const uint64_t want_fmem = growth_fmem + reserved[h].fmem_pages;
+    const uint64_t from_fmem = std::min(want_fmem, load.fmem_free_pages);
+    load.fmem_free_pages -= from_fmem;
+    const uint64_t want_far = growth_far + reserved[h].far_pages + (want_fmem - from_fmem);
+    load.far_free_pages -= std::min(want_far, load.far_free_pages);
+  }
+  return loads;
+}
+
+int Cluster::PlaceVm(const VmSetup& setup, const std::vector<Reservation>& reserved,
+                     const std::vector<int>& assigned_vms) {
+  const std::vector<HostLoad> loads = Loads(reserved, assigned_vms);
+  int h = placer_.PickHost(loads, PagesFor(setup), FmemShareFor(setup));
+  if (h < 0) {
+    // No eligible host (all shrinking/full). The VM must still run
+    // somewhere: fall back to the roomiest host, lowest index on ties.
+    uint64_t best_room = 0;
+    for (int c = 0; c < num_hosts(); ++c) {
+      const uint64_t room = loads[static_cast<size_t>(c)].fmem_free_pages +
+                            loads[static_cast<size_t>(c)].far_free_pages;
+      if (h < 0 || room > best_room) {
+        h = c;
+        best_room = room;
+      }
+    }
+    ++placement_fallbacks_;
+  }
+  DEMETER_CHECK_GE(h, 0);
+  return h;
+}
+
+void Cluster::PlaceDue(Nanos now) {
+  const std::vector<Reservation> no_reserved(hosts_.size());
+  const std::vector<int> no_assigned(hosts_.size(), 0);
+  std::vector<PendingVm> later;
+  later.reserve(pending_.size());
+  for (PendingVm& p : pending_) {
+    if (p.setup.boot_at > now) {
+      later.push_back(std::move(p));
+      continue;
+    }
+    // Admission provisions synchronously, so each placement in this batch
+    // sees the previous one's allocations — no reservations needed.
+    const int h = PlaceVm(p.setup, no_reserved, no_assigned);
+    const int idx = hosts_[static_cast<size_t>(h)]->AdmitVm(p.setup, now);
+    locations_[static_cast<size_t>(p.spec_index)] = ClusterVmLocation{h, idx};
+    ++deferred_placements_;
+  }
+  pending_ = std::move(later);
+}
+
+void Cluster::MaybeEvacuate(Nanos now, int64_t barrier) {
+  for (int h = 0; h < num_hosts(); ++h) {
+    if (migrator_->inflight() >= setup_.migration.max_inflight) {
+      return;
+    }
+    Machine& src = *hosts_[static_cast<size_t>(h)];
+    if (!src.hypervisor().TierUnderShrink(kFmemTier)) {
+      continue;
+    }
+    if (barrier < cooldown_until_[static_cast<size_t>(h)]) {
+      continue;
+    }
+    // Victim: the cheapest VM to move — fewest mapped guest pages. Lowest
+    // index breaks ties, so victim choice is deterministic.
+    int victim = -1;
+    uint64_t fewest = 0;
+    for (int i = 0; i < src.num_vms(); ++i) {
+      if (!src.VmActive(i) || migrator_->Migrating(h, i)) {
+        continue;
+      }
+      const uint64_t pages = src.vm(i).kernel().mapped_pages();
+      if (victim < 0 || pages < fewest) {
+        victim = i;
+        fewest = pages;
+      }
+    }
+    if (victim < 0) {
+      continue;
+    }
+    // The destination must absorb the victim's full commitment, not just
+    // what it has mapped so far — the rest follows after stop-and-copy.
+    uint64_t victim_pages = fewest;
+    uint64_t victim_fmem = 0;
+    for (size_t i = 0; i < setups_.size(); ++i) {
+      if (locations_[i].host == h && locations_[i].index == victim) {
+        victim_pages = PagesFor(setups_[i]);
+        victim_fmem = FmemShareFor(setups_[i]);
+        break;
+      }
+    }
+    std::vector<HostLoad> loads =
+        Loads(std::vector<Reservation>(hosts_.size()), std::vector<int>(hosts_.size(), 0));
+    loads[static_cast<size_t>(h)].excluded = true;  // Shrinking also vetoes.
+    const int dst = placer_.PickHost(loads, victim_pages, victim_fmem);
+    cooldown_until_[static_cast<size_t>(h)] = barrier + setup_.migration.cooldown_epochs;
+    if (dst < 0) {
+      ++evac_no_destination_;
+      continue;
+    }
+    migrator_->Begin(h, victim, dst, now);
+  }
+}
+
+void Cluster::Run() {
+  DEMETER_CHECK(!ran_) << "Run called twice";
+  ran_ = true;
+
+  if (hosts_.size() == 1) {
+    // Degenerate fleet: exactly a bare Machine. Deferred boots flow through
+    // the machine's own boot_at path, and no barrier control plane runs
+    // (evacuation needs a second host) — byte-identity is structural.
+    for (size_t i = 0; i < setups_.size(); ++i) {
+      locations_[i] = ClusterVmLocation{0, hosts_[0]->AddVm(setups_[i])};
+    }
+    hosts_[0]->Run();
+    return;
+  }
+
+  // Place boot-at-zero VMs up front, in spec order; queue deferred boots.
+  std::vector<Reservation> reserved(hosts_.size());
+  std::vector<int> assigned(hosts_.size(), 0);
+  for (size_t i = 0; i < setups_.size(); ++i) {
+    const VmSetup& setup = setups_[i];
+    if (setup.boot_at != 0) {
+      pending_.push_back(PendingVm{static_cast<int>(i), setup});
+      continue;
+    }
+    const int h = PlaceVm(setup, reserved, assigned);
+    locations_[i] = ClusterVmLocation{h, hosts_[static_cast<size_t>(h)]->AddVm(setup)};
+    const uint64_t share = FmemShareFor(setup);
+    reserved[static_cast<size_t>(h)].fmem_pages += share;
+    reserved[static_cast<size_t>(h)].far_pages += PagesFor(setup) - share;
+    ++assigned[static_cast<size_t>(h)];
+  }
+
+  for (auto& host : hosts_) {
+    host->StartRun();
+  }
+
+  const Nanos epoch = setup_.epoch;
+  Nanos t = 0;
+  int64_t barrier = 0;
+  while (true) {
+    bool any_active = false;
+    for (const auto& host : hosts_) {
+      any_active = any_active || host->NumActiveVms() > 0;
+    }
+    if (!any_active && migrator_->inflight() == 0) {
+      if (pending_.empty()) {
+        break;  // Fleet drained.
+      }
+      // Only deferred boots remain: jump the grid to the first due barrier
+      // instead of spinning empty epochs.
+      Nanos due = pending_.front().setup.boot_at;
+      for (const PendingVm& p : pending_) {
+        due = std::min(due, p.setup.boot_at);
+      }
+      const Nanos due_barrier = ((due + epoch - 1) / epoch) * epoch;
+      if (due_barrier > t + epoch) {
+        t = due_barrier - epoch;
+      }
+    }
+    t += epoch;
+    ++barrier;
+    if (std::getenv("DEMETER_CLUSTER_DEBUG") != nullptr) {
+      int active = 0;
+      for (const auto& host : hosts_) {
+        active += host->NumActiveVms();
+      }
+      std::fprintf(stderr, "[cluster] barrier=%lld t=%llu active=%d inflight=%d pending=%zu\n",
+                   static_cast<long long>(barrier), static_cast<unsigned long long>(t), active,
+                   migrator_->inflight(), pending_.size());
+    }
+    for (auto& host : hosts_) {
+      host->StepUntil(t);
+    }
+    // Barrier control plane, fixed order: finish/advance migrations first
+    // (freed capacity helps placement), then boot due VMs, then start new
+    // evacuations against the post-placement load picture.
+    const std::vector<LiveMigrator::Completion> completions = migrator_->Advance(t);
+    for (const LiveMigrator::Completion& c : completions) {
+      for (ClusterVmLocation& loc : locations_) {
+        if (loc.host == c.src_host && loc.index == c.src_vm) {
+          loc = ClusterVmLocation{c.dst_host, c.dst_vm};
+          break;
+        }
+      }
+    }
+    PlaceDue(t);
+    if (setup_.migration.evacuate_on_shrink) {
+      MaybeEvacuate(t, barrier);
+    }
+  }
+
+  for (auto& host : hosts_) {
+    host->FinishRun();
+  }
+}
+
+MetricSnapshot Cluster::SnapshotMetrics() const {
+  if (hosts_.size() == 1) {
+    return hosts_[0]->SnapshotMetrics();
+  }
+  std::vector<MetricSnapshot> parts;
+  parts.reserve(hosts_.size() + 1);
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    parts.push_back(
+        RebaseMetricSnapshot(hosts_[h]->SnapshotMetrics(), "host" + std::to_string(h)));
+  }
+  parts.push_back(registry_.Snapshot());
+  return MergeMetricSnapshots(std::move(parts));
+}
+
+std::vector<TraceEvent> Cluster::TakeTrace() {
+  std::vector<TraceEvent> events;
+  for (auto& host : hosts_) {
+    std::vector<TraceEvent> part = host->TakeTrace();
+    events.insert(events.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  return events;
+}
+
+}  // namespace demeter

@@ -1,0 +1,138 @@
+// Multi-host fleet simulation: composes N Machines into one deterministic
+// cluster with VM placement and pre-copy live migration.
+//
+// Hosts advance independently between epoch-synchronized barriers: each
+// barrier StepUntil()s every host to the same virtual time, then runs the
+// fleet-level control plane — migration rounds, due deferred boots, and
+// shrink-window evacuations — in a fixed order. Everything the control
+// plane reads is a deterministic function of host state at the barrier, and
+// each host's seed derives from the cluster seed by host index
+// (`seed + golden_ratio * h`), so the whole fleet is byte-reproducible:
+// --jobs=1 and --jobs=8 runs of a cluster spec are identical.
+//
+// The single-host cluster is the degenerate case and is *exactly* a bare
+// Machine: host 0 gets the cluster seed unchanged, every VM (deferred or
+// not) is handed straight to Machine::AddVm, no barrier control plane runs
+// (evacuation needs a second host), and SnapshotMetrics() returns host 0's
+// registry verbatim. A regression test pins byte-identity.
+//
+// Multi-host snapshots re-namespace each host under "host<h>/..."
+// ("host<h>/vm<i>/..." for the per-VM trees) and append a "cluster/..."
+// roll-up of placement and migration counters.
+
+#ifndef DEMETER_SRC_CLUSTER_CLUSTER_H_
+#define DEMETER_SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/live_migrator.h"
+#include "src/cluster/placement.h"
+#include "src/harness/machine.h"
+
+namespace demeter {
+
+// Fleet topology + control-plane tuning. The default (num_hosts == 0) means
+// "no cluster": the runner takes the classic single-Machine path and the
+// spec content hash is bit-identical to builds that predate this subsystem.
+struct ClusterSetup {
+  int num_hosts = 0;  // 0 = bare Machine path; >= 1 builds a Cluster.
+  Nanos epoch = 10 * kMillisecond;  // Barrier pitch.
+  PlacementPolicy placement = PlacementPolicy::kFirstFit;
+  // Fraction of each host's capacity the placement controller keeps
+  // uncommitted — the slack that absorbs shrink carves and lazy-backing
+  // growth. A host packed to the last frame is one fault from OOM.
+  double placement_headroom = 0.1;
+  MigrationConfig migration;
+  // Per-host fault plans (host h uses host_faults[h % size]); empty = every
+  // host runs the machine config's shared plan. This is how a sweep arms
+  // staggered tiershrink windows on specific hosts.
+  std::vector<FaultPlan> host_faults;
+
+  bool IsDefault() const { return *this == ClusterSetup{}; }
+  friend bool operator==(const ClusterSetup&, const ClusterSetup&) = default;
+};
+
+// Where a spec VM currently lives: host index + VM index on that host.
+// Updated as migrations complete; final values locate the VM's results.
+struct ClusterVmLocation {
+  int host = -1;
+  int index = -1;
+};
+
+class Cluster {
+ public:
+  // `config` is the per-host machine template; config.seed is the cluster
+  // seed (host h runs at seed + 0x9e3779b97f4a7c15 * h).
+  Cluster(const MachineConfig& config, const ClusterSetup& setup);
+
+  // Registers a VM with the fleet; returns its cluster-wide index.
+  // Placement happens at Run() (boot_at == 0) or at the first barrier past
+  // its boot_at. Call before Run().
+  int AddVm(const VmSetup& setup);
+
+  // Places and runs the whole fleet to completion.
+  void Run();
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  Machine& host(int h) { return *hosts_[static_cast<size_t>(h)]; }
+  int num_vms() const { return static_cast<int>(setups_.size()); }
+
+  // VM i's current (post-Run: final) location and its run result.
+  const ClusterVmLocation& location(int i) const { return locations_[static_cast<size_t>(i)]; }
+  const VmRunResult& result(int i) const;
+
+  // Single host: host 0's registry verbatim. Multi-host: every host
+  // re-namespaced under "host<h>/" plus the "cluster/" roll-up.
+  MetricSnapshot SnapshotMetrics() const;
+
+  // Trace events from every host, concatenated in host order.
+  std::vector<TraceEvent> TakeTrace();
+
+  const LiveMigrator::Stats& migration_stats() const { return migrator_->stats(); }
+  const PlacementController::Stats& placement_stats() const { return placer_.stats(); }
+  uint64_t evacuations_without_destination() const { return evac_no_destination_; }
+
+ private:
+  struct PendingVm {
+    int spec_index = -1;
+    VmSetup setup;
+  };
+
+  // A not-yet-provisioned commitment against one host, split the way the
+  // VM's pages will land: its FMEM hot-set share and the far remainder.
+  struct Reservation {
+    uint64_t fmem_pages = 0;
+    uint64_t far_pages = 0;
+  };
+
+  // Live load summary for every host; `reserved`/`assigned` fold in VMs
+  // placed earlier in the same pre-run batch (not yet provisioned).
+  std::vector<HostLoad> Loads(const std::vector<Reservation>& reserved,
+                              const std::vector<int>& assigned_vms) const;
+  // Places a VM with `setup`'s footprint on the best host; falls back to
+  // the roomiest host when no host is eligible (a VM must run somewhere).
+  int PlaceVm(const VmSetup& setup, const std::vector<Reservation>& reserved,
+              const std::vector<int>& assigned_vms);
+  void PlaceDue(Nanos now);
+  void MaybeEvacuate(Nanos now, int64_t barrier);
+
+  ClusterSetup setup_;
+  MetricRegistry registry_;  // "cluster/..." roll-up metrics.
+  std::vector<std::unique_ptr<Machine>> hosts_;
+  std::unique_ptr<FaultInjector> faults_;  // Cluster-scoped (migratefail).
+  std::unique_ptr<LiveMigrator> migrator_;
+  PlacementController placer_;
+  std::vector<VmSetup> setups_;
+  std::vector<ClusterVmLocation> locations_;
+  std::vector<PendingVm> pending_;          // Deferred boots awaiting placement.
+  std::vector<int64_t> cooldown_until_;     // Per host: next barrier allowed to evacuate.
+  uint64_t placement_fallbacks_ = 0;
+  uint64_t evac_no_destination_ = 0;
+  uint64_t deferred_placements_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,105 @@
+#include "src/cluster/placement.h"
+
+#include "src/base/logging.h"
+
+namespace demeter {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+PlacementPolicy PlacementPolicyFromName(const std::string& name) {
+  if (name == "first-fit") {
+    return PlacementPolicy::kFirstFit;
+  }
+  if (name == "best-fit") {
+    return PlacementPolicy::kBestFit;
+  }
+  if (name == "spread") {
+    return PlacementPolicy::kSpread;
+  }
+  DEMETER_CHECK(false) << "unknown placement policy '" << name << "'";
+  return PlacementPolicy::kFirstFit;
+}
+
+double PlacementController::Score(const HostLoad& load) {
+  // Far-tier frames are worth half a near frame to a newcomer (its pages
+  // start there when FMEM is tight), and every frame of far pressure or
+  // damage history costs a tenth — enough to steer identical-capacity
+  // fleets away from battered hosts without overriding real headroom gaps.
+  return static_cast<double>(load.fmem_free_pages) +
+         0.5 * static_cast<double>(load.far_free_pages) -
+         0.1 * static_cast<double>(load.far_used_pages + load.poisoned_pages +
+                                   load.carved_pages);
+}
+
+bool PlacementController::Eligible(const HostLoad& load, uint64_t pages_needed,
+                                   uint64_t fmem_pages_needed) const {
+  if (load.excluded || load.shrinking) {
+    return false;
+  }
+  // Two constraints, and the second is the one that matters at scale. The
+  // total-room check (with the headroom reserve kept free even after this
+  // placement) guards against OOM: lazily backed tenants grow toward their
+  // full commitment after admission, and shrink windows carve capacity with
+  // no warning. The FMEM check guards against thrash: the newcomer's hot
+  // set must fit in the near tier's uncommitted frames, because a host
+  // whose remaining room is all SMEM will accept VMs by byte count forever
+  // while every resident hot set fights over the same exhausted FMEM.
+  const uint64_t reserve =
+      static_cast<uint64_t>(headroom_ * static_cast<double>(load.capacity_pages));
+  return load.fmem_free_pages >= fmem_pages_needed &&
+         load.fmem_free_pages + load.far_free_pages >= pages_needed + reserve;
+}
+
+int PlacementController::PickHost(const std::vector<HostLoad>& loads, uint64_t pages_needed,
+                                  uint64_t fmem_pages_needed) {
+  int best = -1;
+  double best_score = 0.0;
+  for (int h = 0; h < static_cast<int>(loads.size()); ++h) {
+    const HostLoad& load = loads[static_cast<size_t>(h)];
+    if (!Eligible(load, pages_needed, fmem_pages_needed)) {
+      continue;
+    }
+    switch (policy_) {
+      case PlacementPolicy::kFirstFit:
+        ++stats_.placements;
+        return h;
+      case PlacementPolicy::kBestFit: {
+        // Tightest fit: the smallest score still big enough. Strict `<`
+        // keeps the lowest index on ties.
+        const double score = Score(load);
+        if (best < 0 || score < best_score) {
+          best = h;
+          best_score = score;
+        }
+        break;
+      }
+      case PlacementPolicy::kSpread: {
+        const HostLoad* incumbent = best < 0 ? nullptr : &loads[static_cast<size_t>(best)];
+        if (incumbent == nullptr || load.resident_vms < incumbent->resident_vms ||
+            (load.resident_vms == incumbent->resident_vms && Score(load) > best_score)) {
+          best = h;
+          best_score = Score(load);
+        }
+        break;
+      }
+    }
+  }
+  if (best >= 0) {
+    ++stats_.placements;
+  } else {
+    ++stats_.rejects;
+  }
+  return best;
+}
+
+}  // namespace demeter

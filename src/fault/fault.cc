@@ -115,6 +115,8 @@ const char* FaultSiteName(FaultSite site) {
       return "poison_smem";
     case FaultSite::kSwapFail:
       return "swap_fail";
+    case FaultSite::kLiveMigrateFail:
+      return "live_migrate_fail";
   }
   return "?";
 }
@@ -142,6 +144,7 @@ double FaultPlan::probability(FaultSite site) const {
     case FaultSite::kGuestStall:
     case FaultSite::kGuestCrash:
     case FaultSite::kVirtqueueFull:
+    case FaultSite::kLiveMigrateFail:  // Per-host; see ShouldFailMigration.
       return 0.0;
   }
   return 0.0;
@@ -207,6 +210,14 @@ std::string FaultPlan::ToSpec() const {
                   swap_retry_backoff_ns);
     append(buf);
   }
+  for (int h = 0; h < kMaxFaultHosts; ++h) {
+    if (migrate_fail_p[static_cast<size_t>(h)] > 0.0) {
+      std::snprintf(buf, sizeof(buf), "migratefail=%s/%" PRIu64 "@%d",
+                    FormatDouble(migrate_fail_p[static_cast<size_t>(h)]).c_str(),
+                    migrate_fail_abort_ns[static_cast<size_t>(h)], h);
+      append(buf);
+    }
+  }
   return spec;
 }
 
@@ -264,7 +275,30 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
       value = value.substr(0, at);
     }
 
-    const std::string dedup_key = tiered ? key + "@" + std::to_string(tier) : key;
+    // Per-host keys carry an `@host` suffix on the value.
+    int host = -1;
+    const bool hosted = key == "migratefail";
+    if (hosted) {
+      const size_t at = value.find('@');
+      if (at == std::string::npos) {
+        detail = key + " needs an @host suffix (0.." + std::to_string(kMaxFaultHosts - 1) + ")";
+        return fail();
+      }
+      const std::string host_text = value.substr(at + 1);
+      char* end = nullptr;
+      const long h = std::strtol(host_text.c_str(), &end, 10);
+      if (end == host_text.c_str() || *end != '\0' || h < 0 || h >= kMaxFaultHosts) {
+        detail = "host must be an integer in [0," + std::to_string(kMaxFaultHosts - 1) +
+                 "], got '" + host_text + "'";
+        return fail();
+      }
+      host = static_cast<int>(h);
+      value = value.substr(0, at);
+    }
+
+    const std::string dedup_key = tiered  ? key + "@" + std::to_string(tier)
+                                  : hosted ? key + "@" + std::to_string(host)
+                                           : key;
     if (std::find(seen.begin(), seen.end(), dedup_key) != seen.end()) {
       detail = "duplicate fault key '" + dedup_key + "'";
       return fail();
@@ -355,6 +389,18 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
         detail = "swapfail needs a non-zero retry backoff";
         return fail();
       }
+    } else if (key == "migratefail") {
+      std::string p, d;
+      if (!SplitPair(value, &p, &d, err) ||
+          !ParseProbability(p, &plan.migrate_fail_p[static_cast<size_t>(host)], err) ||
+          !ParseDuration(d, &plan.migrate_fail_abort_ns[static_cast<size_t>(host)], err)) {
+        return fail();
+      }
+      if (plan.migrate_fail_p[static_cast<size_t>(host)] > 0.0 &&
+          plan.migrate_fail_abort_ns[static_cast<size_t>(host)] == 0) {
+        detail = "migratefail needs a non-zero abort threshold";
+        return fail();
+      }
     } else {
       detail = "unknown fault key '" + key + "'";
       return fail();
@@ -370,12 +416,19 @@ FaultInjector::VmState& FaultInjector::state(int vm) {
   while (vms_.size() <= static_cast<size_t>(vm)) {
     const uint64_t id = static_cast<uint64_t>(vms_.size());
     auto vm_state = std::make_unique<VmState>();
+    // One independent stream per (vm, site): the golden-ratio stride
+    // separates neighbouring streams before SplitMix64 whitening inside
+    // Rng::Seed. The legacy stride is pinned at 11 (the site count when
+    // these streams were first baselined) so adding sites never reshuffles
+    // existing streams; sites beyond the legacy range seed from the
+    // disjoint negative domain (~x == -x - 1, so the two never collide).
+    constexpr uint64_t kLegacyStride = 11;
     for (int s = 0; s < kNumFaultSites; ++s) {
-      // One independent stream per (vm, site): the golden-ratio stride
-      // separates neighbouring streams before SplitMix64 whitening inside
-      // Rng::Seed.
-      vm_state->rngs[static_cast<size_t>(s)].Seed(
-          seed_ + 0x9e3779b97f4a7c15ULL * (id * kNumFaultSites + static_cast<uint64_t>(s) + 1));
+      const uint64_t lane = s < static_cast<int>(kLegacyStride)
+                                ? id * kLegacyStride + static_cast<uint64_t>(s) + 1
+                                : ~(id * (kNumFaultSites - kLegacyStride) +
+                                    static_cast<uint64_t>(s) - kLegacyStride);
+      vm_state->rngs[static_cast<size_t>(s)].Seed(seed_ + 0x9e3779b97f4a7c15ULL * lane);
     }
     vms_.push_back(std::move(vm_state));
   }
@@ -397,6 +450,29 @@ bool FaultInjector::ShouldInject(FaultSite site, int vm) {
 
 void FaultInjector::Count(FaultSite site, int vm) {
   ++state(vm).injected[static_cast<size_t>(site)];
+}
+
+bool FaultInjector::ShouldFailMigration(int host) {
+  DEMETER_CHECK_GE(host, 0);
+  DEMETER_CHECK_LT(host, kMaxFaultHosts);
+  const double p = plan_.migrate_fail_p[static_cast<size_t>(host)];
+  if (p <= 0.0) {
+    return false;
+  }
+  // The per-host stream reuses the VmState machinery with `host` as the
+  // state index — the site is cluster-scoped, so no per-VM stream exists.
+  VmState& s = state(host);
+  if (!s.rngs[static_cast<size_t>(FaultSite::kLiveMigrateFail)].NextBool(p)) {
+    return false;
+  }
+  ++s.injected[static_cast<size_t>(FaultSite::kLiveMigrateFail)];
+  return true;
+}
+
+Nanos FaultInjector::MigrationAbortAfter(int host) const {
+  DEMETER_CHECK_GE(host, 0);
+  DEMETER_CHECK_LT(host, kMaxFaultHosts);
+  return plan_.migrate_fail_abort_ns[static_cast<size_t>(host)];
 }
 
 bool FaultInjector::InStallWindow(Nanos now) const {

@@ -50,13 +50,18 @@ enum class FaultSite : int {
   kPoisonFmem,         // Uncorrectable error in a mapped FMEM frame.
   kPoisonSmem,         // Uncorrectable error in a mapped SMEM frame.
   kSwapFail,           // Transient swap-device I/O error (writeback/swap-in).
+  kLiveMigrateFail,    // Cluster live migration aborted mid-copy.
 };
 
-inline constexpr int kNumFaultSites = 11;
+inline constexpr int kNumFaultSites = 12;
 
 // Host tiers addressable by tiered fault keys (`...@tier`). Matches the
 // two-tier host model (kFmemTier/kSmemTier).
 inline constexpr int kMaxFaultTiers = 2;
+
+// Hosts addressable by per-host fault keys (`...@host`). Matches the
+// cluster fleet ceiling (bench/cluster_fleet sweeps up to 8 hosts).
+inline constexpr int kMaxFaultHosts = 8;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -82,6 +87,11 @@ const char* FaultSiteName(FaultSite site);
 //   swapfail=P/DUR swap-device I/O (writeback or swap-in) fails transiently
 //                  with probability P; the writeback queue retries after a
 //                  DUR backoff per failed attempt
+//   migratefail=P/DUR@H
+//                  a cluster live migration leaving host H aborts with
+//                  probability P once its cumulative pre-copy work crosses
+//                  DUR (mid-copy, so the abort exercises source-side
+//                  rollback); at most one token per host, H in [0, 7]
 // Durations accept ns/us/ms/s suffixes (plain digits = ns). Windows start
 // one period in (never at t=0, which would fault the boot-time provisioning
 // of every run identically and uninterestingly). Duplicate keys are an
@@ -110,6 +120,8 @@ struct FaultPlan {
   std::array<TierShrink, kMaxFaultTiers> tier_shrink{};   // Indexed by tier.
   double swap_fail_p = 0.0;
   Nanos swap_retry_backoff_ns = 0;
+  std::array<double, kMaxFaultHosts> migrate_fail_p{};       // Indexed by host.
+  std::array<Nanos, kMaxFaultHosts> migrate_fail_abort_ns{};  // Indexed by host.
 
   // True when the plan injects nothing at all (the default).
   bool empty() const;
@@ -154,6 +166,16 @@ class FaultInjector {
 
   // Records a non-Bernoulli injection (window hits, ring backpressure).
   void Count(FaultSite site, int vm);
+
+  // Bernoulli draw for the live-migration-abort site on `host`'s private
+  // stream (the cluster owns one injector and keys this site by source
+  // host, not VM); counts an injection when it fires. Hosts with a
+  // zero-probability plan return false without drawing.
+  bool ShouldFailMigration(int host);
+
+  // Cumulative pre-copy work after which an armed abort fires for
+  // migrations leaving `host`.
+  Nanos MigrationAbortAfter(int host) const;
 
   // Stall/crash windows: window k covers [k*period, k*period + duration)
   // for k >= 1. Pure functions of virtual time.

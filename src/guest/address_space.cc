@@ -49,6 +49,25 @@ uint64_t AddressSpace::Mmap(uint64_t bytes) {
   return start;
 }
 
+void AddressSpace::RestoreLayout(const std::vector<Vma>& vmas, uint64_t brk,
+                                 uint64_t mmap_floor) {
+  DEMETER_CHECK(brk_ == kStartBrk && mmap_floor_ == kMmapBase)
+      << "RestoreLayout on a used address space";
+  DEMETER_CHECK_GE(brk, kStartBrk);
+  DEMETER_CHECK_LE(mmap_floor, kMmapBase);
+  vmas_ = vmas;
+  brk_ = brk;
+  mmap_floor_ = mmap_floor;
+  heap_vma_index_ = vmas_.size();
+  for (size_t i = 0; i < vmas_.size(); ++i) {
+    if (vmas_[i].kind == VmaKind::kHeap) {
+      heap_vma_index_ = i;
+      break;
+    }
+  }
+  DEMETER_CHECK_LT(heap_vma_index_, vmas_.size()) << "restored layout has no heap VMA";
+}
+
 const Vma* AddressSpace::FindVma(uint64_t addr) const {
   for (const Vma& vma : vmas_) {
     if (vma.Contains(addr)) {

@@ -63,6 +63,12 @@ class AddressSpace {
   const std::vector<Vma>& vmas() const { return vmas_; }
   const Vma* FindVma(uint64_t addr) const;
 
+  // Replaces this space's layout with one captured on another host (live
+  // migration restore). Only legal on a freshly constructed space — the
+  // workload's region addresses were assigned under the source layout, so
+  // the destination must reproduce it exactly before any allocation here.
+  void RestoreLayout(const std::vector<Vma>& vmas, uint64_t brk, uint64_t mmap_floor);
+
   // Total bytes in tracked (heap + mmap) VMAs.
   uint64_t TrackedBytes() const;
 

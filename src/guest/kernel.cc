@@ -114,6 +114,17 @@ std::optional<PageNum> GuestKernel::HandleFault(GuestProcess& process, PageNum v
   return gpa;
 }
 
+std::optional<PageNum> GuestKernel::AdoptPage(GuestProcess& process, PageNum vpn,
+                                              int preferred_node, double* cost_ns) {
+  auto gpa = AllocGpa(preferred_node, /*allow_fallback=*/true, cost_ns);
+  if (!gpa.has_value()) {
+    return std::nullopt;
+  }
+  DEMETER_CHECK(process.gpt().Map(vpn, *gpa, /*writable=*/true));
+  RecordAlloc(*gpa, process.pid(), vpn);
+  return gpa;
+}
+
 const RmapEntry* GuestKernel::Rmap(PageNum gpa) const {
   auto it = rmap_.find(gpa);
   return it == rmap_.end() ? nullptr : &it->second;

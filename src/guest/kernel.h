@@ -69,6 +69,13 @@ class GuestKernel {
   // (fallback search, reclaim).
   std::optional<PageNum> HandleFault(GuestProcess& process, PageNum vpn, double* cost_ns);
 
+  // Live-migration restore: like the fault path, but the node preference
+  // comes from the source host's placement instead of first-touch policy,
+  // and no fault is counted (the guest never faulted — the page arrived
+  // mapped). Falls back across nodes when the preferred one is dry.
+  std::optional<PageNum> AdoptPage(GuestProcess& process, PageNum vpn, int preferred_node,
+                                   double* cost_ns);
+
   // Raw allocation with fallback; used by fault path and by migration.
   // `preferred` only (no fallback) when `allow_fallback` is false.
   std::optional<PageNum> AllocGpa(int preferred_node, bool allow_fallback, double* cost_ns);

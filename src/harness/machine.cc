@@ -161,6 +161,10 @@ void Machine::SetCustomPolicy(int i, std::unique_ptr<TmmPolicy> policy) {
 
 int Machine::AddVm(const VmSetup& setup) {
   DEMETER_CHECK(!ran_);
+  return AddVmInternal(setup);
+}
+
+int Machine::AddVmInternal(const VmSetup& setup) {
   VmSetup resolved = setup;
   resolved.vm.id = static_cast<int>(setups_.size());
   resolved.vm.start_full = setup.provision != ProvisionMode::kStatic;
@@ -275,6 +279,16 @@ void Machine::MaybeAuditInvariants(const char* where) {
   }
   const InvariantReport report = CheckInvariants();
   DEMETER_CHECK(report.ok()) << "invariant violation (" << where << "): " << report.Join();
+}
+
+int Machine::NumActiveVms() const {
+  int active = 0;
+  for (int i = 0; i < num_vms(); ++i) {
+    if (VmActive(i)) {
+      ++active;
+    }
+  }
+  return active;
 }
 
 Nanos Machine::MinActiveClock() const {
@@ -463,6 +477,7 @@ void Machine::FinishVm(int i, Nanos now) {
   result.transactions = rt.transactions;
   result.elapsed_s = ToSeconds(now - rt.start_time);
   result.tlb = machine_vm.AggregateTlbStats();
+  result.tlb.Merge(rt.migrated_tlb);  // Whole-life stats for migrated VMs.
   result.vm_stats = machine_vm.stats();
   result.mgmt = machine_vm.mgmt_account();
   result.timeline_bucket = setups_[static_cast<size_t>(i)].timeline_bucket;
@@ -566,6 +581,13 @@ void Machine::BootVm(int i, Nanos at) {
 }
 
 void Machine::Run() {
+  StartRun();
+  while (StepUntil(kNoHorizon)) {
+  }
+  FinishRun();
+}
+
+void Machine::StartRun() {
   DEMETER_CHECK(!ran_);
   ran_ = true;
 
@@ -649,10 +671,16 @@ void Machine::Run() {
     policies_[static_cast<size_t>(i)] = std::move(policy);
   }
   RegisterAllMetrics();
+}
 
+bool Machine::StepUntil(Nanos horizon) {
   // Phase 5: main loop — lock-stepped quanta + due events. Deferred VMs
   // join once global virtual time reaches their boot_at (or immediately
   // past the last event horizon when the machine is otherwise idle).
+  // The body is Run()'s original loop verbatim; the only addition is the
+  // barrier check, which never fires at kNoHorizon — so Run() is
+  // byte-identical to the pre-split code, and a Cluster stepping a host in
+  // epoch slices replays exactly the same iterations.
   for (;;) {
     bool any_active = false;
     for (int i = 0; i < num_vms(); ++i) {
@@ -675,7 +703,10 @@ void Machine::Run() {
       }
     }
     if (!any_active) {
-      break;
+      return false;
+    }
+    if (MinActiveClock() >= horizon) {
+      return true;  // Barrier reached with VMs still active.
     }
     for (int i = 0; i < num_vms(); ++i) {
       const VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
@@ -683,13 +714,14 @@ void Machine::Run() {
         RunVmQuantum(i);
       }
     }
-    const Nanos horizon = MinActiveClock();
-    event_horizon_ = std::max(event_horizon_, horizon);
-    events_.RunUntil(horizon);
+    const Nanos step_horizon = MinActiveClock();
+    event_horizon_ = std::max(event_horizon_, step_horizon);
+    events_.RunUntil(step_horizon);
     MaybeAuditInvariants("main-loop");
   }
-  MaybeAuditInvariants("end-of-run");
 }
+
+void Machine::FinishRun() { MaybeAuditInvariants("end-of-run"); }
 
 void Machine::RegisterAllMetrics() {
   hyper_->RegisterMetrics(MetricScope(&registry_, "host"));
@@ -697,30 +729,165 @@ void Machine::RegisterAllMetrics() {
     overcommit_->RegisterMetrics(MetricScope(&registry_, "host").Sub("overcommit"));
   }
   for (int i = 0; i < num_vms(); ++i) {
-    MetricScope scope(&registry_, "vm" + std::to_string(i));
-    vm(i).RegisterMetrics(scope);
-    if (policies_[static_cast<size_t>(i)] != nullptr) {
-      policies_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("policy"));
-    }
-    if (demeter_balloons_[static_cast<size_t>(i)] != nullptr) {
-      demeter_balloons_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("balloon"));
-    }
-    if (fault_injector_ != nullptr) {
-      fault_injector_->RegisterVmMetrics(scope.Sub("fault"), i);
-    }
-    // Lifecycle counters are unconditional: all-zero (beyond boots=1) for
-    // VMs that boot with the machine and never depart. `runtimes_` never
-    // grows after Run() starts, so the cell addresses are stable.
-    MetricScope life = scope.Sub("lifecycle");
-    const LifecycleStats& ls = runtimes_[static_cast<size_t>(i)].lifecycle;
-    life.RegisterCounter("boots", &ls.boots);
-    life.RegisterCounter("departures", &ls.departures);
-    life.RegisterCounter("boot_ns", &ls.boot_ns);
-    life.RegisterCounter("depart_ns", &ls.depart_ns);
-    life.RegisterCounter("reclaimed_gpt_pages", &ls.reclaimed_gpt_pages);
-    life.RegisterCounter("reclaimed_gpa_pages", &ls.reclaimed_gpa_pages);
-    life.RegisterCounter("reclaimed_ept_pages", &ls.reclaimed_ept_pages);
+    RegisterVmMetricsFor(i);
   }
+}
+
+void Machine::RegisterVmMetricsFor(int i) {
+  MetricScope scope(&registry_, "vm" + std::to_string(i));
+  vm(i).RegisterMetrics(scope);
+  if (policies_[static_cast<size_t>(i)] != nullptr) {
+    policies_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("policy"));
+  }
+  if (demeter_balloons_[static_cast<size_t>(i)] != nullptr) {
+    demeter_balloons_[static_cast<size_t>(i)]->RegisterMetrics(scope.Sub("balloon"));
+  }
+  if (fault_injector_ != nullptr) {
+    fault_injector_->RegisterVmMetrics(scope.Sub("fault"), i);
+  }
+  // Lifecycle counters are unconditional: all-zero (beyond boots=1) for
+  // VMs that boot with the machine and never depart. `runtimes_` is a deque
+  // precisely so these cell addresses stay stable when AdmitVm/AdoptVm grow
+  // it mid-run.
+  MetricScope life = scope.Sub("lifecycle");
+  const LifecycleStats& ls = runtimes_[static_cast<size_t>(i)].lifecycle;
+  life.RegisterCounter("boots", &ls.boots);
+  life.RegisterCounter("departures", &ls.departures);
+  life.RegisterCounter("boot_ns", &ls.boot_ns);
+  life.RegisterCounter("depart_ns", &ls.depart_ns);
+  life.RegisterCounter("reclaimed_gpt_pages", &ls.reclaimed_gpt_pages);
+  life.RegisterCounter("reclaimed_gpa_pages", &ls.reclaimed_gpa_pages);
+  life.RegisterCounter("reclaimed_ept_pages", &ls.reclaimed_ept_pages);
+  life.RegisterCounter("migrated_in", &ls.migrated_in);
+  life.RegisterCounter("migrated_out", &ls.migrated_out);
+}
+
+int Machine::AdmitVm(const VmSetup& setup, Nanos at) {
+  DEMETER_CHECK(ran_) << "AdmitVm before StartRun (use AddVm)";
+  const int i = AddVmInternal(setup);
+  // Policy metrics are registered by BootVm (policies attach there); the
+  // registration order for this VM therefore matches the deferred-boot path.
+  RegisterVmMetricsFor(i);
+  BootVm(i, at);
+  return i;
+}
+
+MigratedVm Machine::ExtractVm(int i, Nanos now) {
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  Vm& machine_vm = vm(i);
+  DEMETER_CHECK(rt.booted && !rt.finished) << "extracting inactive vm " << i;
+  DEMETER_CHECK(!machine_vm.departed()) << "extracting departed vm " << i;
+
+  MigratedVm out;
+  out.setup = setups_[static_cast<size_t>(i)];
+  out.image = CaptureVmImage(machine_vm, *rt.process);
+  out.stats = machine_vm.stats();
+  out.mgmt = machine_vm.mgmt_account();
+  out.tlb = machine_vm.AggregateTlbStats();
+  out.tlb.Merge(rt.migrated_tlb);
+  const int vcpus = machine_vm.num_vcpus();
+  out.vcpu_clock_ns.reserve(static_cast<size_t>(vcpus));
+  out.next_context_switch.reserve(static_cast<size_t>(vcpus));
+  for (int v = 0; v < vcpus; ++v) {
+    out.vcpu_clock_ns.push_back(machine_vm.vcpu(v).clock_ns.value());
+    out.next_context_switch.push_back(machine_vm.vcpu(v).next_context_switch);
+  }
+  out.workload = std::move(workloads_[static_cast<size_t>(i)]);
+  out.batches = std::move(rt.batches);
+  out.batch_pos = std::move(rt.batch_pos);
+  out.ops_in_txn = std::move(rt.ops_in_txn);
+  out.txn_latency_ns = std::move(rt.txn_latency_ns);
+  out.transactions = rt.transactions;
+  out.start_time = rt.start_time;
+  out.txn_latency_hist = std::move(results_[static_cast<size_t>(i)].txn_latency_ns);
+  out.timeline = std::move(results_[static_cast<size_t>(i)].timeline);
+
+  // Drain this host like a departure: the departed-VM emptiness audit must
+  // hold here from now on. The Vm object stays alive for late events.
+  if (policies_[static_cast<size_t>(i)] != nullptr) {
+    policies_[static_cast<size_t>(i)]->Stop();
+  }
+  machine_vm.set_departed(true);
+  const Hypervisor::ReclaimResult reclaimed = hyper_->ReclaimVm(machine_vm);
+  rt.finished = true;
+  ++rt.lifecycle.migrated_out;
+  rt.lifecycle.depart_ns = now;
+  rt.lifecycle.reclaimed_gpt_pages += reclaimed.gpt_unmapped;
+  rt.lifecycle.reclaimed_gpa_pages += reclaimed.gpa_freed;
+  rt.lifecycle.reclaimed_ept_pages += reclaimed.ept_unbacked;
+  if (tracer_.enabled()) {
+    tracer_.Instant("lifecycle", "migrate_out", now, i, 0,
+                    TraceArgs().Add("pages", out.image.num_pages()).str());
+  }
+  MaybeAuditInvariants("post-extract");
+  return out;
+}
+
+int Machine::AdoptVm(MigratedVm&& moved, Nanos now, double extra_downtime_ns) {
+  DEMETER_CHECK(ran_) << "AdoptVm before StartRun";
+  VmSetup setup = moved.setup;
+  // Balloon/hotplug provisioning state does not travel: the VM arrives at
+  // its target composition and is backed statically on this host.
+  setup.provision = ProvisionMode::kStatic;
+  setup.boot_at = 0;
+  const int i = AddVmInternal(setup);
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  Vm& machine_vm = vm(i);
+  rt.booted = true;
+  ++rt.lifecycle.migrated_in;
+  rt.lifecycle.boot_ns = now;
+
+  rt.process = &machine_vm.kernel().CreateProcess();
+  rt.process->space().RestoreLayout(moved.image.vmas, moved.image.brk, moved.image.mmap_floor);
+  double restore_ns = 0.0;
+  RestoreVmImage(machine_vm, *rt.process, moved.image, now, &restore_ns);
+
+  machine_vm.stats() = moved.stats;
+  machine_vm.mgmt_account() = moved.mgmt;
+  rt.migrated_tlb = moved.tlb;
+  workloads_[static_cast<size_t>(i)] = std::move(moved.workload);
+  machine_vm.set_cache_hit_rate(workloads_[static_cast<size_t>(i)]->CacheHitRate());
+  rt.batches = std::move(moved.batches);
+  rt.batch_pos = std::move(moved.batch_pos);
+  rt.ops_in_txn = std::move(moved.ops_in_txn);
+  rt.txn_latency_ns = std::move(moved.txn_latency_ns);
+  rt.transactions = moved.transactions;
+  rt.start_time = moved.start_time;
+  results_[static_cast<size_t>(i)].txn_latency_ns = std::move(moved.txn_latency_hist);
+  results_[static_cast<size_t>(i)].timeline = std::move(moved.timeline);
+
+  // Downtime = the final stop-and-copy transfer plus the rebuild work just
+  // charged; every vCPU resumes that far past its source clock.
+  const double downtime_ns = extra_downtime_ns + restore_ns;
+  machine_vm.mgmt_account().Charge(TmmStage::kMigration, static_cast<Nanos>(downtime_ns));
+  const int vcpus = machine_vm.num_vcpus();
+  DEMETER_CHECK_EQ(static_cast<size_t>(vcpus), moved.vcpu_clock_ns.size());
+  double resume = 0.0;
+  for (int v = 0; v < vcpus; ++v) {
+    Vcpu& vcpu = machine_vm.vcpu(v);
+    vcpu.clock_ns = moved.vcpu_clock_ns[static_cast<size_t>(v)] + downtime_ns;
+    vcpu.next_context_switch = moved.next_context_switch[static_cast<size_t>(v)] +
+                               static_cast<Nanos>(downtime_ns);
+    resume = std::max(resume, vcpu.clock_ns.value());
+  }
+  if (tracer_.enabled()) {
+    tracer_.Instant("lifecycle", "migrate_in", now, i, 0,
+                    TraceArgs().Add("pages", moved.image.num_pages()).str());
+  }
+
+  // Fresh policy instance on the destination (classification restarts cold,
+  // as a real migration would): attach, then register this VM's metrics.
+  auto policy = MakePolicy(setup.policy, setup.demeter, setup.policy_period);
+  policy->Attach(machine_vm, *rt.process, static_cast<Nanos>(resume));
+  policies_[static_cast<size_t>(i)] = std::move(policy);
+  RegisterVmMetricsFor(i);
+
+  // Drain any events the restore scheduled (e.g. swap writebacks), bounded
+  // like a mid-run boot.
+  event_horizon_ = std::max(event_horizon_, now + 10 * kMillisecond);
+  events_.RunUntil(event_horizon_);
+  MaybeAuditInvariants("post-adopt");
+  return i;
 }
 
 double Machine::TotalMgmtCores() const {

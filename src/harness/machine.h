@@ -10,6 +10,7 @@
 #define DEMETER_SRC_HARNESS_MACHINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "src/fault/invariant_checker.h"
 #include "src/hyper/overcommit.h"
 #include "src/hyper/vm.h"
+#include "src/hyper/vm_image.h"
 #include "src/sim/sim_clock.h"
 #include "src/swap/swap_device.h"
 #include "src/telemetry/metrics.h"
@@ -141,6 +143,31 @@ struct VmRunResult {
   }
 };
 
+// Everything a live migration carries between Machines: the resolved setup,
+// the workload generator (its internal cursor keeps streaming where it left
+// off), the captured memory image, accumulated stats/accounts, per-vCPU
+// progress (clocks, batch cursors, partial-transaction latency), and the
+// partial result series built so far. Produced by Machine::ExtractVm on the
+// source; consumed exactly once by Machine::AdoptVm on the destination.
+struct MigratedVm {
+  VmSetup setup;
+  std::unique_ptr<Workload> workload;
+  VmMemoryImage image;
+  VmStats stats;
+  CpuAccount mgmt;
+  TlbStats tlb;  // Whole-life aggregate (includes earlier migrations).
+  std::vector<double> vcpu_clock_ns;
+  std::vector<Nanos> next_context_switch;
+  std::vector<std::vector<AccessOp>> batches;
+  std::vector<size_t> batch_pos;
+  std::vector<int> ops_in_txn;
+  std::vector<SimClock> txn_latency_ns;
+  uint64_t transactions = 0;
+  Nanos start_time = 0;
+  Histogram txn_latency_hist;
+  std::vector<uint64_t> timeline;
+};
+
 class Machine {
  public:
   explicit Machine(MachineConfig config);
@@ -163,8 +190,51 @@ class Machine {
   void SetCustomPolicy(int i, std::unique_ptr<TmmPolicy> policy);
 
   // Provisions, initializes, attaches policies, and runs every VM to its
-  // transaction target.
+  // transaction target. Exactly StartRun() + StepUntil(kNoHorizon) +
+  // FinishRun() — the split exists so a Cluster can interleave hosts.
   void Run();
+
+  // ---- cluster stepping ---------------------------------------------------
+  // Phases 1-4 of Run(): provision, workload setup + init pass, clock
+  // alignment, policy attach, metric registration. Marks the machine as
+  // running; AddVm is no longer legal afterwards (use AdmitVm).
+  void StartRun();
+  // Runs the main loop until no VM is active (returns false — the machine
+  // is done unless a VM is admitted later) or until every active VM's clock
+  // has reached `horizon` (returns true). The loop body is byte-identical
+  // to Run()'s: with horizon == kNoHorizon this IS Run()'s phase 5.
+  bool StepUntil(Nanos horizon);
+  // The end-of-run audit. Call once, after the final StepUntil.
+  void FinishRun();
+  static constexpr Nanos kNoHorizon = ~static_cast<Nanos>(0);
+
+  // Minimum vCPU clock over booted, unfinished VMs (0 when none).
+  Nanos MinActiveClock() const;
+  // True while VM i is booted and has not finished/departed.
+  bool VmActive(int i) const {
+    const VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+    return rt.booted && !rt.finished;
+  }
+  int NumActiveVms() const;
+  const VmSetup& vm_setup(int i) const { return setups_[static_cast<size_t>(i)]; }
+
+  // ---- live migration -----------------------------------------------------
+  // Adds a VM to a machine that is already running and boots it at `at`
+  // (clamped forward to the event horizon like any mid-run boot). Returns
+  // the new VM's index.
+  int AdmitVm(const VmSetup& setup, Nanos at);
+  // Stop-and-copy extraction of a running VM at virtual time `now`: captures
+  // its memory image and execution progress, then drains every resource it
+  // held on this host (ReclaimVm — the departed-VM emptiness audit applies
+  // from here on). The returned state must be handed to another machine's
+  // AdoptVm exactly once.
+  MigratedVm ExtractVm(int i, Nanos now);
+  // Re-materializes a migrated VM on this (running) machine, charging
+  // `extra_downtime_ns` (the stop-and-copy transfer) plus the restore cost
+  // as downtime on every vCPU clock. The VM resumes with its carried
+  // progress under a fresh policy instance (provision becomes kStatic: the
+  // source host's balloon state does not travel). Returns the new index.
+  int AdoptVm(MigratedVm&& vm, Nanos now, double extra_downtime_ns);
 
   const VmRunResult& result(int i) const { return results_[static_cast<size_t>(i)]; }
   int num_vms() const { return static_cast<int>(setups_.size()); }
@@ -212,6 +282,8 @@ class Machine {
     uint64_t reclaimed_gpt_pages = 0;
     uint64_t reclaimed_gpa_pages = 0;
     uint64_t reclaimed_ept_pages = 0;
+    uint64_t migrated_in = 0;   // VM arrived here via live migration.
+    uint64_t migrated_out = 0;  // VM left this host via live migration.
   };
 
   struct VmRuntime {
@@ -229,6 +301,9 @@ class Machine {
     bool booted = false;
     bool finished = false;
     LifecycleStats lifecycle;
+    // TLB stats accumulated on previous hosts (migrated VMs only); FinishVm
+    // merges these so result.tlb spans the VM's whole life.
+    TlbStats migrated_tlb;
   };
 
   void ProvisionVm(int i, Nanos now);
@@ -242,14 +317,17 @@ class Machine {
   // at kMaxTimelineBuckets), and the transaction-target FinishVm trigger.
   // `clock_after` is the vCPU's integer clock right after the op landed.
   void AccountOp(int i, int v, int ops_per_txn, double op_ns, Nanos clock_after);
-  Nanos MinActiveClock() const;
   void FinishVm(int i, Nanos now);
   // Mid-run boot of a deferred VM at virtual time `at`: provision, workload
   // setup + init pass, policy attach, late policy-metric registration.
   void BootVm(int i, Nanos at);
+  // AddVm minus the not-yet-running check, shared with AdmitVm/AdoptVm.
+  int AddVmInternal(const VmSetup& setup);
   // One-time registration of every subsystem's metrics (host, VMs,
   // policies, balloons) — called from Run() once policies are attached.
   void RegisterAllMetrics();
+  // VM i's share of RegisterAllMetrics (mid-run admissions register late).
+  void RegisterVmMetricsFor(int i);
 
   MachineConfig config_;
   MetricRegistry registry_;
@@ -266,7 +344,9 @@ class Machine {
   std::vector<std::unique_ptr<DemeterBalloon>> demeter_balloons_;
   std::vector<std::unique_ptr<VirtioBalloon>> virtio_balloons_;
   std::vector<std::unique_ptr<HotplugProvisioner>> hotplugs_;
-  std::vector<VmRuntime> runtimes_;
+  // Deque: lifecycle counters are registered by address, and mid-run
+  // admissions (AdmitVm/AdoptVm) grow the container after registration.
+  std::deque<VmRuntime> runtimes_;
   std::vector<VmRunResult> results_;
   Rng rng_;
   bool ran_ = false;

@@ -463,11 +463,15 @@ void Vm::RegisterMetrics(MetricScope scope) {
     tlb.RegisterCounter("single_flushes", &ts.single_flushes);
     tlb.RegisterCounter("full_flushes", &ts.full_flushes);
     MetricScope pebs = vscope.Sub("pebs");
-    const PebsUnit::Stats& ps = v->pebs->stats();
-    pebs.RegisterCounter("events_counted", &ps.events_counted);
-    pebs.RegisterCounter("records_written", &ps.records_written);
-    pebs.RegisterCounter("records_dropped", &ps.records_dropped);
-    pebs.RegisterCounter("pmis", &ps.pmis);
+    // Policies that bring their own sampling config (Demeter, Memtis)
+    // replace the vCPU's PebsUnit when they attach — which can happen after
+    // this registration on the AdmitVm/AdoptVm paths. Read through the
+    // vCPU so the counters always track the live unit.
+    const Vcpu* vp = v.get();
+    pebs.RegisterCounterFn("events_counted", [vp] { return vp->pebs->stats().events_counted; });
+    pebs.RegisterCounterFn("records_written", [vp] { return vp->pebs->stats().records_written; });
+    pebs.RegisterCounterFn("records_dropped", [vp] { return vp->pebs->stats().records_dropped; });
+    pebs.RegisterCounterFn("pmis", [vp] { return vp->pebs->stats().pmis; });
   }
 
   // Aggregates over all vCPUs, recomputed at snapshot time.

@@ -1,0 +1,70 @@
+#include "src/hyper/vm_image.h"
+
+#include "src/base/logging.h"
+#include "src/guest/kernel.h"
+#include "src/guest/process.h"
+#include "src/hyper/hypervisor.h"
+#include "src/hyper/vm.h"
+#include "src/mem/host_memory.h"
+#include "src/mmu/page_table.h"
+
+namespace demeter {
+
+VmMemoryImage CaptureVmImage(Vm& vm, const GuestProcess& process) {
+  VmMemoryImage image;
+  const AddressSpace& space = process.space();
+  image.vmas = space.vmas();
+  image.brk = space.brk();
+  image.mmap_floor = space.mmap_floor();
+  HostMemory& mem = vm.host().memory();
+  image.pages.reserve(process.gpt().mapped_count());
+  process.gpt().ForEachPresent(
+      0, PageTable::kMaxPage, [&](PageNum vpn, uint64_t gpa, bool accessed, bool dirty) {
+        VmPageImage page;
+        page.vpn = vpn;
+        page.node = vm.kernel().NodeOfGpa(gpa);
+        DEMETER_CHECK_GE(page.node, 0) << "mapped gpa " << gpa << " outside every guest node";
+        page.gpt_accessed = accessed;
+        page.gpt_dirty = dirty;
+        const PageTable::WalkResult ept = vm.ept().Lookup(gpa);
+        if (ept.present) {
+          page.ept_backed = true;
+          page.ept_accessed = ept.was_accessed;
+          page.ept_dirty = ept.was_dirty;
+          page.token = mem.ReadToken(ept.target);
+        }
+        image.pages.push_back(page);
+      });
+  return image;
+}
+
+uint64_t RestoreVmImage(Vm& vm, GuestProcess& process, const VmMemoryImage& image, Nanos now,
+                        double* cost_ns) {
+  Hypervisor& host = vm.host();
+  HostMemory& mem = host.memory();
+  uint64_t restored = 0;
+  for (const VmPageImage& page : image.pages) {
+    const auto gpa = vm.kernel().AdoptPage(process, page.vpn, page.node, cost_ns);
+    DEMETER_CHECK(gpa.has_value())
+        << "destination guest out of pages restoring vpn " << page.vpn;
+    // Freshly mapped PTEs have clear A/D; re-walk with set_bits to restore
+    // the source bits (D implies A, matching how hardware ever sets them).
+    if (page.gpt_dirty || page.gpt_accessed) {
+      (void)process.gpt().Translate(page.vpn, /*is_write=*/page.gpt_dirty, /*set_bits=*/true);
+    }
+    if (page.ept_backed) {
+      const FrameId frame = host.PopulateEpt(vm, *gpa, now);
+      DEMETER_CHECK(frame != kInvalidFrame)
+          << "destination host out of frames restoring vpn " << page.vpn;
+      mem.WriteToken(frame, page.token);
+      *cost_ns += mem.tier(mem.TierOf(frame)).AccessCost(now, kPageSize, /*is_write=*/true);
+      if (page.ept_dirty || page.ept_accessed) {
+        (void)vm.ept().Translate(*gpa, /*is_write=*/page.ept_dirty, /*set_bits=*/true);
+      }
+    }
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace demeter

@@ -1,0 +1,67 @@
+// Live-migration VM memory image: a deterministic, host-independent capture
+// of everything a guest's memory state needs to be rebuilt on another host —
+// the address-space layout, every GPT mapping with its A/D bits, the guest
+// NUMA node each page lived on, whether (and how) the EPT backed it, and the
+// logical page contents (the HostMemory token).
+//
+// Capture walks the GPT in vpn order, so the image — and every allocation
+// the restore pass performs from it — is byte-deterministic. Restore
+// re-materializes the state through the same code paths a running guest
+// uses (AdoptPage for gPA allocation + rmap, PopulateEpt for host frames),
+// so destination tier residency is *rebuilt* under the destination host's
+// pressure, not teleported: pages prefer their source node, and spill
+// exactly like first-touch placement when the destination is tighter.
+
+#ifndef DEMETER_SRC_HYPER_VM_IMAGE_H_
+#define DEMETER_SRC_HYPER_VM_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/guest/address_space.h"
+
+namespace demeter {
+
+class GuestProcess;
+class Vm;
+
+// One mapped guest page. `node` is the guest NUMA node at capture time;
+// `token` is the logical contents (only meaningful when ept_backed — an
+// unbacked page has never been touched, so its contents are still zero).
+struct VmPageImage {
+  PageNum vpn = 0;
+  int node = 0;
+  uint64_t token = 0;
+  bool gpt_accessed = false;
+  bool gpt_dirty = false;
+  bool ept_backed = false;
+  bool ept_accessed = false;
+  bool ept_dirty = false;
+};
+
+struct VmMemoryImage {
+  std::vector<Vma> vmas;
+  uint64_t brk = 0;
+  uint64_t mmap_floor = 0;
+  std::vector<VmPageImage> pages;
+
+  uint64_t num_pages() const { return pages.size(); }
+};
+
+// Captures `process`'s full memory image from a live VM.
+VmMemoryImage CaptureVmImage(Vm& vm, const GuestProcess& process);
+
+// Re-materializes `image` into a freshly created process on the destination
+// VM (the caller restores the address-space layout first): GPT mappings with
+// A/D bits, rmap/FIFO entries, EPT backings with A/D bits, and page tokens.
+// Accumulates allocation + tier-write CPU cost into *cost_ns (the tier
+// writes also consume destination bandwidth at `now`) and returns the
+// number of pages restored. Aborts on destination host OOM — callers gate
+// migrations on destination headroom.
+uint64_t RestoreVmImage(Vm& vm, GuestProcess& process, const VmMemoryImage& image, Nanos now,
+                        double* cost_ns);
+
+}  // namespace demeter
+
+#endif  // DEMETER_SRC_HYPER_VM_IMAGE_H_

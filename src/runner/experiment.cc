@@ -106,6 +106,24 @@ void HashVmSetup(HashStream& h, const VmSetup& setup) {
   HashDemeterConfig(h, setup.demeter);
 }
 
+void HashClusterSetup(HashStream& h, const ClusterSetup& cluster) {
+  h.I32(cluster.num_hosts)
+      .U64(cluster.epoch)
+      .I32(static_cast<int>(cluster.placement))
+      .F64(cluster.placement_headroom);
+  const MigrationConfig& m = cluster.migration;
+  h.Bool(m.evacuate_on_shrink)
+      .I32(m.max_precopy_rounds)
+      .U64(m.stop_copy_pages)
+      .F64(m.wire_ns_per_page)
+      .I32(m.max_inflight)
+      .I32(m.cooldown_epochs);
+  h.U64(cluster.host_faults.size());
+  for (const FaultPlan& plan : cluster.host_faults) {
+    h.Str(plan.ToSpec());
+  }
+}
+
 }  // namespace
 
 uint64_t SpecContentHash(const ExperimentSpec& spec) {
@@ -115,6 +133,11 @@ uint64_t SpecContentHash(const ExperimentSpec& spec) {
   h.U64(spec.vms.size());
   for (const VmSetup& setup : spec.vms) {
     HashVmSetup(h, setup);
+  }
+  // Cluster topology changes behaviour; hashing it only when non-default
+  // keeps every pre-existing single-machine spec's seed bit-unchanged.
+  if (!spec.cluster.IsDefault()) {
+    HashClusterSetup(h, spec.cluster);
   }
   return h.Digest();
 }
@@ -144,6 +167,31 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
 
   MachineConfig config = spec.config;
   config.seed = result.seed;
+
+  if (spec.cluster.num_hosts > 0) {
+    Cluster cluster(config, spec.cluster);
+    for (const VmSetup& setup : spec.vms) {
+      cluster.AddVm(setup);
+    }
+    cluster.Run();
+    result.vms.reserve(spec.vms.size());
+    for (int i = 0; i < cluster.num_vms(); ++i) {
+      result.vms.push_back(cluster.result(i));
+    }
+    // Single host: the snapshot is a bare machine's, so strip "host/" as
+    // the classic path does. Multi-host: names are already fully scoped
+    // ("host<h>/...", "cluster/..."), keep them verbatim.
+    const MetricSnapshot snapshot = cluster.SnapshotMetrics();
+    result.host_metrics = spec.cluster.num_hosts == 1
+                              ? snapshot.FilterPrefix("host/", /*strip=*/true)
+                              : snapshot;
+    if (spec.config.capture_trace) {
+      result.trace = cluster.TakeTrace();
+    }
+    result.ok = true;
+    return result;
+  }
+
   Machine machine(config);
   for (const VmSetup& setup : spec.vms) {
     machine.AddVm(setup);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/harness/machine.h"
 
 namespace demeter {
@@ -27,6 +28,10 @@ struct ExperimentSpec {
   std::string tag;            // Free-form grouping key (e.g. workload or row).
   MachineConfig config;       // config.seed is the user-chosen base seed.
   std::vector<VmSetup> vms;
+  // Fleet topology. Default (num_hosts == 0) runs the classic single
+  // Machine; >= 1 builds a Cluster with `config` as the per-host template.
+  // Hashed only when non-default, so pre-existing specs keep their seeds.
+  ClusterSetup cluster;
 };
 
 // Content hash of every simulation-relevant field (see the rule above).

@@ -336,4 +336,40 @@ void MetricScope::RegisterDistribution(std::string_view name, const Histogram* h
   registry_->RegisterDistribution(Name(name), histogram);
 }
 
+MetricSnapshot RebaseMetricSnapshot(const MetricSnapshot& snapshot, std::string_view host_scope) {
+  std::vector<MetricSample> samples;
+  samples.reserve(snapshot.size());
+  for (const MetricSample& sample : snapshot.samples()) {
+    MetricSample rebased = sample;
+    std::string_view rest = sample.name;
+    if (rest.rfind("host/", 0) == 0) {
+      rest.remove_prefix(5);
+    }
+    rebased.name = std::string(host_scope);
+    rebased.name += '/';
+    rebased.name += rest;
+    samples.push_back(std::move(rebased));
+  }
+  // Stripping "host/" from some names but not others breaks sortedness
+  // ("host/x" and "vm0/x" both land under the scope), so re-sort.
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return MetricSnapshot(std::move(samples));
+}
+
+MetricSnapshot MergeMetricSnapshots(std::vector<MetricSnapshot> parts) {
+  std::vector<MetricSample> samples;
+  size_t total = 0;
+  for (const MetricSnapshot& part : parts) {
+    total += part.size();
+  }
+  samples.reserve(total);
+  for (const MetricSnapshot& part : parts) {
+    samples.insert(samples.end(), part.samples().begin(), part.samples().end());
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return MetricSnapshot(std::move(samples));
+}
+
 }  // namespace demeter

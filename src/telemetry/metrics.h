@@ -182,6 +182,18 @@ class MetricScope {
   std::string prefix_;  // Without trailing slash; may be empty (root).
 };
 
+// ---- multi-host composition -----------------------------------------------
+// Re-namespaces a single-machine snapshot under a host scope: the host tree
+// "host/X" becomes "<host_scope>/X" (the scope replaces the generic "host"),
+// and every other name N (the per-VM "vm<i>/..." trees) becomes
+// "<host_scope>/N". Names are re-sorted, so the result is a valid snapshot.
+MetricSnapshot RebaseMetricSnapshot(const MetricSnapshot& snapshot, std::string_view host_scope);
+
+// Concatenates several snapshots into one name-sorted snapshot. Callers keep
+// names disjoint (distinct host scopes); equal names sort stably in input
+// order.
+MetricSnapshot MergeMetricSnapshots(std::vector<MetricSnapshot> parts);
+
 }  // namespace demeter
 
 #endif  // DEMETER_SRC_TELEMETRY_METRICS_H_

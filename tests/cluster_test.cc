@@ -1,0 +1,423 @@
+// src/cluster: placement scoring, telemetry namespacing, the single-host
+// byte-identity regression, spec-hash gating for cluster topology, and the
+// three live-migration resolution paths (complete / abort / cancel) with
+// page-conservation audits on both ends.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/placement.h"
+#include "src/fault/fault.h"
+#include "src/harness/machine.h"
+#include "src/runner/experiment.h"
+#include "src/telemetry/metrics.h"
+
+namespace demeter {
+namespace {
+
+// ------------------------------------------------------ PlacementController
+
+HostLoad Roomy(uint64_t fmem, uint64_t far = 0) {
+  HostLoad load;
+  load.fmem_free_pages = fmem;
+  load.far_free_pages = far;
+  return load;
+}
+
+TEST(PlacementTest, PolicyNamesRoundTrip) {
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFit, PlacementPolicy::kSpread}) {
+    EXPECT_EQ(PlacementPolicyFromName(PlacementPolicyName(policy)), policy);
+  }
+}
+
+TEST(PlacementTest, FirstFitPacksLeft) {
+  PlacementController placer(PlacementPolicy::kFirstFit);
+  std::vector<HostLoad> loads = {Roomy(100), Roomy(5000), Roomy(5000)};
+  EXPECT_EQ(placer.PickHost(loads, 50), 0);   // Host 0 has room: packed left.
+  EXPECT_EQ(placer.PickHost(loads, 500), 1);  // Host 0 too small: next fit.
+  EXPECT_EQ(placer.stats().placements, 2u);
+}
+
+TEST(PlacementTest, BestFitPicksTightestSufficientHeadroom) {
+  PlacementController placer(PlacementPolicy::kBestFit);
+  std::vector<HostLoad> loads = {Roomy(5000), Roomy(300), Roomy(800)};
+  EXPECT_EQ(placer.PickHost(loads, 200), 1);
+}
+
+TEST(PlacementTest, SpreadBalancesResidentVms) {
+  PlacementController placer(PlacementPolicy::kSpread);
+  std::vector<HostLoad> loads = {Roomy(5000), Roomy(400), Roomy(400)};
+  loads[0].resident_vms = 3;
+  loads[1].resident_vms = 1;
+  loads[2].resident_vms = 1;
+  // Fewest VMs wins; the resident-count tie between hosts 1 and 2 breaks on
+  // score, which is equal, so the lowest index wins.
+  EXPECT_EQ(placer.PickHost(loads, 100), 1);
+  loads[2].fmem_free_pages = 600;
+  EXPECT_EQ(placer.PickHost(loads, 100), 2);  // Same VMs, more headroom.
+}
+
+TEST(PlacementTest, ShrinkingAndExcludedHostsAreIneligible) {
+  PlacementController placer(PlacementPolicy::kFirstFit);
+  std::vector<HostLoad> loads = {Roomy(5000), Roomy(5000), Roomy(5000)};
+  loads[0].shrinking = true;  // Evacuation source: never a target.
+  loads[1].excluded = true;
+  EXPECT_EQ(placer.PickHost(loads, 100), 2);
+  loads[2].shrinking = true;
+  EXPECT_EQ(placer.PickHost(loads, 100), -1);
+  EXPECT_EQ(placer.stats().rejects, 1u);
+}
+
+TEST(PlacementTest, FmemShareMustFitInNearTier) {
+  // Host 0 has acres of far-tier room but its FMEM is committed; byte count
+  // alone would pack it forever while every hot set thrashes. The
+  // newcomer's hot-set share must fit in uncommitted FMEM.
+  PlacementController placer(PlacementPolicy::kFirstFit);
+  std::vector<HostLoad> loads = {Roomy(300, 100000), Roomy(2000, 100000)};
+  EXPECT_EQ(placer.PickHost(loads, 2048, /*fmem_pages_needed=*/400), 1);
+  // With no FMEM requirement the same request packs left again.
+  EXPECT_EQ(placer.PickHost(loads, 2048), 0);
+}
+
+TEST(PlacementTest, HeadroomReserveRejectsNearFullHosts) {
+  // Both hosts can hold the pages, but host 0's capacity is so committed
+  // that placing there would eat into the 10% reserve that absorbs shrink
+  // carves and lazy-backing growth.
+  PlacementController placer(PlacementPolicy::kFirstFit, /*headroom=*/0.1);
+  std::vector<HostLoad> loads = {Roomy(500), Roomy(500)};
+  loads[0].capacity_pages = 10000;  // Reserve: 1000 > 500 free.
+  loads[1].capacity_pages = 1000;   // Reserve: 100, leaves 400 usable.
+  EXPECT_EQ(placer.PickHost(loads, 100), 1);
+}
+
+TEST(PlacementTest, DamageHistoryLosesTiebreaks) {
+  // Equal free memory, but host 0 has lost frames to poison/shrink: best-fit
+  // must prefer the undamaged host even though both are eligible.
+  HostLoad battered;
+  battered.fmem_free_pages = 1000;
+  battered.poisoned_pages = 200;
+  battered.carved_pages = 100;
+  EXPECT_LT(PlacementController::Score(battered), PlacementController::Score(Roomy(1000)));
+}
+
+// -------------------------------------------------- Telemetry namespacing
+
+TEST(TelemetryRebaseTest, RebaseScopesHostAndVmTrees) {
+  std::vector<MetricSample> samples(3);
+  samples[0].name = "host/mem/free";
+  samples[1].name = "vm0/lifecycle/migrated_in";
+  samples[2].name = "vm0/transactions";
+  const MetricSnapshot rebased =
+      RebaseMetricSnapshot(MetricSnapshot(std::move(samples)), "host3");
+  ASSERT_EQ(rebased.size(), 3u);
+  // "host/" collapses into the scope; per-VM trees nest under it.
+  EXPECT_EQ(rebased.samples()[0].name, "host3/mem/free");
+  EXPECT_EQ(rebased.samples()[1].name, "host3/vm0/lifecycle/migrated_in");
+  EXPECT_EQ(rebased.samples()[2].name, "host3/vm0/transactions");
+}
+
+TEST(TelemetryRebaseTest, MergeSortsAcrossParts) {
+  std::vector<MetricSample> a(1), b(1);
+  a[0].name = "host1/x";
+  b[0].name = "host0/x";
+  const MetricSnapshot merged = MergeMetricSnapshots({MetricSnapshot(std::move(a)),
+                                                      MetricSnapshot(std::move(b))});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.samples()[0].name, "host0/x");
+  EXPECT_EQ(merged.samples()[1].name, "host1/x");
+}
+
+// ---------------------------------------------------------------- Fixtures
+
+MachineConfig FleetHost(int vms = 2) {
+  MachineConfig config;
+  const uint64_t per_vm = 32 * kMiB;
+  config.tiers = {TierSpec::LocalDram(10 * kMiB * static_cast<uint64_t>(vms)),
+                  TierSpec::Pmem(3 * per_vm * static_cast<uint64_t>(vms))};
+  config.seed = 42;
+  config.check_invariants = true;  // Every test audits page conservation.
+  return config;
+}
+
+VmSetup FleetVm(uint64_t transactions = 150000) {
+  VmSetup setup;
+  setup.vm.total_memory_bytes = 32 * kMiB;
+  setup.vm.fmem_ratio = 0.2;
+  setup.vm.num_vcpus = 2;
+  setup.workload = "gups";
+  setup.footprint_bytes = 24 * kMiB;
+  setup.target_transactions = transactions;
+  setup.policy = PolicyKind::kDemeter;
+  setup.provision = ProvisionMode::kDemeterBalloon;
+  setup.policy_period = 15 * kMillisecond;
+  setup.demeter.range.epoch_length = 2 * kMillisecond;
+  setup.demeter.range.split_threshold = 4.0;
+  setup.demeter.sample_period = 97;
+  return setup;
+}
+
+FaultPlan MustParse(const std::string& spec) {
+  std::string error;
+  const auto plan = FaultPlan::Parse(spec, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return plan.value_or(FaultPlan{});
+}
+
+// A shrink plan whose first carve window ([20ms, 26ms)) straddles the 20ms
+// barrier, so evacuation triggers early in every test run.
+constexpr char kShrinkSpec[] = "tiershrink=0.3/6ms/20ms@0";
+
+// ------------------------------------------- Single-host byte-identity
+
+TEST(ClusterTest, SingleHostIsByteIdenticalToBareMachine) {
+  // The degenerate cluster must not perturb the simulation at all: host 0
+  // runs the cluster seed unchanged, deferred boots go straight to
+  // Machine::AddVm, and the snapshot is the machine's verbatim.
+  const MachineConfig config = FleetHost(2);
+  VmSetup deferred = FleetVm();
+  deferred.boot_at = 20 * kMillisecond;
+
+  Machine machine(config);
+  machine.AddVm(FleetVm());
+  machine.AddVm(deferred);
+  machine.Run();
+
+  ClusterSetup setup;
+  setup.num_hosts = 1;
+  Cluster cluster(config, setup);
+  cluster.AddVm(FleetVm());
+  cluster.AddVm(deferred);
+  cluster.Run();
+
+  ASSERT_EQ(cluster.num_vms(), 2);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(cluster.location(i).host, 0);
+    EXPECT_EQ(cluster.location(i).index, i);
+    const VmRunResult& bare = machine.result(i);
+    const VmRunResult& fleet = cluster.result(i);
+    EXPECT_EQ(fleet.transactions, bare.transactions);
+    EXPECT_DOUBLE_EQ(fleet.elapsed_s, bare.elapsed_s);
+    EXPECT_DOUBLE_EQ(fleet.fmem_access_fraction, bare.fmem_access_fraction);
+    EXPECT_EQ(fleet.metrics.ToJson(), bare.metrics.ToJson());
+  }
+  EXPECT_EQ(cluster.SnapshotMetrics().ToJson(), machine.SnapshotMetrics().ToJson());
+}
+
+// ----------------------------------------------------- Multi-host fleet
+
+TEST(ClusterTest, MultiHostRunsAreDeterministic) {
+  std::string json[2];
+  for (int run = 0; run < 2; ++run) {
+    ClusterSetup setup;
+    setup.num_hosts = 2;
+    Cluster cluster(FleetHost(2), setup);
+    for (int i = 0; i < 4; ++i) {
+      cluster.AddVm(FleetVm());
+    }
+    cluster.Run();
+    json[run] = cluster.SnapshotMetrics().ToJson();
+  }
+  EXPECT_EQ(json[0], json[1]);
+}
+
+TEST(ClusterTest, SnapshotNamespacesHostsAndRollup) {
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  Cluster cluster(FleetHost(1), setup);
+  cluster.AddVm(FleetVm());
+  cluster.AddVm(FleetVm());
+  cluster.Run();
+  const MetricSnapshot snapshot = cluster.SnapshotMetrics();
+  // Spread-free first-fit still splits 2 VMs over 2 hosts when host 0's
+  // FMEM can only hold one — but regardless of placement, both host scopes
+  // and the fleet roll-up must be present and disjoint.
+  EXPECT_FALSE(snapshot.FilterPrefix("host0/", false).empty());
+  EXPECT_FALSE(snapshot.FilterPrefix("cluster/", false).empty());
+  const MetricSample* hosts = snapshot.Find("cluster/hosts");
+  ASSERT_NE(hosts, nullptr);
+  EXPECT_EQ(hosts->gauge, 2.0);
+  // Nothing leaks through un-namespaced.
+  for (const MetricSample& sample : snapshot.samples()) {
+    EXPECT_TRUE(sample.name.rfind("host", 0) == 0 || sample.name.rfind("cluster/", 0) == 0)
+        << sample.name;
+  }
+}
+
+// ------------------------------------------------ Migration resolutions
+
+TEST(ClusterTest, EvacuationCompletesAndConservesVms) {
+  // Host 0 shrinks; its VMs must be pre-copied onto host 1 and finish
+  // there, with the lifecycle ledger balancing exactly.
+  MachineConfig config = FleetHost(2);
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.host_faults = {MustParse(kShrinkSpec), FaultPlan{}};
+  // A huge stop-copy threshold converges every migration on its first
+  // Advance round, so completions are guaranteed even for dirty workloads.
+  setup.migration.stop_copy_pages = 1u << 30;
+
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddVm(FleetVm(400000));
+  }
+  cluster.Run();
+
+  const LiveMigrator::Stats& stats = cluster.migration_stats();
+  EXPECT_GE(stats.started, 1u);
+  EXPECT_GE(stats.completed, 1u);
+  EXPECT_EQ(stats.started, stats.completed + stats.aborted + stats.cancelled);
+  EXPECT_GT(stats.pages_copied, 0u);
+  EXPECT_GT(stats.downtime_ns_total, 0u);
+
+  uint64_t arrivals = 0;
+  for (int i = 0; i < cluster.num_vms(); ++i) {
+    const VmRunResult& result = cluster.result(i);
+    EXPECT_GE(result.transactions, 400000u) << "vm " << i;
+    arrivals += result.metrics.CounterValue("lifecycle/migrated_in");
+    // The recorded location must actually hold this VM's result.
+    EXPECT_GE(cluster.location(i).host, 0);
+    EXPECT_GE(cluster.location(i).index, 0);
+  }
+  EXPECT_EQ(arrivals, stats.completed);
+}
+
+TEST(ClusterTest, AbortedMigrationLeavesVmOnSource) {
+  // migratefail with a 1us budget kills every attempt during the round-0
+  // full copy — strictly before ExtractVm, so the source VM is untouched,
+  // no frames leak (config.check_invariants audits both hosts), and every
+  // VM still finishes where it was placed.
+  MachineConfig config = FleetHost(2);
+  config.faults = MustParse("migratefail=1.0/1us@0");
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.host_faults = {MustParse(kShrinkSpec), FaultPlan{}};
+
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddVm(FleetVm(400000));
+  }
+  cluster.Run();
+
+  const LiveMigrator::Stats& stats = cluster.migration_stats();
+  EXPECT_GE(stats.started, 1u);
+  EXPECT_EQ(stats.aborted, stats.started);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  for (int i = 0; i < cluster.num_vms(); ++i) {
+    const VmRunResult& result = cluster.result(i);
+    EXPECT_GE(result.transactions, 400000u) << "vm " << i;
+    // No VM ever moved.
+    EXPECT_EQ(result.metrics.CounterValue("lifecycle/migrated_in"), 0u) << "vm " << i;
+  }
+  EXPECT_GT(cluster.SnapshotMetrics().CounterValue("cluster/fault/live_migrate_fail_injected"),
+            0u);
+}
+
+TEST(ClusterTest, DepartedMidMigrationIsCancelledCleanly) {
+  // Migrations that can never converge (stop_copy_pages == 0 and an
+  // unreachable round cap) ride along until the victim VM finishes and
+  // departs; the migrator must cancel, and the departed-VM emptiness audit
+  // (config.check_invariants) must pass on both hosts.
+  MachineConfig config = FleetHost(2);
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.host_faults = {MustParse(kShrinkSpec), FaultPlan{}};
+  setup.migration.stop_copy_pages = 0;
+  setup.migration.max_precopy_rounds = 1 << 20;
+
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    VmSetup vm = FleetVm(400000);
+    vm.depart_on_finish = true;
+    cluster.AddVm(vm);
+  }
+  cluster.Run();
+
+  const LiveMigrator::Stats& stats = cluster.migration_stats();
+  EXPECT_GE(stats.started, 1u);
+  EXPECT_GE(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.started, stats.completed + stats.aborted + stats.cancelled);
+  for (int i = 0; i < cluster.num_vms(); ++i) {
+    EXPECT_GE(cluster.result(i).transactions, 400000u) << "vm " << i;
+  }
+}
+
+// ----------------------------------------------------- Spec hash gating
+
+ExperimentSpec ClusterSpec(int num_hosts) {
+  ExperimentSpec spec;
+  spec.name = "fleet";
+  spec.tag = "test";
+  spec.config = FleetHost(2);
+  spec.vms = {FleetVm(), FleetVm()};
+  spec.cluster.num_hosts = num_hosts;
+  return spec;
+}
+
+TEST(ClusterSpecHashTest, DefaultTopologyKeepsPreExistingSeeds) {
+  // A default ClusterSetup must hash exactly like a spec that predates the
+  // cluster subsystem, so every pre-existing experiment keeps its seed (the
+  // bench baselines pin the actual values across builds; this pins the
+  // gating mechanism).
+  const ExperimentSpec base = ClusterSpec(0);
+  ExperimentSpec with_default = base;
+  with_default.cluster = ClusterSetup{};
+  EXPECT_TRUE(base.cluster.IsDefault());
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(with_default));
+
+  // Any topology field flipping the setup off default reseeds — even with
+  // num_hosts still 0, because a non-default setup is new behaviour space.
+  ExperimentSpec fleet = base;
+  fleet.cluster.num_hosts = 1;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(fleet));
+  ExperimentSpec tuned = base;
+  tuned.cluster.migration.wire_ns_per_page += 1.0;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(tuned));
+  ExperimentSpec hosted = base;
+  hosted.cluster.host_faults.push_back(FaultPlan{});
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(hosted));
+
+  // Restoring the default restores the original seed bit-for-bit.
+  fleet.cluster = ClusterSetup{};
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(fleet));
+}
+
+TEST(ClusterSpecHashTest, DistinctTopologiesReseedDistinctly) {
+  const uint64_t one = SpecContentHash(ClusterSpec(1));
+  const uint64_t two = SpecContentHash(ClusterSpec(2));
+  EXPECT_NE(one, two);
+  ExperimentSpec spread = ClusterSpec(2);
+  spread.cluster.placement = PlacementPolicy::kSpread;
+  EXPECT_NE(SpecContentHash(spread), two);
+}
+
+// ------------------------------------------------- RunExperiment plumbing
+
+TEST(ClusterExperimentTest, RunnerTakesClusterPath) {
+  ExperimentSpec spec = ClusterSpec(2);
+  spec.cluster.host_faults = {MustParse(kShrinkSpec), FaultPlan{}};
+  spec.cluster.migration.stop_copy_pages = 1u << 30;
+  const ExperimentResult result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.vms.size(), 2u);
+  for (const VmRunResult& vm : result.vms) {
+    EXPECT_GE(vm.transactions, 150000u);
+  }
+  // Multi-host metrics keep their full namespacing.
+  EXPECT_NE(result.host_metrics.Find("cluster/hosts"), nullptr);
+  EXPECT_FALSE(result.host_metrics.FilterPrefix("host0/", false).empty());
+
+  // Single-host cluster specs strip "host/" exactly like the classic path.
+  const ExperimentResult single = RunExperiment(ClusterSpec(1));
+  ASSERT_TRUE(single.ok);
+  EXPECT_EQ(single.host_metrics.Find("cluster/hosts"), nullptr);
+  EXPECT_FALSE(single.host_metrics.FilterPrefix("hyper/", false).empty());
+}
+
+}  // namespace
+}  // namespace demeter

@@ -90,6 +90,25 @@ TEST(FaultPlanTest, SwapFailRoundTrips) {
   EXPECT_EQ(again->ToSpec(), plan->ToSpec());
 }
 
+TEST(FaultPlanTest, MigrateFailRoundTrips) {
+  std::string error;
+  const auto plan =
+      FaultPlan::Parse("migratefail=0.3/1ms@0,migratefail=0.5/2ms@3", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->empty());
+  EXPECT_DOUBLE_EQ(plan->migrate_fail_p[0], 0.3);
+  EXPECT_EQ(plan->migrate_fail_abort_ns[0], kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->migrate_fail_p[3], 0.5);
+  EXPECT_EQ(plan->migrate_fail_abort_ns[3], 2 * kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->migrate_fail_p[1], 0.0);
+  // Per-host site: the flat per-site probability accessor stays zero.
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kLiveMigrateFail), 0.0);
+  const auto again = FaultPlan::Parse(plan->ToSpec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *plan);
+  EXPECT_EQ(again->ToSpec(), plan->ToSpec());
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   const char* bad[] = {
       "nonsense",            // No key=value shape.
@@ -115,6 +134,12 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
       "swapfail=0.5/0",              // Zero retry backoff.
       "swapfail=1.5/1ms",            // Probability out of range.
       "swapfail=x/1ms",              // Not a number.
+      "migratefail=0.5/1ms",         // Hosted key without @host.
+      "migratefail=0.5/1ms@8",       // Host out of range.
+      "migratefail=0.5/1ms@x",       // Host not an integer.
+      "migratefail=0.5@0",           // Missing the /abort-threshold half.
+      "migratefail=0.5/0@0",         // Zero abort threshold.
+      "migratefail=1.5/1ms@0",       // Probability out of range.
   };
   for (const char* spec : bad) {
     std::string error;
@@ -145,6 +170,12 @@ TEST(FaultPlanTest, ErrorsNameTheOffendingToken) {
       {"bdrop=9", "bdrop=9", "probability must be a number in [0,1]"},
       {"bdrop=0.1,swapfail=0.5", "swapfail=0.5", "expected 'A/B'"},
       {"swapfail=0.5/0", "swapfail=0.5/0", "swapfail needs a non-zero retry backoff"},
+      {"migratefail=0.1/1ms@0,migratefail=0.2/1ms@0", "migratefail=0.2/1ms@0",
+       "duplicate fault key 'migratefail@0'"},
+      {"migratefail=0.5/1ms", "migratefail=0.5/1ms", "needs an @host suffix"},
+      {"migratefail=0.5/1ms@9", "migratefail=0.5/1ms@9", "host must be an integer in [0,7]"},
+      {"migratefail=0.5/0@1", "migratefail=0.5/0@1",
+       "migratefail needs a non-zero abort threshold"},
   };
   for (const Case& c : cases) {
     std::string error;
@@ -154,9 +185,12 @@ TEST(FaultPlanTest, ErrorsNameTheOffendingToken) {
         << c.spec << " -> " << error;
     EXPECT_NE(error.find(c.detail), std::string::npos) << c.spec << " -> " << error;
   }
-  // The same key on *different* tiers is legal, not a duplicate.
+  // The same key on *different* tiers (or hosts) is legal, not a duplicate.
   std::string error;
   EXPECT_TRUE(FaultPlan::Parse("poison=0.1@0,poison=0.2@1", &error).has_value()) << error;
+  EXPECT_TRUE(FaultPlan::Parse("migratefail=0.1/1ms@0,migratefail=0.2/1ms@1", &error)
+                  .has_value())
+      << error;
 }
 
 TEST(FaultPlanTest, ProbabilityPerSite) {
@@ -189,6 +223,30 @@ TEST(FaultInjectorTest, SameSeedSameDecisions) {
   EXPECT_EQ(Draw(a, FaultSite::kBalloonDrop, 0, 256), Draw(b, FaultSite::kBalloonDrop, 0, 256));
   FaultInjector c(*plan, 43);
   EXPECT_NE(Draw(a, FaultSite::kBalloonDrop, 0, 256), Draw(c, FaultSite::kBalloonDrop, 0, 256));
+}
+
+TEST(FaultInjectorTest, MigrationFailuresDrawPerHost) {
+  const auto plan = FaultPlan::Parse("migratefail=0.5/1ms@0,migratefail=0.5/1ms@1");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector a(*plan, 42);
+  FaultInjector b(*plan, 42);
+  std::vector<bool> h0a, h0b, h1a;
+  for (int i = 0; i < 64; ++i) {
+    h0a.push_back(a.ShouldFailMigration(0));
+    h1a.push_back(a.ShouldFailMigration(1));
+    h0b.push_back(b.ShouldFailMigration(0));
+  }
+  EXPECT_EQ(h0a, h0b);  // Same seed, same per-host decision stream.
+  EXPECT_NE(h0a, h1a);  // Hosts draw from independent streams.
+  EXPECT_EQ(a.MigrationAbortAfter(0), kMillisecond);
+  EXPECT_GT(a.total_injected(FaultSite::kLiveMigrateFail), 0u);
+  // A host with no armed plan never fires.
+  const auto one = FaultPlan::Parse("migratefail=1.0/1ms@0");
+  ASSERT_TRUE(one.has_value());
+  FaultInjector armed(*one, 7);
+  EXPECT_TRUE(armed.ShouldFailMigration(0));
+  EXPECT_FALSE(armed.ShouldFailMigration(1));
+  EXPECT_EQ(armed.MigrationAbortAfter(1), 0u);
 }
 
 TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
