@@ -36,7 +36,9 @@ uint64_t FmemShareFor(const VmSetup& setup) {
 }  // namespace
 
 Cluster::Cluster(const MachineConfig& config, const ClusterSetup& setup)
-    : setup_(setup), placer_(setup.placement, setup.placement_headroom) {
+    : setup_(setup),
+      placer_(setup.placement, setup.placement_headroom),
+      check_invariants_(config.check_invariants) {
   DEMETER_CHECK_GE(setup_.num_hosts, 1) << "a cluster needs at least one host";
   DEMETER_CHECK_GT(setup_.epoch, 0) << "barrier epoch must be positive";
   hosts_.reserve(static_cast<size_t>(setup_.num_hosts));
@@ -108,16 +110,13 @@ std::vector<HostLoad> Cluster::Loads(const std::vector<Reservation>& reserved,
     committed[static_cast<size_t>(loc.host)].fmem_pages += share;
     committed[static_cast<size_t>(loc.host)].far_pages += PagesFor(setups_[i]) - share;
   }
-  for (const LiveMigrator::Completion& route : migrator_->InflightRoutes()) {
-    for (size_t i = 0; i < setups_.size(); ++i) {
-      const ClusterVmLocation& loc = locations_[i];
-      if (loc.host == route.src_host && loc.index == route.src_vm) {
-        const uint64_t share = FmemShareFor(setups_[i]);
-        committed[static_cast<size_t>(route.dst_host)].fmem_pages += share;
-        committed[static_cast<size_t>(route.dst_host)].far_pages += PagesFor(setups_[i]) - share;
-        break;
-      }
-    }
+  // In-flight migrations come from the migrator's ledger, charged at Begin
+  // and released exactly once when a migration retires — not recomputed
+  // from the routes, so an aborted migration's claim cannot linger.
+  const std::vector<LiveMigrator::Commitment>& inflight = migrator_->DstCommitments();
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    committed[h].fmem_pages += inflight[h].fmem_pages;
+    committed[h].far_pages += inflight[h].far_pages;
   }
   std::vector<HostLoad> loads(hosts_.size());
   for (size_t h = 0; h < hosts_.size(); ++h) {
@@ -245,7 +244,8 @@ void Cluster::MaybeEvacuate(Nanos now, int64_t barrier) {
       ++evac_no_destination_;
       continue;
     }
-    migrator_->Begin(h, victim, dst, now);
+    migrator_->Begin(h, victim, dst,
+                     LiveMigrator::Commitment{victim_fmem, victim_pages - victim_fmem}, now);
   }
 }
 
@@ -337,6 +337,10 @@ void Cluster::Run() {
     PlaceDue(t);
     if (setup_.migration.evacuate_on_shrink) {
       MaybeEvacuate(t, barrier);
+    }
+    if (check_invariants_) {
+      const InvariantReport report = migrator_->AuditCommitments();
+      DEMETER_CHECK(report.ok()) << "commitment conservation: " << report.Join();
     }
   }
 

@@ -89,6 +89,7 @@ class Cluster {
   // Trace events from every host, concatenated in host order.
   std::vector<TraceEvent> TakeTrace();
 
+  const LiveMigrator& migrator() const { return *migrator_; }
   const LiveMigrator::Stats& migration_stats() const { return migrator_->stats(); }
   const PlacementController::Stats& placement_stats() const { return placer_.stats(); }
   uint64_t evacuations_without_destination() const { return evac_no_destination_; }
@@ -130,6 +131,7 @@ class Cluster {
   uint64_t placement_fallbacks_ = 0;
   uint64_t evac_no_destination_ = 0;
   uint64_t deferred_placements_ = 0;
+  bool check_invariants_ = false;  // Mirrors config.check_invariants.
   bool ran_ = false;
 };
 

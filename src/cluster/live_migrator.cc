@@ -10,7 +10,9 @@ namespace demeter {
 
 LiveMigrator::LiveMigrator(const MigrationConfig& config,
                            std::vector<std::unique_ptr<Machine>>& hosts, FaultInjector* faults)
-    : config_(config), hosts_(hosts), faults_(faults) {}
+    : config_(config), hosts_(hosts), faults_(faults) {
+  dst_committed_.resize(hosts_.size());
+}
 
 std::vector<LiveMigrator::Completion> LiveMigrator::InflightRoutes() const {
   std::vector<Completion> routes;
@@ -58,7 +60,35 @@ LiveMigrator::RoundResult LiveMigrator::CopyRound(Machine& src, int vm_idx, bool
   return round;
 }
 
-bool LiveMigrator::Begin(int src_host, int src_vm, int dst_host, Nanos now) {
+void LiveMigrator::ReleaseCommitment(const Inflight& m) {
+  Commitment& held = dst_committed_[static_cast<size_t>(m.dst_host)];
+  DEMETER_CHECK_GE(held.fmem_pages, m.commitment.fmem_pages)
+      << "commitment double-release (fmem) toward host " << m.dst_host;
+  DEMETER_CHECK_GE(held.far_pages, m.commitment.far_pages)
+      << "commitment double-release (far) toward host " << m.dst_host;
+  held.fmem_pages -= m.commitment.fmem_pages;
+  held.far_pages -= m.commitment.far_pages;
+}
+
+InvariantReport LiveMigrator::AuditCommitments() const {
+  std::vector<InvariantChecker::CommitmentEntry> inflight;
+  inflight.reserve(inflight_.size());
+  for (const Inflight& m : inflight_) {
+    inflight.push_back({m.dst_host, m.commitment.fmem_pages, m.commitment.far_pages});
+  }
+  std::vector<InvariantChecker::CommitmentEntry> ledger;
+  ledger.reserve(dst_committed_.size());
+  for (size_t h = 0; h < dst_committed_.size(); ++h) {
+    ledger.push_back(
+        {static_cast<int>(h), dst_committed_[h].fmem_pages, dst_committed_[h].far_pages});
+  }
+  InvariantReport report;
+  InvariantChecker::CheckCommitmentConservation(inflight, ledger, &report);
+  return report;
+}
+
+bool LiveMigrator::Begin(int src_host, int src_vm, int dst_host, const Commitment& commitment,
+                         Nanos now) {
   DEMETER_CHECK(src_host != dst_host) << "migration must change hosts";
   Machine& src = *hosts_[static_cast<size_t>(src_host)];
   DEMETER_CHECK(src.VmActive(src_vm));
@@ -67,6 +97,7 @@ bool LiveMigrator::Begin(int src_host, int src_vm, int dst_host, Nanos now) {
   m.src_host = src_host;
   m.src_vm = src_vm;
   m.dst_host = dst_host;
+  m.commitment = commitment;
   // The abort fault is drawn once, at start, from the source host's private
   // stream — whether THIS migration fails is decided up front, the window
   // only decides when the failure surfaces.
@@ -86,6 +117,12 @@ bool LiveMigrator::Begin(int src_host, int src_vm, int dst_host, Nanos now) {
     ++stats_.aborted;
     return false;
   }
+  // The destination is charged only once the migration is actually in
+  // flight — a round-0 abort never touched the ledger, so there is nothing
+  // to release on that path.
+  Commitment& held = dst_committed_[static_cast<size_t>(dst_host)];
+  held.fmem_pages += m.commitment.fmem_pages;
+  held.far_pages += m.commitment.far_pages;
   inflight_.push_back(m);
   return true;
 }
@@ -100,6 +137,7 @@ std::vector<LiveMigrator::Completion> LiveMigrator::Advance(Nanos now) {
       // The VM reached its target (or departed) before converging; the
       // migration evaporates — its resources were torn down by FinishVm.
       ++stats_.cancelled;
+      ReleaseCommitment(m);
       continue;
     }
     const RoundResult round = CopyRound(src, m.src_vm, /*full=*/false, now);
@@ -109,8 +147,12 @@ std::vector<LiveMigrator::Completion> LiveMigrator::Advance(Nanos now) {
     m.copy_ns += round.ns;
     if (m.abort_armed && m.copy_ns >= static_cast<double>(m.abort_after)) {
       // Mid-copy failure: the source VM keeps running untouched (leak-free
-      // by construction — extraction never started).
+      // by construction — extraction never started). The destination charge
+      // is released here and only here — historically placement recomputed
+      // commitments from the in-flight routes, which let an abort's charge
+      // linger for the rest of the barrier epoch.
       ++stats_.aborted;
+      ReleaseCommitment(m);
       continue;
     }
     if (round.pages > config_.stop_copy_pages && m.rounds < config_.max_precopy_rounds) {
@@ -124,6 +166,9 @@ std::vector<LiveMigrator::Completion> LiveMigrator::Advance(Nanos now) {
     const int dst_vm = dst.AdoptVm(std::move(moved), now, round.ns);
     ++stats_.completed;
     stats_.downtime_ns_total += static_cast<uint64_t>(round.ns);
+    // The adopted VM's real allocations now carry the weight; the ledger
+    // claim is spent.
+    ReleaseCommitment(m);
     done.push_back(Completion{m.src_host, m.src_vm, m.dst_host, dst_vm});
   }
   inflight_ = std::move(keep);

@@ -67,15 +67,30 @@ class LiveMigrator {
     int dst_vm = -1;
   };
 
+  // A migration's not-yet-materialized claim against its destination host,
+  // split the way the VM's pages will land (FMEM hot-set share + far
+  // remainder). Charged to the per-destination ledger exactly once, when
+  // the migration survives its round-0 copy; released exactly once, on the
+  // single Advance() path that retires it (abort, cancel, or stop-and-copy
+  // completion — after which the destination's real allocations carry the
+  // weight). Release underflow — the double-release that would quietly
+  // inflate reported headroom — aborts.
+  struct Commitment {
+    uint64_t fmem_pages = 0;
+    uint64_t far_pages = 0;
+  };
+
   // `hosts` outlives the migrator; `faults` may be null (no abort fault).
   LiveMigrator(const MigrationConfig& config, std::vector<std::unique_ptr<Machine>>& hosts,
                FaultInjector* faults);
 
   // Starts migrating `src_vm` (active on `src_host`) toward `dst_host`,
-  // performing the round-0 full copy at `now`. Returns false when the armed
-  // abort fault killed the migration during round 0 (counted as started +
-  // aborted; the source VM is untouched).
-  bool Begin(int src_host, int src_vm, int dst_host, Nanos now);
+  // performing the round-0 full copy at `now`; `commitment` is the claim
+  // charged against the destination while the migration is in flight.
+  // Returns false when the armed abort fault killed the migration during
+  // round 0 (counted as started + aborted; the source VM is untouched and
+  // the destination is never charged).
+  bool Begin(int src_host, int src_vm, int dst_host, const Commitment& commitment, Nanos now);
 
   // Runs one pre-copy round for every in-flight migration at barrier time
   // `now`, resolving stop-and-copy / abort / cancellation. Returns the
@@ -84,9 +99,17 @@ class LiveMigrator {
 
   int inflight() const { return static_cast<int>(inflight_.size()); }
   // Source/destination route of every in-flight migration (dst_vm == -1:
-  // the destination index exists only after stop-and-copy). The cluster
-  // counts these as commitments against the destination's headroom.
+  // the destination index exists only after stop-and-copy).
   std::vector<Completion> InflightRoutes() const;
+  // Per-destination-host ledger of in-flight commitments (indexed by host).
+  // This — not a route scan — is what the cluster charges against each
+  // destination's headroom, so a charge/release imbalance is immediately
+  // visible to placement.
+  const std::vector<Commitment>& DstCommitments() const { return dst_committed_; }
+  // Read-only conservation audit: recomputes per-destination sums from the
+  // in-flight list and reports every host where the ledger disagrees (which
+  // covers the nothing-in-flight-but-nonzero-ledger leak).
+  InvariantReport AuditCommitments() const;
   bool Migrating(int host, int vm) const;
   const Stats& stats() const { return stats_; }
 
@@ -101,7 +124,11 @@ class LiveMigrator {
     double copy_ns = 0.0;  // Cumulative pre-copy cost (abort clock).
     bool abort_armed = false;
     Nanos abort_after = 0;
+    Commitment commitment;  // Held against dst_host while in flight.
   };
+
+  // The exactly-once release (abort / cancel / completion paths).
+  void ReleaseCommitment(const Inflight& m);
 
   // Copies the current dirty set (or, when `full`, every EPT-backed page)
   // behind a full TLB flush, clearing D bits; charges the cost to the source
@@ -116,6 +143,7 @@ class LiveMigrator {
   std::vector<std::unique_ptr<Machine>>& hosts_;
   FaultInjector* faults_;
   std::vector<Inflight> inflight_;
+  std::vector<Commitment> dst_committed_;  // Indexed by destination host.
   Stats stats_;
 };
 

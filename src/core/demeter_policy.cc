@@ -60,7 +60,7 @@ void DemeterPolicy::Attach(Vm& vm, GuestProcess& process, Nanos start) {
     });
   } else {
     // Ablation: HeMem/Memtis-style dedicated polling kthread.
-    vm.host().events().Schedule(start + config_.poll_period,
+    vm.host().ScheduleVmEvent(vm.id(), start + config_.poll_period,
                                 [this, alive = alive_](Nanos fire) {
                                   if (*alive) {
                                     RunPoll(fire);
@@ -87,7 +87,7 @@ void DemeterPolicy::Attach(Vm& vm, GuestProcess& process, Nanos start) {
                            ? config_.degradation.host_round_period
                            : 3 * watchdog_period_;
   if (watchdog_armed_) {
-    vm.host().events().Schedule(start + watchdog_period_, [this, alive = alive_](Nanos fire) {
+    vm.host().ScheduleVmEvent(vm.id(), start + watchdog_period_, [this, alive = alive_](Nanos fire) {
       if (*alive) {
         RunWatchdog(fire);
       }
@@ -111,7 +111,7 @@ void DemeterPolicy::RunPoll(Nanos now) {
   }
   vm_->vcpu(0).clock_ns += cost;
   vm_->mgmt_account().Charge(TmmStage::kTracking, static_cast<Nanos>(cost));
-  vm_->host().events().Schedule(now + config_.poll_period, [this, alive = alive_](Nanos fire) {
+  vm_->host().ScheduleVmEvent(vm_->id(), now + config_.poll_period, [this, alive = alive_](Nanos fire) {
     if (*alive) {
       RunPoll(fire);
     }
@@ -219,7 +219,7 @@ void DemeterPolicy::RunEpoch(Nanos now) {
     if (crashed || fault->InStallWindow(now)) {
       ++epochs_deferred_;
       const Nanos resume = crashed ? fault->CrashWindowEnd(now) : fault->StallWindowEnd(now);
-      vm_->host().events().Schedule(resume, [this, alive = alive_](Nanos fire) {
+      vm_->host().ScheduleVmEvent(vm_->id(), resume, [this, alive = alive_](Nanos fire) {
         if (*alive) {
           RunEpoch(fire);
         }
@@ -318,7 +318,7 @@ void DemeterPolicy::RunWatchdog(Nanos now) {
     HostManageRound(now);
     next_host_round_ = now + host_round_period_;
   }
-  vm_->host().events().Schedule(now + watchdog_period_, [this, alive = alive_](Nanos fire) {
+  vm_->host().ScheduleVmEvent(vm_->id(), now + watchdog_period_, [this, alive = alive_](Nanos fire) {
     if (*alive) {
       RunWatchdog(fire);
     }
@@ -555,7 +555,7 @@ void DemeterPolicy::ScheduleNext(Nanos now) {
   if (stopped_) {
     return;
   }
-  vm_->host().events().Schedule(now + config_.range.epoch_length,
+  vm_->host().ScheduleVmEvent(vm_->id(), now + config_.range.epoch_length,
                                 [this, alive = alive_](Nanos fire) {
                                   if (*alive) {
                                     RunEpoch(fire);

@@ -27,6 +27,13 @@
 //      slot count equals its mapped far-tier pages (so a departed VM holds
 //      zero slots after ReclaimVm); the device's total slot count equals the
 //      far tier's used frames — any excess is a leaked slot.
+//   9. Migration-commitment conservation (fleet-level, checked via
+//      CheckCommitmentConservation): for every destination host, the
+//      migrator's commitment ledger equals the sum of the in-flight
+//      migrations' claims toward that host. A charge without a matching
+//      release (aborted migration left on the books) or a double release
+//      shows up as a mismatch — including the degenerate leak of a nonzero
+//      ledger with nothing in flight.
 //
 // The audit is strictly read-only (const page-table walks; never the
 // A/D-clearing scan) and runs between events, so it cannot perturb the
@@ -69,6 +76,22 @@ class InvariantChecker {
   // Audits every VM of `hyper`. `views` is indexed by VM id; missing
   // entries mean "no provisioner holdings" (static provisioning).
   static InvariantReport Check(Hypervisor& hyper, const std::vector<VmView>& views);
+
+  // One destination-host commitment tuple for invariant 9. Plain data:
+  // the fault layer audits what the migrator reports without depending on
+  // cluster types.
+  struct CommitmentEntry {
+    int dst_host = -1;
+    uint64_t fmem_pages = 0;
+    uint64_t far_pages = 0;
+  };
+
+  // Invariant 9: appends a violation to `report` for every host where the
+  // `ledger` entry disagrees with the per-destination sums recomputed from
+  // `inflight`, and for every in-flight destination the ledger omits.
+  static void CheckCommitmentConservation(const std::vector<CommitmentEntry>& inflight,
+                                          const std::vector<CommitmentEntry>& ledger,
+                                          InvariantReport* report);
 };
 
 }  // namespace demeter

@@ -39,6 +39,10 @@ void OvercommitScheduler::Tick(Nanos now) {
   });
 }
 
+bool OvercommitScheduler::Resident(int vm) const {
+  return resident_ ? resident_(vm) : !hyper_->vm(vm).departed();
+}
+
 void OvercommitScheduler::Arbitrate(Nanos now) {
   if (!spill_) {
     return;
@@ -56,10 +60,13 @@ void OvercommitScheduler::Arbitrate(Nanos now) {
     // Pressure: squeeze the VM whose fast-node residency is the furthest
     // over its fair share. Residency is the guest's node-0 used pages —
     // the double balloon acts on guest nodes, so that is the currency the
-    // arbitration trades in.
+    // arbitration trades in. The fair-share divisor is recomputed over the
+    // VMs resident *right now*, every tick: under lifecycle churn (deferred
+    // boots, departures, ExtractVm/AdoptVm) a stale count would let absent
+    // VMs dilute everyone else's share.
     uint64_t active = 0;
     for (int i = 0; i < hyper_->num_vms(); ++i) {
-      if (!hyper_->vm(i).departed()) {
+      if (Resident(i)) {
         ++active;
       }
     }
@@ -80,7 +87,7 @@ void OvercommitScheduler::Arbitrate(Nanos now) {
     uint64_t victim_excess = 0;
     for (int i = 0; i < hyper_->num_vms(); ++i) {
       Vm& vm = hyper_->vm(i);
-      if (vm.departed()) {
+      if (!Resident(i)) {
         continue;
       }
       const uint64_t resident = vm.kernel().node(0).used_pages();
@@ -114,7 +121,7 @@ void OvercommitScheduler::Arbitrate(Nanos now) {
     int victim = -1;
     uint64_t victim_taken = 0;
     for (int i = 0; i < hyper_->num_vms(); ++i) {
-      if (hyper_->vm(i).departed()) {
+      if (!Resident(i)) {
         continue;
       }
       const uint64_t taken = taken_pages_[static_cast<size_t>(i)];

@@ -70,6 +70,15 @@ class OvercommitScheduler {
   // no double balloon (the scheduler then tries the next candidate).
   using SpillRequest = std::function<bool(int vm, int64_t delta_pages, Nanos now)>;
 
+  // True when `vm` currently holds resources on this host and should count
+  // toward (and be squeezable for) the fair share. The harness wires
+  // "booted and not departed": a deferred-boot VM that has not booted yet
+  // holds no pages and must not dilute the divisor; a VM that finished but
+  // still resides keeps its share (it still holds its pages); departed /
+  // extracted VMs hold nothing. Unset, the scheduler falls back to its old
+  // `!departed()` test — which wrongly counts unbooted VMs.
+  using ResidentFn = std::function<bool(int vm)>;
+
   OvercommitScheduler(Hypervisor* hyper, const OvercommitConfig& config);
   ~OvercommitScheduler();
 
@@ -77,6 +86,7 @@ class OvercommitScheduler {
   const Stats& stats() const { return stats_; }
 
   void set_spill_request(SpillRequest spill) { spill_ = std::move(spill); }
+  void set_resident(ResidentFn resident) { resident_ = std::move(resident); }
 
   // Arms the periodic tick (first fires one period in, after boot-time
   // provisioning). No-op when disabled or no spill callback is wired.
@@ -90,10 +100,12 @@ class OvercommitScheduler {
 
  private:
   void Tick(Nanos now);
+  bool Resident(int vm) const;
 
   Hypervisor* hyper_;
   OvercommitConfig config_;
   SpillRequest spill_;
+  ResidentFn resident_;
   Stats stats_;
   // Balloon pages the scheduler itself has taken per VM (grows on spill,
   // shrinks on refill); refills never exceed what was taken, so the

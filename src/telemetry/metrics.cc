@@ -252,29 +252,53 @@ bool MetricRegistry::Contains(std::string_view name) const {
   return cells_.find(name) != cells_.end();
 }
 
+MetricSample MetricRegistry::SampleCell(const std::string& name, const Cell& cell) {
+  MetricSample sample;
+  sample.name = name;
+  sample.kind = cell.kind;
+  switch (cell.kind) {
+    case MetricKind::kCounter:
+      sample.counter = cell.fn_counter                   ? cell.fn_counter()
+                       : cell.ext_counter != nullptr     ? *cell.ext_counter
+                                                         : cell.counter;
+      break;
+    case MetricKind::kGauge:
+      sample.gauge = cell.fn_gauge                 ? cell.fn_gauge()
+                     : cell.ext_gauge != nullptr   ? *cell.ext_gauge
+                                                   : cell.gauge;
+      break;
+    case MetricKind::kDistribution: {
+      const Histogram* h =
+          cell.ext_distribution != nullptr ? cell.ext_distribution : cell.distribution.get();
+      sample.distribution = DistributionSummary::FromHistogram(*h);
+      break;
+    }
+  }
+  return sample;
+}
+
 MetricSnapshot MetricRegistry::Snapshot() const {
   std::vector<MetricSample> samples;
   samples.reserve(cells_.size());
   for (const auto& [name, cell] : cells_) {
-    MetricSample sample;
-    sample.name = name;
-    sample.kind = cell.kind;
-    switch (cell.kind) {
-      case MetricKind::kCounter:
-        sample.counter = cell.fn_counter                   ? cell.fn_counter()
-                         : cell.ext_counter != nullptr     ? *cell.ext_counter
-                                                           : cell.counter;
-        break;
-      case MetricKind::kGauge:
-        sample.gauge = cell.fn_gauge                 ? cell.fn_gauge()
-                       : cell.ext_gauge != nullptr   ? *cell.ext_gauge
-                                                     : cell.gauge;
-        break;
-      case MetricKind::kDistribution: {
-        const Histogram* h =
-            cell.ext_distribution != nullptr ? cell.ext_distribution : cell.distribution.get();
-        sample.distribution = DistributionSummary::FromHistogram(*h);
-        break;
+    samples.push_back(SampleCell(name, cell));
+  }
+  return MetricSnapshot(std::move(samples));
+}
+
+MetricSnapshot MetricRegistry::SnapshotPrefix(std::string_view prefix, bool strip) const {
+  std::vector<MetricSample> samples;
+  for (auto it = cells_.lower_bound(prefix); it != cells_.end(); ++it) {
+    const std::string_view name = it->first;
+    if (name.substr(0, prefix.size()) != prefix) {
+      break;  // Sorted map: past the last name sharing the prefix.
+    }
+    MetricSample sample = SampleCell(it->first, it->second);
+    if (strip) {
+      sample.name.erase(0, prefix.size());
+      // Also drop a separator left at the front ("vm0/" given prefix "vm0").
+      if (!sample.name.empty() && sample.name.front() == '/') {
+        sample.name.erase(0, 1);
       }
     }
     samples.push_back(std::move(sample));

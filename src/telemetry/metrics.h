@@ -109,6 +109,11 @@ class MetricRegistry {
   MetricRegistry() = default;
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
+  // Movable so sharded owners can keep registries in contiguous storage.
+  // Cell addresses are map nodes, so references handed out before the move
+  // stay valid afterwards.
+  MetricRegistry(MetricRegistry&&) = default;
+  MetricRegistry& operator=(MetricRegistry&&) = default;
 
   // ---- Owned metrics (registry is the storage) -------------------------
   // Get-or-create; the returned reference is stable for the registry's
@@ -133,6 +138,12 @@ class MetricRegistry {
   // name-sorted snapshot.
   MetricSnapshot Snapshot() const;
 
+  // Snapshot of only the metrics whose name starts with `prefix`, read via a
+  // range scan over the sorted map — O(matches + log n), never the whole
+  // registry. When `strip` the prefix (and a following '/') is removed from
+  // the returned names. Equivalent to Snapshot().FilterPrefix(prefix, strip).
+  MetricSnapshot SnapshotPrefix(std::string_view prefix, bool strip = true) const;
+
  private:
   struct Cell {
     MetricKind kind = MetricKind::kCounter;
@@ -149,6 +160,8 @@ class MetricRegistry {
   };
 
   Cell& NewCell(std::string_view name, MetricKind kind);
+  // Reads one cell (through its registered view where bound) into a sample.
+  static MetricSample SampleCell(const std::string& name, const Cell& cell);
 
   // std::map: stable cell addresses (node-based) and name-sorted iteration,
   // which is what makes snapshots deterministic.

@@ -249,6 +249,41 @@ TEST(ClusterTest, SnapshotNamespacesHostsAndRollup) {
 
 // ------------------------------------------------ Migration resolutions
 
+// After Run the fleet is drained: every in-flight migration resolved, so
+// every destination's commitment ledger must be back to zero. A nonzero
+// entry here is a charge whose release was skipped (the headroom leak the
+// per-destination ledger exists to make impossible).
+void ExpectNoResidualCommitments(const Cluster& cluster) {
+  const std::vector<LiveMigrator::Commitment>& held = cluster.migrator().DstCommitments();
+  ASSERT_EQ(held.size(), static_cast<size_t>(cluster.num_hosts()));
+  for (size_t h = 0; h < held.size(); ++h) {
+    EXPECT_EQ(held[h].fmem_pages, 0u) << "host " << h;
+    EXPECT_EQ(held[h].far_pages, 0u) << "host " << h;
+  }
+  EXPECT_TRUE(cluster.migrator().AuditCommitments().ok());
+}
+
+TEST(CommitmentConservationTest, LedgerMismatchesAreReported) {
+  // Invariant 9 over plain data: ledger == per-destination in-flight sums,
+  // both directions.
+  InvariantReport balanced;
+  InvariantChecker::CheckCommitmentConservation({{1, 10, 20}, {1, 5, 0}, {2, 7, 7}},
+                                                {{0, 0, 0}, {1, 15, 20}, {2, 7, 7}}, &balanced);
+  EXPECT_TRUE(balanced.ok()) << balanced.Join();
+
+  // An aborted migration's charge left on the books: nothing in flight but
+  // the ledger still holds pages.
+  InvariantReport stale;
+  InvariantChecker::CheckCommitmentConservation({}, {{0, 0, 0}, {1, 15, 20}}, &stale);
+  ASSERT_EQ(stale.violations.size(), 1u);
+  EXPECT_NE(stale.violations[0].find("host1"), std::string::npos);
+
+  // The mirror leak: an in-flight claim the ledger never charged.
+  InvariantReport missing;
+  InvariantChecker::CheckCommitmentConservation({{1, 5, 5}}, {{0, 0, 0}}, &missing);
+  EXPECT_EQ(missing.violations.size(), 1u);
+}
+
 TEST(ClusterTest, EvacuationCompletesAndConservesVms) {
   // Host 0 shrinks; its VMs must be pre-copied onto host 1 and finish
   // there, with the lifecycle ledger balancing exactly.
@@ -283,6 +318,7 @@ TEST(ClusterTest, EvacuationCompletesAndConservesVms) {
     EXPECT_GE(cluster.location(i).index, 0);
   }
   EXPECT_EQ(arrivals, stats.completed);
+  ExpectNoResidualCommitments(cluster);
 }
 
 TEST(ClusterTest, AbortedMigrationLeavesVmOnSource) {
@@ -315,6 +351,9 @@ TEST(ClusterTest, AbortedMigrationLeavesVmOnSource) {
   }
   EXPECT_GT(cluster.SnapshotMetrics().CounterValue("cluster/fault/live_migrate_fail_injected"),
             0u);
+  // The regression this pins: aborts released their destination charge
+  // exactly once, so no stale commitment inflates placement's view.
+  ExpectNoResidualCommitments(cluster);
 }
 
 TEST(ClusterTest, DepartedMidMigrationIsCancelledCleanly) {
@@ -345,6 +384,7 @@ TEST(ClusterTest, DepartedMidMigrationIsCancelledCleanly) {
   for (int i = 0; i < cluster.num_vms(); ++i) {
     EXPECT_GE(cluster.result(i).transactions, 400000u) << "vm " << i;
   }
+  ExpectNoResidualCommitments(cluster);
 }
 
 // ----------------------------------------------------- Spec hash gating

@@ -137,5 +137,61 @@ TEST(DeterminismFaulted, FaultSeedChangesDecisions) {
   EXPECT_NE(a.elapsed_s, b.elapsed_s);
 }
 
+// Sharding is an ownership structure, not a schedule: the shard count must
+// be invisible down to the last byte of the metrics JSON, including under
+// lifecycle churn (deferred boots, departures) and faults. This is the
+// guarantee that lets bench/dense_host pick shards for locality while every
+// pinned baseline stays valid.
+std::string ShardedMetricsJson(int shards, int vms, uint64_t seed,
+                               const std::string& fault_spec = "") {
+  MachineConfig host;
+  host.tiers = {TierSpec::LocalDram(2 * kMiB * static_cast<uint64_t>(vms)),
+                TierSpec::Pmem(12 * kMiB * static_cast<uint64_t>(vms))};
+  host.seed = seed;
+  host.shards = shards;
+  if (!fault_spec.empty()) {
+    const auto plan = FaultPlan::Parse(fault_spec);
+    EXPECT_TRUE(plan.has_value()) << fault_spec;
+    host.faults = *plan;
+  }
+  Machine machine(host);
+  for (int v = 0; v < vms; ++v) {
+    VmSetup setup;
+    setup.vm.total_memory_bytes = 8 * kMiB;
+    setup.vm.num_vcpus = 2;
+    setup.workload = "gups";
+    setup.footprint_bytes = 6 * kMiB;
+    setup.target_transactions = 4000;
+    setup.policy = v % 2 == 0 ? PolicyKind::kDemeter : PolicyKind::kTpp;
+    setup.policy_period = 15 * kMillisecond;
+    setup.demeter.range.epoch_length = 10 * kMillisecond;
+    setup.demeter.sample_period = 97;
+    // Churn: every fourth VM boots late (crossing shard refresh paths),
+    // every third departs on finish (exercising DeactivateVm mid-run).
+    if (v % 4 == 3) {
+      setup.boot_at = 5 * kMillisecond * static_cast<Nanos>(1 + v % 3);
+    }
+    setup.depart_on_finish = v % 3 == 0;
+    machine.AddVm(setup);
+  }
+  machine.Run();
+  std::string json;
+  machine.SnapshotMetrics().AppendJson(json);
+  EXPECT_FALSE(json.empty());
+  return json;
+}
+
+TEST(DeterminismSharded, ShardCountIsByteInvisibleAt64Vms) {
+  const std::string one = ShardedMetricsJson(1, 64, 42);
+  EXPECT_EQ(one, ShardedMetricsJson(4, 64, 42));
+  EXPECT_EQ(one, ShardedMetricsJson(8, 64, 42));
+}
+
+TEST(DeterminismSharded, ShardCountIsByteInvisibleUnderFaults) {
+  const std::string one = ShardedMetricsJson(1, 64, 42, kFaultSpec);
+  EXPECT_EQ(one, ShardedMetricsJson(4, 64, 42, kFaultSpec));
+  EXPECT_EQ(one, ShardedMetricsJson(8, 64, 42, kFaultSpec));
+}
+
 }  // namespace
 }  // namespace demeter

@@ -7,6 +7,7 @@
 #include "src/fault/invariant_checker.h"
 #include "src/harness/machine.h"
 #include "src/hyper/hypervisor.h"
+#include "src/hyper/overcommit.h"
 #include "src/hyper/vm.h"
 #include "src/mem/host_memory.h"
 #include "src/sim/event_queue.h"
@@ -369,6 +370,99 @@ TEST(HyperFallbackAccounting, FallbacksCountOnlySuccessfulSpills) {
   EXPECT_EQ(hyper.PopulateEpt(vm, 9), kInvalidFrame);
   EXPECT_EQ(hyper.stats().host_tier_fallbacks, 4u);
   EXPECT_EQ(hyper.stats().ept_populates, 8u);
+}
+
+// ------------------------------------------------- Overcommit arbitration
+
+// Builds a host whose 4 MiB FMEM tier (1024 frames) is fully backed by
+// VM 0's node-0 pages, so every Arbitrate pass sees free_frac == 0 — well
+// under the low watermark — and the fair-share divisor is the only thing
+// deciding whether VM 0 looks over budget.
+struct OvercommitRig {
+  OvercommitRig()
+      : memory({TierSpec::LocalDram(4 * kMiB), TierSpec::Pmem(64 * kMiB)}),
+        hyper(&memory, &events) {}
+
+  Vm& AddVm(uint64_t touch_pages) {
+    VmConfig config;
+    config.id = hyper.num_vms();
+    config.num_vcpus = 1;
+    config.total_memory_bytes = 8 * kMiB;
+    config.fmem_ratio = 0.5;   // node 0 holds 1024 present pages.
+    config.cache_hit_rate = 0;  // Every touch faults: residency == touches.
+    Vm& vm = hyper.CreateVm(config);
+    if (touch_pages > 0) {
+      GuestProcess& proc = vm.kernel().CreateProcess();
+      const uint64_t base = proc.HeapAlloc(touch_pages * kPageSize);
+      for (uint64_t i = 0; i < touch_pages; ++i) {
+        vm.ExecuteAccess(0, proc, base + i * kPageSize, true);
+      }
+    }
+    return vm;
+  }
+
+  HostMemory memory;
+  EventQueue events;
+  Hypervisor hyper;
+};
+
+TEST(OvercommitArbitration, UnbootedVmsDoNotDiluteFairShare) {
+  // Regression: the divisor counted every non-departed VM, so two
+  // not-yet-booted tenants (zero pages held) shrank VM 0's fair share from
+  // the full tier to a third of it and the scheduler squeezed a VM that was
+  // using exactly what it was entitled to.
+  OvercommitRig rig;
+  rig.AddVm(1024);  // VM 0 backs the whole tier.
+  rig.AddVm(0);     // Deferred boots: created, not booted, holding nothing.
+  rig.AddVm(0);
+  OvercommitScheduler scheduler(&rig.hyper, OvercommitConfig{});
+  std::vector<int> squeezed;
+  scheduler.set_spill_request([&](int vm, int64_t delta, Nanos) {
+    if (delta > 0) {
+      squeezed.push_back(vm);
+    }
+    return true;
+  });
+
+  // Old behaviour (no resident predicate): fair = 1024/3, VM 0 is "over".
+  scheduler.Arbitrate(0);
+  ASSERT_EQ(squeezed.size(), 1u);
+  EXPECT_EQ(squeezed[0], 0);
+  EXPECT_EQ(scheduler.stats().spill_requests, 1u);
+
+  // Fixed behaviour: only VM 0 is resident, fair = the whole tier, and a
+  // VM at exactly its fair share must not be squeezed.
+  scheduler.set_resident([](int vm) { return vm == 0; });
+  scheduler.Arbitrate(kMillisecond);
+  EXPECT_EQ(squeezed.size(), 1u) << "no new spill once the divisor is honest";
+  EXPECT_EQ(scheduler.stats().no_victim, 1u);
+}
+
+TEST(OvercommitArbitration, DepartureMidRunRestoresFairShare) {
+  // The divisor must be recomputed over live VMs every tick: after VM 1
+  // departs, VM 0's fair share doubles and the pressure on it stops, even
+  // though the tier is still below the low watermark.
+  OvercommitRig rig;
+  rig.AddVm(600);  // VM 0: over a half-tier share, under a full-tier one.
+  rig.AddVm(424);  // VM 1 takes the remaining frames.
+  OvercommitScheduler scheduler(&rig.hyper, OvercommitConfig{});
+  bool vm1_departed = false;
+  scheduler.set_resident([&](int vm) { return vm == 0 || !vm1_departed; });
+  uint64_t asked = 0;
+  scheduler.set_spill_request([&](int vm, int64_t delta, Nanos) {
+    EXPECT_EQ(vm, 0) << "only the over-share VM may be squeezed";
+    asked += static_cast<uint64_t>(delta);
+    return true;
+  });
+
+  scheduler.Arbitrate(0);  // fair = 512: VM 0 is 88 pages over.
+  EXPECT_EQ(scheduler.stats().spill_requests, 1u);
+  EXPECT_EQ(asked, 88u);
+
+  vm1_departed = true;  // Mid-run churn.
+  scheduler.Arbitrate(kMillisecond);  // fair = 1024: VM 0 is under.
+  EXPECT_EQ(scheduler.stats().spill_requests, 1u);
+  EXPECT_EQ(scheduler.stats().no_victim, 1u);
 }
 
 // ----------------------------------------------------- VM lifecycle churn

@@ -243,6 +243,69 @@ TEST(EventQueue, CallbackReceivesScheduledTime) {
   EXPECT_EQ(seen, 42u);
 }
 
+// The multi-lane queue must be order-equivalent to a single heap: the fire
+// sequence is (when, global schedule order) regardless of which lane each
+// event was scheduled on.
+TEST(EventQueue, MultiLaneFiresInGlobalScheduleOrder) {
+  EventQueue multi(4);
+  EventQueue single;
+  std::vector<int> multi_order;
+  std::vector<int> single_order;
+  const struct {
+    int lane;
+    Nanos when;
+  } plan[] = {{3, 50}, {0, 10}, {2, 10}, {1, 30}, {0, 30}, {2, 30}, {3, 10}, {1, 50}};
+  int tag = 0;
+  for (const auto& p : plan) {
+    multi.ScheduleOn(p.lane, p.when, [&multi_order, t = tag](Nanos) { multi_order.push_back(t); });
+    single.Schedule(p.when, [&single_order, t = tag](Nanos) { single_order.push_back(t); });
+    ++tag;
+  }
+  EXPECT_EQ(multi.RunUntil(100), 8u);
+  EXPECT_EQ(single.RunUntil(100), 8u);
+  EXPECT_EQ(multi_order, single_order);
+  // Same time, different lanes: schedule order wins (tags 1, 2, 6 at t=10).
+  EXPECT_EQ(multi_order[0], 1);
+  EXPECT_EQ(multi_order[1], 2);
+  EXPECT_EQ(multi_order[2], 6);
+}
+
+TEST(EventQueue, TakeFiredLanesReportsAndClears) {
+  EventQueue q(4);
+  q.ScheduleOn(0, 10, [](Nanos) {});
+  q.ScheduleOn(2, 10, [](Nanos) {});
+  q.ScheduleOn(3, 99, [](Nanos) {});
+  q.RunUntil(20);
+  EXPECT_EQ(q.TakeFiredLanes(), 0b0101u);  // Lanes 0 and 2 fired.
+  EXPECT_EQ(q.TakeFiredLanes(), 0u) << "take must clear the mask";
+  q.RunUntil(99);
+  EXPECT_EQ(q.TakeFiredLanes(), 0b1000u);
+}
+
+TEST(EventQueue, MultiLaneCancelIsLaneAgnostic) {
+  EventQueue q(3);
+  int fired = 0;
+  const uint64_t a = q.ScheduleOn(2, 10, [&](Nanos) { ++fired; });
+  q.ScheduleOn(1, 20, [&](Nanos) { ++fired; });
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.RunUntil(100), 1u);
+  EXPECT_EQ(fired, 1);
+  // A cancelled lane top must not set that lane's fired bit.
+  EXPECT_EQ(q.TakeFiredLanes(), 0b010u);
+}
+
+TEST(EventQueue, MultiLaneNextEventTimeSpansLanes) {
+  EventQueue q(3);
+  EXPECT_EQ(q.NextEventTime(), EventQueue::kNoEvent);
+  q.ScheduleOn(2, 70, [](Nanos) {});
+  EXPECT_EQ(q.NextEventTime(), 70u);
+  q.ScheduleOn(1, 40, [](Nanos) {});
+  EXPECT_EQ(q.NextEventTime(), 40u);
+  q.RunUntil(40);
+  EXPECT_EQ(q.NextEventTime(), 70u);
+}
+
 TEST(CpuAccount, ChargesPerStage) {
   CpuAccount acc;
   acc.Charge(TmmStage::kTracking, 100);

@@ -31,6 +31,82 @@ TEST(Json, KeyValueForms) {
   EXPECT_EQ(out, "{\"s\":\"v\",\"u\":18446744073709551615,\"f\":0.25}");
 }
 
+// ---- Histogram merge edge cases ---------------------------------------------
+
+TEST(HistogramMerge, IntoEmptyAdoptsRangeExactly) {
+  // min_ initializes to ~0ULL; merging a populated histogram into a fresh
+  // one must adopt the source's true min/max instead of keeping sentinels.
+  Histogram src;
+  src.Record(100);
+  src.Record(900000);
+  Histogram dst;
+  dst.Merge(src);
+  EXPECT_EQ(dst.count(), 2u);
+  EXPECT_EQ(dst.sum(), 900100u);
+  EXPECT_EQ(dst.min(), 100u);
+  EXPECT_EQ(dst.max(), 900000u);
+  EXPECT_EQ(dst.Percentile(0), 100u);
+  EXPECT_LE(dst.Percentile(100), 900000u) << "percentiles clamp to recorded range";
+}
+
+TEST(HistogramMerge, EmptySourceIsIdentity) {
+  // The mirror case: an empty source (min_ still ~0ULL, max_ 0) must not
+  // clobber the destination's range or counts.
+  Histogram dst;
+  dst.Record(50);
+  dst.Record(7000);
+  const Histogram empty;
+  dst.Merge(empty);
+  EXPECT_EQ(dst.count(), 2u);
+  EXPECT_EQ(dst.sum(), 7050u);
+  EXPECT_EQ(dst.min(), 50u);
+  EXPECT_EQ(dst.max(), 7000u);
+}
+
+TEST(HistogramMerge, BothEmptyStaysEmpty) {
+  Histogram dst;
+  dst.Merge(Histogram{});
+  EXPECT_EQ(dst.count(), 0u);
+  EXPECT_EQ(dst.min(), 0u) << "empty histogram reports 0, not the sentinel";
+  EXPECT_EQ(dst.max(), 0u);
+  EXPECT_EQ(dst.Percentile(50), 0u);
+}
+
+TEST(HistogramMerge, DisjointRangesMatchSequentialRecords) {
+  // Non-overlapping value ranges: merge must be exactly equivalent to
+  // having recorded both streams into one histogram (buckets are globally
+  // log-linear indexed, so index-wise add is exact, not approximate).
+  Histogram low;
+  Histogram high;
+  Histogram combined;
+  for (uint64_t v = 1; v <= 64; ++v) {
+    low.Record(v);
+    combined.Record(v);
+  }
+  for (uint64_t v = 1 << 20; v < (1 << 20) + 64; ++v) {
+    high.Record(v);
+    combined.Record(v);
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), combined.count());
+  EXPECT_EQ(low.sum(), combined.sum());
+  EXPECT_EQ(low.min(), combined.min());
+  EXPECT_EQ(low.max(), combined.max());
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_EQ(low.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramMerge, SumSaturatesInsteadOfWrapping) {
+  Histogram a;
+  Histogram b;
+  a.RecordN(~0ULL, 1);  // sum saturates at UINT64_MAX already.
+  b.Record(12345);
+  a.Merge(b);
+  EXPECT_EQ(a.sum(), ~0ULL) << "merge must saturate like RecordN";
+  EXPECT_EQ(a.count(), 2u);
+}
+
 // ---- MetricRegistry ---------------------------------------------------------
 
 TEST(MetricRegistry, OwnedCounterGaugeDistribution) {
@@ -79,6 +155,25 @@ TEST(MetricRegistry, RegisteredViewsReadThrough) {
   EXPECT_EQ(snap.CounterValue("derived"), 14u);
   EXPECT_DOUBLE_EQ(snap.Find("mem/level")->gauge, 0.5);
   EXPECT_EQ(snap.Find("walk")->distribution.count, 1u);
+}
+
+TEST(MetricRegistry, SnapshotPrefixMatchesFilteredFullSnapshot) {
+  // SnapshotPrefix reads only the matching subtree (the per-VM finish path
+  // depends on this being O(subtree), not O(registry)); its output must be
+  // byte-equivalent to the old snapshot-everything-then-filter route.
+  MetricRegistry registry;
+  registry.Counter("vm1/transactions") = 5;
+  registry.Counter("vm10/transactions") = 7;  // Shares the "vm1" prefix.
+  registry.Counter("vm2/policy/promotions") = 3;
+  registry.Gauge("vm2/level") = 0.5;
+  registry.Distribution("vm2/lat").Record(42);
+
+  const MetricSnapshot direct = registry.SnapshotPrefix("vm2/", /*strip=*/true);
+  const MetricSnapshot filtered = registry.Snapshot().FilterPrefix("vm2", true);
+  EXPECT_EQ(direct.ToJson(), filtered.ToJson());
+  EXPECT_EQ(direct.CounterValue("policy/promotions"), 3u);
+  // Prefix matching is exact: "vm1/" must not pick up "vm10/".
+  EXPECT_EQ(registry.SnapshotPrefix("vm1/", true).size(), 1u);
 }
 
 TEST(MetricRegistry, SnapshotIsNameSorted) {
