@@ -52,12 +52,16 @@ Cluster::Cluster(const MachineConfig& config, const ClusterSetup& setup)
     hosts_.push_back(std::make_unique<Machine>(host_config));
   }
   cooldown_until_.assign(hosts_.size(), 0);
-  // The cluster-scoped injector owns the migratefail site (keyed by source
-  // host, not VM); it deliberately seeds from the *cluster* seed, so the
-  // per-host machines' injectors — seeded per host — never share streams
-  // with it.
+  health_.assign(hosts_.size(), HostHealth{});
+  // The cluster-scoped injector owns the migratefail and hostfail sites
+  // (keyed by host, not VM); it deliberately seeds from the *cluster* seed,
+  // so the per-host machines' injectors — seeded per host — never share
+  // streams with it.
   if (!config.faults.empty()) {
     faults_ = std::make_unique<FaultInjector>(config.faults, config.seed);
+    for (double p : config.faults.host_fail_p) {
+      ha_active_ = ha_active_ || p > 0.0;
+    }
   }
   migrator_ = std::make_unique<LiveMigrator>(setup_.migration, hosts_, faults_.get());
 
@@ -70,9 +74,24 @@ Cluster::Cluster(const MachineConfig& config, const ClusterSetup& setup)
   placement.RegisterCounter("fallbacks", &placement_fallbacks_);
   placement.RegisterCounter("deferred", &deferred_placements_);
   scope.Sub("evacuation").RegisterCounter("no_destination", &evac_no_destination_);
+  MetricScope migration = scope.Sub("migration");
+  migration.RegisterCounter("retries", &migration_retries_);
+  migration.RegisterCounter("retry_exhausted", &migration_retries_exhausted_);
+  MetricScope ha = scope.Sub("ha");
+  ha.RegisterCounter("host_failures", &hosts_failed_);
+  ha.RegisterCounter("vms_killed", &vms_killed_);
+  ha.RegisterCounter("vms_restarted", &vms_restarted_);
+  ha.RegisterCounter("vms_lost", &vms_lost_);
+  ha.RegisterCounter("transactions_lost", &transactions_lost_);
+  ha.RegisterCounter("restart_latency_ns_total", &restart_latency_ns_total_);
+  ha.RegisterCounterFn("restart_queue_depth",
+                       [this] { return static_cast<uint64_t>(restart_queue_.size()); });
   if (faults_ != nullptr) {
     scope.Sub("fault").RegisterCounterFn("live_migrate_fail_injected", [this] {
       return faults_->total_injected(FaultSite::kLiveMigrateFail);
+    });
+    scope.Sub("fault").RegisterCounterFn("host_fail_injected", [this] {
+      return faults_->total_injected(FaultSite::kHostFail);
     });
   }
 }
@@ -136,6 +155,15 @@ std::vector<HostLoad> Cluster::Loads(const std::vector<Reservation>& reserved,
     load.carved_pages = mem.CarvedPages(kFmemTier);
     load.resident_vms = machine.NumActiveVms() + assigned_vms[h];
     load.shrinking = machine.hypervisor().TierUnderShrink(kFmemTier);
+    // Health feeds placement only while hostfail is armed: a fleet without
+    // it must make byte-identical decisions to pre-HA builds.
+    if (ha_active_) {
+      const HostHealth& health = health_[h];
+      load.down = health.down;
+      load.quarantined = !health.down && barrier_ < health.quarantine_until_barrier;
+      load.failures = health.failures;
+      load.migration_aborts = health.migration_aborts;
+    }
     // Uncommitted growth plus same-batch reservations drain each tier's
     // own share; FMEM overflow spills to far, like the first-touch
     // allocations they model.
@@ -158,20 +186,16 @@ int Cluster::PlaceVm(const VmSetup& setup, const std::vector<Reservation>& reser
   const std::vector<HostLoad> loads = Loads(reserved, assigned_vms);
   int h = placer_.PickHost(loads, PagesFor(setup), FmemShareFor(setup));
   if (h < 0) {
-    // No eligible host (all shrinking/full). The VM must still run
-    // somewhere: fall back to the roomiest host, lowest index on ties.
-    uint64_t best_room = 0;
-    for (int c = 0; c < num_hosts(); ++c) {
-      const uint64_t room = loads[static_cast<size_t>(c)].fmem_free_pages +
-                            loads[static_cast<size_t>(c)].far_free_pages;
-      if (h < 0 || room > best_room) {
-        h = c;
-        best_room = room;
-      }
+    // No eligible host (all shrinking/quarantined/full). The VM must still
+    // run somewhere, but never on a down or excluded host: the tiered
+    // fallback prefers healthy hosts, then shrinking, then quarantined
+    // (roomiest inside each tier), and returns -1 only when every host is
+    // fenced — the caller defers the boot to a later barrier.
+    h = PlacementController::PickFallbackHost(loads);
+    if (h >= 0) {
+      ++placement_fallbacks_;
     }
-    ++placement_fallbacks_;
   }
-  DEMETER_CHECK_GE(h, 0);
   return h;
 }
 
@@ -188,6 +212,11 @@ void Cluster::PlaceDue(Nanos now) {
     // Admission provisions synchronously, so each placement in this batch
     // sees the previous one's allocations — no reservations needed.
     const int h = PlaceVm(p.setup, no_reserved, no_assigned);
+    if (h < 0) {
+      // Every host is fenced right now; hold the boot for a later barrier.
+      later.push_back(std::move(p));
+      continue;
+    }
     const int idx = hosts_[static_cast<size_t>(h)]->AdmitVm(p.setup, now);
     locations_[static_cast<size_t>(p.spec_index)] = ClusterVmLocation{h, idx};
     ++deferred_placements_;
@@ -249,6 +278,246 @@ void Cluster::MaybeEvacuate(Nanos now, int64_t barrier) {
   }
 }
 
+int Cluster::SpecIndexOf(int host, int index) const {
+  for (size_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].host == host && locations_[i].index == index) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Cluster::DetectHostFailures(Nanos now, int64_t barrier) {
+  for (int h = 0; h < num_hosts(); ++h) {
+    HostHealth& health = health_[static_cast<size_t>(h)];
+    if (health.down) {
+      if (now >= health.down_until) {
+        // Resurrection: the host rejoins empty, on probation. Quarantine
+        // keeps it out of strict placement until the window closes; the
+        // fallback path may still use it as a last resort.
+        health.down = false;
+        health.quarantine_until_barrier = barrier + setup_.ha.quarantine_epochs;
+      }
+      continue;
+    }
+    if (faults_ == nullptr || h >= kMaxFaultHosts || !faults_->ShouldFailHost(h)) {
+      continue;
+    }
+    // Fail-stop: fence first (placement exclusion is via health.down; every
+    // in-flight route touching the host is torn down with its commitment
+    // released), then kill the residents. Fencing precedes the migrator's
+    // Advance so a doomed route is never mistaken for a cancel or charged
+    // another pre-copy round against a dead machine.
+    health.down = true;
+    health.down_until = now + faults_->HostFailDuration(h);
+    ++health.failures;
+    ++hosts_failed_;
+    for (const LiveMigrator::Completion& route : migrator_->FenceHost(h)) {
+      if (route.src_host == h) {
+        // The migrating VM died with its source host; the kill loop below
+        // owns its recovery. Any stale retry entry is dropped when it next
+        // comes due (the VM is no longer active at that location).
+        continue;
+      }
+      // Destination died under an in-flight migration: the source VM is
+      // still running. Charge the dead destination's health ledger and
+      // queue a re-plan toward a fresh destination.
+      ++health.migration_aborts;
+      const int spec = SpecIndexOf(route.src_host, route.src_vm);
+      if (spec >= 0 && setup_.migration.max_retries > 0) {
+        RetryEntry* standing = nullptr;
+        for (RetryEntry& entry : retry_queue_) {
+          if (entry.spec_index == spec) {
+            standing = &entry;
+            break;
+          }
+        }
+        if (standing == nullptr) {
+          retry_queue_.push_back(RetryEntry{spec, 0, barrier + 1, false});
+        } else {
+          standing->inflight = false;
+          standing->next_attempt_barrier = barrier + 1;
+        }
+      }
+    }
+    Machine& machine = *hosts_[static_cast<size_t>(h)];
+    for (size_t i = 0; i < locations_.size(); ++i) {
+      const ClusterVmLocation& loc = locations_[i];
+      if (loc.host != h || !machine.VmActive(loc.index)) {
+        continue;
+      }
+      transactions_lost_ += machine.KillVm(loc.index, now);
+      ++vms_killed_;
+      // The corpse can't migrate: drop any standing re-plan for it.
+      std::erase_if(retry_queue_, [&](const RetryEntry& entry) {
+        return entry.spec_index == static_cast<int>(i);
+      });
+      if (!setup_.ha.restart) {
+        ++vms_lost_;  // No-recovery ablation: every kill is terminal.
+      } else if (restart_queue_.size() >=
+                 static_cast<size_t>(setup_.ha.restart_queue_limit)) {
+        ++vms_lost_;  // Admission control: the queue is full, drop.
+      } else {
+        restart_queue_.push_back(RestartEntry{static_cast<int>(i), 0, barrier + 1, now});
+      }
+    }
+  }
+}
+
+void Cluster::ProcessRestartQueue(Nanos now, int64_t barrier) {
+  // FIFO with backoff: entries keep their arrival order; an entry not yet
+  // due (or rejected this barrier) stays in line ahead of younger kills.
+  std::deque<RestartEntry> keep;
+  while (!restart_queue_.empty()) {
+    RestartEntry entry = restart_queue_.front();
+    restart_queue_.pop_front();
+    if (entry.next_attempt_barrier > barrier) {
+      keep.push_back(entry);
+      continue;
+    }
+    // Strict placement only — no fallback. Restarting the backlog onto the
+    // battered survivors would recreate the overload that admission
+    // control exists to prevent.
+    VmSetup setup = setups_[static_cast<size_t>(entry.spec_index)];
+    setup.boot_at = 0;
+    const std::vector<Reservation> no_reserved(hosts_.size());
+    const std::vector<int> no_assigned(hosts_.size(), 0);
+    const int h = placer_.PickHost(Loads(no_reserved, no_assigned), PagesFor(setup),
+                                   FmemShareFor(setup));
+    if (h < 0) {
+      ++entry.attempts;
+      if (entry.attempts >= setup_.ha.restart_max_attempts) {
+        ++vms_lost_;
+        continue;
+      }
+      entry.next_attempt_barrier = barrier + setup_.ha.restart_backoff_epochs;
+      keep.push_back(entry);
+      continue;
+    }
+    const int idx = hosts_[static_cast<size_t>(h)]->AdmitVm(setup, now, /*restarted=*/true);
+    locations_[static_cast<size_t>(entry.spec_index)] = ClusterVmLocation{h, idx};
+    ++vms_restarted_;
+    restart_latency_ns_total_ += now - entry.killed_at;
+  }
+  restart_queue_ = std::move(keep);
+}
+
+void Cluster::ProcessMigrationRetries(Nanos now, int64_t barrier) {
+  // Feed: every route migratefail aborted since the last barrier. The
+  // source host's health ledger is charged regardless; the retry queue
+  // only when retries are enabled (max_retries defaults to 0, keeping
+  // pre-existing fleets byte-identical). Re-aborted retries re-surface
+  // here and merge into their standing entry, so attempts accumulate.
+  for (const LiveMigrator::Completion& route : migrator_->TakeAbortedRoutes()) {
+    ++health_[static_cast<size_t>(route.src_host)].migration_aborts;
+    if (setup_.migration.max_retries <= 0) {
+      continue;
+    }
+    const int spec = SpecIndexOf(route.src_host, route.src_vm);
+    if (spec < 0) {
+      continue;
+    }
+    RetryEntry* standing = nullptr;
+    for (RetryEntry& entry : retry_queue_) {
+      if (entry.spec_index == spec) {
+        standing = &entry;
+        break;
+      }
+    }
+    if (standing == nullptr) {
+      retry_queue_.push_back(
+          RetryEntry{spec, 1, barrier + setup_.migration.retry_backoff_epochs, false});
+    } else {
+      // A re-aborted attempt (round-0 or mid-copy) lands back here and
+      // accumulates; resetting would let a flaky route retry forever.
+      ++standing->attempts;
+      standing->inflight = false;
+      standing->next_attempt_barrier = barrier + setup_.migration.retry_backoff_epochs;
+    }
+  }
+  if (retry_queue_.empty()) {
+    return;
+  }
+  std::vector<RetryEntry> keep;
+  keep.reserve(retry_queue_.size());
+  for (RetryEntry& entry : retry_queue_) {
+    if (entry.inflight) {
+      keep.push_back(entry);  // An attempt is mid-copy; nothing to do yet.
+      continue;
+    }
+    if (entry.attempts > setup_.migration.max_retries) {
+      ++migration_retries_exhausted_;
+      continue;
+    }
+    if (entry.next_attempt_barrier > barrier) {
+      keep.push_back(entry);
+      continue;
+    }
+    const ClusterVmLocation& loc = locations_[static_cast<size_t>(entry.spec_index)];
+    if (loc.host < 0 || !hosts_[static_cast<size_t>(loc.host)]->VmActive(loc.index) ||
+        migrator_->Migrating(loc.host, loc.index)) {
+      continue;  // Stale: the VM finished, died, or is already moving again.
+    }
+    if (migrator_->inflight() >= setup_.migration.max_inflight) {
+      keep.push_back(entry);  // Congestion, not failure: re-check next barrier.
+      continue;
+    }
+    // Destination re-selection against the current load picture, source
+    // excluded (and any down host implicitly, via Eligible).
+    const uint64_t pages = PagesFor(setups_[static_cast<size_t>(entry.spec_index)]);
+    const uint64_t fmem = FmemShareFor(setups_[static_cast<size_t>(entry.spec_index)]);
+    std::vector<HostLoad> loads =
+        Loads(std::vector<Reservation>(hosts_.size()), std::vector<int>(hosts_.size(), 0));
+    loads[static_cast<size_t>(loc.host)].excluded = true;
+    const int dst = placer_.PickHost(loads, pages, fmem);
+    if (dst < 0) {
+      ++entry.attempts;
+      if (entry.attempts > setup_.migration.max_retries) {
+        ++migration_retries_exhausted_;
+        continue;
+      }
+      entry.next_attempt_barrier = barrier + setup_.migration.retry_backoff_epochs;
+      keep.push_back(entry);
+      continue;
+    }
+    ++migration_retries_;
+    if (migrator_->Begin(loc.host, loc.index, dst,
+                         LiveMigrator::Commitment{fmem, pages - fmem}, now)) {
+      // In flight again: the entry rides along until the migration
+      // completes (purged in Run's completion loop) or re-aborts (merged
+      // above at a later barrier).
+      entry.inflight = true;
+    }
+    // Round-0 re-abort: the route is already in the migrator's aborted
+    // list and merges into this entry at the next barrier.
+    keep.push_back(entry);
+  }
+  retry_queue_ = std::move(keep);
+}
+
+void Cluster::AuditHaInvariants() const {
+  std::vector<bool> down(hosts_.size(), false);
+  std::vector<int> active(hosts_.size(), 0);
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    down[h] = health_[h].down;
+    active[h] = hosts_[h]->NumActiveVms();
+  }
+  std::vector<InvariantChecker::RouteEntry> routes;
+  for (const LiveMigrator::Completion& route : migrator_->InflightRoutes()) {
+    routes.push_back({route.src_host, route.dst_host});
+  }
+  std::vector<InvariantChecker::CommitmentEntry> ledger;
+  const std::vector<LiveMigrator::Commitment>& committed = migrator_->DstCommitments();
+  for (size_t h = 0; h < committed.size(); ++h) {
+    ledger.push_back({static_cast<int>(h), committed[h].fmem_pages, committed[h].far_pages});
+  }
+  InvariantReport report;
+  InvariantChecker::CheckHostFencing(down, active, routes, ledger, &report);
+  InvariantChecker::CheckRestartConservation(vms_killed_, vms_restarted_, restart_queue_.size(),
+                                             vms_lost_, &report);
+  DEMETER_CHECK(report.ok()) << "host-failure invariants: " << report.Join();
+}
+
 void Cluster::Run() {
   DEMETER_CHECK(!ran_) << "Run called twice";
   ran_ = true;
@@ -274,6 +543,7 @@ void Cluster::Run() {
       continue;
     }
     const int h = PlaceVm(setup, reserved, assigned);
+    DEMETER_CHECK_GE(h, 0) << "no live host for boot-time placement of vm " << i;
     locations_[i] = ClusterVmLocation{h, hosts_[static_cast<size_t>(h)]->AddVm(setup)};
     const uint64_t share = FmemShareFor(setup);
     reserved[static_cast<size_t>(h)].fmem_pages += share;
@@ -293,7 +563,7 @@ void Cluster::Run() {
     for (const auto& host : hosts_) {
       any_active = any_active || host->NumActiveVms() > 0;
     }
-    if (!any_active && migrator_->inflight() == 0) {
+    if (!any_active && migrator_->inflight() == 0 && restart_queue_.empty()) {
       if (pending_.empty()) {
         break;  // Fleet drained.
       }
@@ -310,6 +580,7 @@ void Cluster::Run() {
     }
     t += epoch;
     ++barrier;
+    barrier_ = barrier;
     if (std::getenv("DEMETER_CLUSTER_DEBUG") != nullptr) {
       int active = 0;
       for (const auto& host : hosts_) {
@@ -322,25 +593,46 @@ void Cluster::Run() {
     for (auto& host : hosts_) {
       host->StepUntil(t);
     }
-    // Barrier control plane, fixed order: finish/advance migrations first
-    // (freed capacity helps placement), then boot due VMs, then start new
-    // evacuations against the post-placement load picture.
+    // Barrier control plane, fixed order: the failure detector runs first
+    // (a fenced route must not be misread as a completion or cancel by
+    // Advance), then finish/advance surviving migrations (freed capacity
+    // helps placement), then boot due VMs, then recovery (restarts before
+    // retries — a restarted VM frees nothing, but the ordering is pinned
+    // for determinism), then new evacuations against the post-placement
+    // load picture.
+    if (ha_active_) {
+      DetectHostFailures(t, barrier);
+    }
     const std::vector<LiveMigrator::Completion> completions = migrator_->Advance(t);
     for (const LiveMigrator::Completion& c : completions) {
-      for (ClusterVmLocation& loc : locations_) {
+      for (size_t i = 0; i < locations_.size(); ++i) {
+        ClusterVmLocation& loc = locations_[i];
         if (loc.host == c.src_host && loc.index == c.src_vm) {
           loc = ClusterVmLocation{c.dst_host, c.dst_vm};
+          // The VM landed: retire any standing retry entry for it.
+          std::erase_if(retry_queue_, [&](const RetryEntry& entry) {
+            return entry.spec_index == static_cast<int>(i);
+          });
           break;
         }
       }
     }
     PlaceDue(t);
+    if (ha_active_ && setup_.ha.restart) {
+      ProcessRestartQueue(t, barrier);
+    }
+    if (ha_active_ || setup_.migration.max_retries > 0) {
+      ProcessMigrationRetries(t, barrier);
+    }
     if (setup_.migration.evacuate_on_shrink) {
       MaybeEvacuate(t, barrier);
     }
     if (check_invariants_) {
       const InvariantReport report = migrator_->AuditCommitments();
       DEMETER_CHECK(report.ok()) << "commitment conservation: " << report.Join();
+      if (ha_active_) {
+        AuditHaInvariants();
+      }
     }
   }
 

@@ -23,6 +23,7 @@
 #ifndef DEMETER_SRC_CLUSTER_CLUSTER_H_
 #define DEMETER_SRC_CLUSTER_CLUSTER_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,24 @@
 #include "src/harness/machine.h"
 
 namespace demeter {
+
+// Host-failure recovery tuning. A VM killed by a `hostfail` fail-stop
+// enters a bounded FIFO restart queue; each barrier the queue head(s) due
+// for an attempt ask the placement controller for a surviving host under
+// the *strict* eligibility rules (no fallback — admission control under
+// degraded capacity), backing off on rejection and giving the VM up as
+// lost after `restart_max_attempts`. Defaults are folded into the spec
+// content hash only when changed, so pre-existing cluster specs keep their
+// seeds.
+struct HaConfig {
+  bool restart = true;            // Re-place killed VMs on surviving hosts.
+  int restart_queue_limit = 64;   // Kills beyond this are lost outright.
+  int restart_backoff_epochs = 2;  // Barriers between attempts per VM.
+  int restart_max_attempts = 8;   // Rejections before the VM is lost.
+  int quarantine_epochs = 8;      // Probation barriers after resurrection.
+
+  friend bool operator==(const HaConfig&, const HaConfig&) = default;
+};
 
 // Fleet topology + control-plane tuning. The default (num_hosts == 0) means
 // "no cluster": the runner takes the classic single-Machine path and the
@@ -44,6 +63,7 @@ struct ClusterSetup {
   // growth. A host packed to the last frame is one fault from OOM.
   double placement_headroom = 0.1;
   MigrationConfig migration;
+  HaConfig ha;
   // Per-host fault plans (host h uses host_faults[h % size]); empty = every
   // host runs the machine config's shared plan. This is how a sweep arms
   // staggered tiershrink windows on specific hosts.
@@ -94,10 +114,56 @@ class Cluster {
   const PlacementController::Stats& placement_stats() const { return placer_.stats(); }
   uint64_t evacuations_without_destination() const { return evac_no_destination_; }
 
+  // ---- host-failure recovery ledger ---------------------------------------
+  // Conservation: vms_killed == vms_restarted + restart_queue_depth +
+  // vms_lost at every barrier (invariant 11, audited under --check).
+  uint64_t hosts_failed() const { return hosts_failed_; }
+  uint64_t vms_killed() const { return vms_killed_; }
+  uint64_t vms_restarted() const { return vms_restarted_; }
+  uint64_t vms_lost() const { return vms_lost_; }
+  uint64_t restart_queue_depth() const { return restart_queue_.size(); }
+  uint64_t transactions_lost() const { return transactions_lost_; }
+  uint64_t restart_latency_ns_total() const { return restart_latency_ns_total_; }
+  uint64_t migration_retries() const { return migration_retries_; }
+  uint64_t migration_retries_exhausted() const { return migration_retries_exhausted_; }
+  bool host_down(int h) const { return health_[static_cast<size_t>(h)].down; }
+
  private:
   struct PendingVm {
     int spec_index = -1;
     VmSetup setup;
+  };
+
+  // Failure detector's per-host ledger. `down`/`quarantine_until_barrier`
+  // gate placement; `failures`/`migration_aborts` feed Score via Loads()
+  // (only while hostfail is armed, so fleets without it are unperturbed).
+  struct HostHealth {
+    bool down = false;
+    Nanos down_until = 0;                  // Virtual time the host resurrects.
+    int64_t quarantine_until_barrier = 0;  // Probation while barrier < this.
+    uint64_t failures = 0;
+    uint64_t migration_aborts = 0;
+  };
+
+  // One killed VM awaiting re-placement (FIFO).
+  struct RestartEntry {
+    int spec_index = -1;
+    int attempts = 0;                  // Strict-placement rejections so far.
+    int64_t next_attempt_barrier = 0;  // Backoff gate.
+    Nanos killed_at = 0;               // For restart latency accounting.
+  };
+
+  // One aborted migration route awaiting re-plan, keyed by the VM (spec
+  // index) so a route survives the source host changing under it. The
+  // entry lives until the VM's migration completes, the VM dies or
+  // finishes, or the attempt budget runs out — a re-launched attempt keeps
+  // the entry (inflight=true) so a re-abort accumulates attempts instead
+  // of resetting them.
+  struct RetryEntry {
+    int spec_index = -1;
+    int attempts = 0;                  // Aborts + no-destination rejections.
+    int64_t next_attempt_barrier = 0;  // Backoff gate.
+    bool inflight = false;             // A retry attempt is mid-copy now.
   };
 
   // A not-yet-provisioned commitment against one host, split the way the
@@ -112,11 +178,28 @@ class Cluster {
   std::vector<HostLoad> Loads(const std::vector<Reservation>& reserved,
                               const std::vector<int>& assigned_vms) const;
   // Places a VM with `setup`'s footprint on the best host; falls back to
-  // the roomiest host when no host is eligible (a VM must run somewhere).
+  // the roomiest *live* host when no host is eligible (a VM must run
+  // somewhere, but never on a down/excluded host). Returns -1 only when
+  // every host is down or excluded — the caller defers the boot.
   int PlaceVm(const VmSetup& setup, const std::vector<Reservation>& reserved,
               const std::vector<int>& assigned_vms);
   void PlaceDue(Nanos now);
   void MaybeEvacuate(Nanos now, int64_t barrier);
+  // Maps a host-resident VM back to its spec index (-1 when unknown).
+  int SpecIndexOf(int host, int index) const;
+  // Barrier-time failure detector: draws hostfail per up host, fences the
+  // victims (migrator routes torn down, resident VMs killed, restart /
+  // retry queues fed) and resurrects hosts whose window closed.
+  void DetectHostFailures(Nanos now, int64_t barrier);
+  // Restart-queue pump: strict placement for due entries, backoff on
+  // rejection, loss after restart_max_attempts.
+  void ProcessRestartQueue(Nanos now, int64_t barrier);
+  // Drains the migrator's aborted routes into the retry queue (when
+  // migration.max_retries > 0) and re-plans due entries toward a fresh
+  // destination.
+  void ProcessMigrationRetries(Nanos now, int64_t barrier);
+  // Invariant families 10 + 11 (down-host fencing, restart conservation).
+  void AuditHaInvariants() const;
 
   ClusterSetup setup_;
   MetricRegistry registry_;  // "cluster/..." roll-up metrics.
@@ -128,9 +211,25 @@ class Cluster {
   std::vector<ClusterVmLocation> locations_;
   std::vector<PendingVm> pending_;          // Deferred boots awaiting placement.
   std::vector<int64_t> cooldown_until_;     // Per host: next barrier allowed to evacuate.
+  std::vector<HostHealth> health_;          // Per host failure-detector state.
+  std::deque<RestartEntry> restart_queue_;  // FIFO of killed VMs awaiting re-placement.
+  std::vector<RetryEntry> retry_queue_;     // Aborted routes awaiting re-plan.
+  int64_t barrier_ = 0;  // Current barrier index (Loads reads quarantine from it).
   uint64_t placement_fallbacks_ = 0;
   uint64_t evac_no_destination_ = 0;
   uint64_t deferred_placements_ = 0;
+  uint64_t hosts_failed_ = 0;
+  uint64_t vms_killed_ = 0;
+  uint64_t vms_restarted_ = 0;
+  uint64_t vms_lost_ = 0;
+  uint64_t transactions_lost_ = 0;
+  uint64_t restart_latency_ns_total_ = 0;
+  uint64_t migration_retries_ = 0;
+  uint64_t migration_retries_exhausted_ = 0;
+  // True when the cluster plan arms hostfail anywhere. Health state feeds
+  // placement only then: fleets without hostfail (including every pinned
+  // pre-existing baseline) see byte-identical control-plane decisions.
+  bool ha_active_ = false;
   bool check_invariants_ = false;  // Mirrors config.check_invariants.
   bool ran_ = false;
 };

@@ -115,6 +115,7 @@ bool LiveMigrator::Begin(int src_host, int src_vm, int dst_host, const Commitmen
     // Aborted during the initial full copy. Nothing on the source was
     // disturbed beyond cleared D bits, so there is nothing to roll back.
     ++stats_.aborted;
+    aborted_routes_.push_back(Completion{m.src_host, m.src_vm, m.dst_host, -1});
     return false;
   }
   // The destination is charged only once the migration is actually in
@@ -153,6 +154,7 @@ std::vector<LiveMigrator::Completion> LiveMigrator::Advance(Nanos now) {
       // linger for the rest of the barrier epoch.
       ++stats_.aborted;
       ReleaseCommitment(m);
+      aborted_routes_.push_back(Completion{m.src_host, m.src_vm, m.dst_host, -1});
       continue;
     }
     if (round.pages > config_.stop_copy_pages && m.rounds < config_.max_precopy_rounds) {
@@ -175,11 +177,35 @@ std::vector<LiveMigrator::Completion> LiveMigrator::Advance(Nanos now) {
   return done;
 }
 
+std::vector<LiveMigrator::Completion> LiveMigrator::FenceHost(int host) {
+  std::vector<Completion> torn;
+  std::vector<Inflight> keep;
+  keep.reserve(inflight_.size());
+  for (Inflight& m : inflight_) {
+    if (m.src_host != host && m.dst_host != host) {
+      keep.push_back(m);
+      continue;
+    }
+    ++stats_.fenced;
+    ReleaseCommitment(m);
+    torn.push_back(Completion{m.src_host, m.src_vm, m.dst_host, -1});
+  }
+  inflight_ = std::move(keep);
+  return torn;
+}
+
+std::vector<LiveMigrator::Completion> LiveMigrator::TakeAbortedRoutes() {
+  std::vector<Completion> drained = std::move(aborted_routes_);
+  aborted_routes_.clear();
+  return drained;
+}
+
 void LiveMigrator::RegisterMetrics(MetricScope scope) const {
   scope.RegisterCounter("started", &stats_.started);
   scope.RegisterCounter("completed", &stats_.completed);
   scope.RegisterCounter("aborted", &stats_.aborted);
   scope.RegisterCounter("cancelled", &stats_.cancelled);
+  scope.RegisterCounter("fenced", &stats_.fenced);
   scope.RegisterCounter("precopy_rounds", &stats_.precopy_rounds);
   scope.RegisterCounter("pages_copied", &stats_.pages_copied);
   scope.RegisterCounter("downtime_ns_total", &stats_.downtime_ns_total);

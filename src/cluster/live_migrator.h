@@ -42,6 +42,12 @@ struct MigrationConfig {
   double wire_ns_per_page = 600.0;  // Interconnect cost per copied page.
   int max_inflight = 2;             // Cluster-wide concurrent migrations.
   int cooldown_epochs = 4;          // Barriers between evacuations per source.
+  // Aborted migrations (migratefail or a fenced destination) re-enter a
+  // bounded per-route retry with destination re-selection instead of being
+  // dropped. 0 (the default) disables retries entirely, so pre-existing
+  // fleet behaviour is untouched.
+  int max_retries = 0;
+  int retry_backoff_epochs = 2;     // Barriers a route waits between attempts.
 
   friend bool operator==(const MigrationConfig&, const MigrationConfig&) = default;
 };
@@ -53,6 +59,7 @@ class LiveMigrator {
     uint64_t completed = 0;
     uint64_t aborted = 0;    // migratefail fired mid-copy; VM stayed on source.
     uint64_t cancelled = 0;  // VM finished/departed mid-precopy.
+    uint64_t fenced = 0;     // Route torn down because an endpoint host died.
     uint64_t precopy_rounds = 0;
     uint64_t pages_copied = 0;
     uint64_t downtime_ns_total = 0;  // Stop-and-copy transfer time only.
@@ -96,6 +103,21 @@ class LiveMigrator {
   // `now`, resolving stop-and-copy / abort / cancellation. Returns the
   // migrations that completed, in start order.
   std::vector<Completion> Advance(Nanos now);
+
+  // Tears down every in-flight migration routed at or from `host` (a
+  // fail-stopped endpoint), releasing each destination commitment exactly
+  // once and counting the routes as `fenced` (not aborted — the ledger
+  // identity becomes started == completed + aborted + cancelled + fenced).
+  // Returns the torn-down routes in start order so the cluster can decide
+  // per route: a dead *source* means the VM itself is gone (restart path),
+  // a dead *destination* leaves the source VM running (retry path).
+  std::vector<Completion> FenceHost(int host);
+
+  // Drains the routes aborted by migratefail since the last call (round-0
+  // and mid-copy aborts alike), in abort order — the feed for the
+  // cluster's retry queue. Fenced routes are returned by FenceHost, never
+  // here.
+  std::vector<Completion> TakeAbortedRoutes();
 
   int inflight() const { return static_cast<int>(inflight_.size()); }
   // Source/destination route of every in-flight migration (dst_vm == -1:
@@ -144,6 +166,7 @@ class LiveMigrator {
   FaultInjector* faults_;
   std::vector<Inflight> inflight_;
   std::vector<Commitment> dst_committed_;  // Indexed by destination host.
+  std::vector<Completion> aborted_routes_;  // Pending TakeAbortedRoutes drain.
   Stats stats_;
 };
 

@@ -35,15 +35,44 @@ double PlacementController::Score(const HostLoad& load) {
   // start there when FMEM is tight), and every frame of far pressure or
   // damage history costs a tenth — enough to steer identical-capacity
   // fleets away from battered hosts without overriding real headroom gaps.
+  // Health history weighs heavier: an aborted migration at a host costs a
+  // full frame-equivalent and a whole-host crash costs 64 — a recently
+  // resurrected host must rebuild trust before it wins close calls, but a
+  // large genuine headroom gap still dominates.
   return static_cast<double>(load.fmem_free_pages) +
          0.5 * static_cast<double>(load.far_free_pages) -
          0.1 * static_cast<double>(load.far_used_pages + load.poisoned_pages +
-                                   load.carved_pages);
+                                   load.carved_pages) -
+         static_cast<double>(load.migration_aborts) -
+         64.0 * static_cast<double>(load.failures);
+}
+
+int PlacementController::PickFallbackHost(const std::vector<HostLoad>& loads) {
+  // Tier 1: healthy. Tier 2: shrinking. Tier 3: quarantined. A lower tier
+  // always beats a higher one; inside a tier the roomiest host (free frames
+  // across both tiers, lowest index on ties) wins.
+  int best = -1;
+  int best_tier = 4;
+  uint64_t best_room = 0;
+  for (int h = 0; h < static_cast<int>(loads.size()); ++h) {
+    const HostLoad& load = loads[static_cast<size_t>(h)];
+    if (load.down || load.excluded) {
+      continue;
+    }
+    const int tier = load.quarantined ? 3 : load.shrinking ? 2 : 1;
+    const uint64_t room = load.fmem_free_pages + load.far_free_pages;
+    if (tier < best_tier || (tier == best_tier && room > best_room)) {
+      best = h;
+      best_tier = tier;
+      best_room = room;
+    }
+  }
+  return best;
 }
 
 bool PlacementController::Eligible(const HostLoad& load, uint64_t pages_needed,
                                    uint64_t fmem_pages_needed) const {
-  if (load.excluded || load.shrinking) {
+  if (load.excluded || load.shrinking || load.down || load.quarantined) {
     return false;
   }
   // Two constraints, and the second is the one that matters at scale. The

@@ -47,6 +47,10 @@ struct HostLoad {
   int resident_vms = 0;          // Active + same-batch-assigned VMs.
   bool shrinking = false;        // FMEM under an active shrink window.
   bool excluded = false;         // Caller veto (e.g. the migration source).
+  bool down = false;             // Fail-stopped: fenced, never placeable.
+  bool quarantined = false;      // Back up but on probation after a crash.
+  uint64_t failures = 0;           // Health ledger: whole-host crashes.
+  uint64_t migration_aborts = 0;   // Health ledger: aborted routes at host.
 };
 
 class PlacementController {
@@ -68,6 +72,19 @@ class PlacementController {
   // minus damage history and a far-pressure penalty. May go negative on a
   // battered host — such hosts lose every best-fit/spread tiebreak.
   static double Score(const HostLoad& load);
+
+  // Last-resort host for a VM that must land somewhere even though no host
+  // passes Eligible (boot-time placement cannot defer forever). Tiered
+  // preference, roomiest (fmem + far free, lowest index on ties) inside
+  // each tier:
+  //   1. healthy hosts (not shrinking, not quarantined),
+  //   2. actively-shrinking hosts (they still have real frames — the
+  //      migrator will move the newcomer later if the squeeze holds),
+  //   3. quarantined hosts (alive but on post-crash probation).
+  // Down or excluded hosts are never returned: placing onto a fenced host
+  // would violate the down-host fencing invariant. -1 when every host is
+  // down/excluded.
+  static int PickFallbackHost(const std::vector<HostLoad>& loads);
 
   struct Stats {
     uint64_t placements = 0;

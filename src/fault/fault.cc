@@ -117,6 +117,8 @@ const char* FaultSiteName(FaultSite site) {
       return "swap_fail";
     case FaultSite::kLiveMigrateFail:
       return "live_migrate_fail";
+    case FaultSite::kHostFail:
+      return "host_fail";
   }
   return "?";
 }
@@ -145,6 +147,7 @@ double FaultPlan::probability(FaultSite site) const {
     case FaultSite::kGuestCrash:
     case FaultSite::kVirtqueueFull:
     case FaultSite::kLiveMigrateFail:  // Per-host; see ShouldFailMigration.
+    case FaultSite::kHostFail:         // Per-host; see ShouldFailHost.
       return 0.0;
   }
   return 0.0;
@@ -218,6 +221,14 @@ std::string FaultPlan::ToSpec() const {
       append(buf);
     }
   }
+  for (int h = 0; h < kMaxFaultHosts; ++h) {
+    if (host_fail_p[static_cast<size_t>(h)] > 0.0) {
+      std::snprintf(buf, sizeof(buf), "hostfail=%s/%" PRIu64 "@%d",
+                    FormatDouble(host_fail_p[static_cast<size_t>(h)]).c_str(),
+                    host_fail_down_ns[static_cast<size_t>(h)], h);
+      append(buf);
+    }
+  }
   return spec;
 }
 
@@ -277,7 +288,7 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
 
     // Per-host keys carry an `@host` suffix on the value.
     int host = -1;
-    const bool hosted = key == "migratefail";
+    const bool hosted = key == "migratefail" || key == "hostfail";
     if (hosted) {
       const size_t at = value.find('@');
       if (at == std::string::npos) {
@@ -401,6 +412,18 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& spec, std::string* 
         detail = "migratefail needs a non-zero abort threshold";
         return fail();
       }
+    } else if (key == "hostfail") {
+      std::string p, d;
+      if (!SplitPair(value, &p, &d, err) ||
+          !ParseProbability(p, &plan.host_fail_p[static_cast<size_t>(host)], err) ||
+          !ParseDuration(d, &plan.host_fail_down_ns[static_cast<size_t>(host)], err)) {
+        return fail();
+      }
+      if (plan.host_fail_p[static_cast<size_t>(host)] > 0.0 &&
+          plan.host_fail_down_ns[static_cast<size_t>(host)] == 0) {
+        detail = "hostfail needs a non-zero down duration";
+        return fail();
+      }
     } else {
       detail = "unknown fault key '" + key + "'";
       return fail();
@@ -421,13 +444,18 @@ FaultInjector::VmState& FaultInjector::state(int vm) {
     // Rng::Seed. The legacy stride is pinned at 11 (the site count when
     // these streams were first baselined) so adding sites never reshuffles
     // existing streams; sites beyond the legacy range seed from the
-    // disjoint negative domain (~x == -x - 1, so the two never collide).
+    // disjoint negative domain (~x == -x - 1, so the two never collide),
+    // with the post-legacy site index in the high half of the lane so the
+    // formula — unlike the original `kNumFaultSites - kLegacyStride`
+    // multiplier — is independent of the site count forever. For the first
+    // post-legacy site (s == 11) the lane is ~id either way, which keeps
+    // every stream baselined under the old formula byte-identical.
     constexpr uint64_t kLegacyStride = 11;
     for (int s = 0; s < kNumFaultSites; ++s) {
-      const uint64_t lane = s < static_cast<int>(kLegacyStride)
-                                ? id * kLegacyStride + static_cast<uint64_t>(s) + 1
-                                : ~(id * (kNumFaultSites - kLegacyStride) +
-                                    static_cast<uint64_t>(s) - kLegacyStride);
+      const uint64_t lane =
+          s < static_cast<int>(kLegacyStride)
+              ? id * kLegacyStride + static_cast<uint64_t>(s) + 1
+              : ~(id + ((static_cast<uint64_t>(s) - kLegacyStride) << 32));
       vm_state->rngs[static_cast<size_t>(s)].Seed(seed_ + 0x9e3779b97f4a7c15ULL * lane);
     }
     vms_.push_back(std::move(vm_state));
@@ -473,6 +501,29 @@ Nanos FaultInjector::MigrationAbortAfter(int host) const {
   DEMETER_CHECK_GE(host, 0);
   DEMETER_CHECK_LT(host, kMaxFaultHosts);
   return plan_.migrate_fail_abort_ns[static_cast<size_t>(host)];
+}
+
+bool FaultInjector::ShouldFailHost(int host) {
+  DEMETER_CHECK_GE(host, 0);
+  DEMETER_CHECK_LT(host, kMaxFaultHosts);
+  const double p = plan_.host_fail_p[static_cast<size_t>(host)];
+  if (p <= 0.0) {
+    return false;
+  }
+  // Like ShouldFailMigration, the per-host stream reuses the VmState
+  // machinery with `host` as the state index.
+  VmState& s = state(host);
+  if (!s.rngs[static_cast<size_t>(FaultSite::kHostFail)].NextBool(p)) {
+    return false;
+  }
+  ++s.injected[static_cast<size_t>(FaultSite::kHostFail)];
+  return true;
+}
+
+Nanos FaultInjector::HostFailDuration(int host) const {
+  DEMETER_CHECK_GE(host, 0);
+  DEMETER_CHECK_LT(host, kMaxFaultHosts);
+  return plan_.host_fail_down_ns[static_cast<size_t>(host)];
 }
 
 bool FaultInjector::InStallWindow(Nanos now) const {

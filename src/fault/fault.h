@@ -51,9 +51,10 @@ enum class FaultSite : int {
   kPoisonSmem,         // Uncorrectable error in a mapped SMEM frame.
   kSwapFail,           // Transient swap-device I/O error (writeback/swap-in).
   kLiveMigrateFail,    // Cluster live migration aborted mid-copy.
+  kHostFail,           // Whole host fail-stopped for a window.
 };
 
-inline constexpr int kNumFaultSites = 12;
+inline constexpr int kNumFaultSites = 13;
 
 // Host tiers addressable by tiered fault keys (`...@tier`). Matches the
 // two-tier host model (kFmemTier/kSmemTier).
@@ -92,6 +93,11 @@ const char* FaultSiteName(FaultSite site);
 //                  probability P once its cumulative pre-copy work crosses
 //                  DUR (mid-copy, so the abort exercises source-side
 //                  rollback); at most one token per host, H in [0, 7]
+//   hostfail=P/DUR@H
+//                  host H fail-stops with probability P, drawn once per
+//                  cluster barrier, and stays dark for DUR (the fleet's
+//                  failure detector fences it and kills resident VMs); at
+//                  most one token per host, H in [0, 7]
 // Durations accept ns/us/ms/s suffixes (plain digits = ns). Windows start
 // one period in (never at t=0, which would fault the boot-time provisioning
 // of every run identically and uninterestingly). Duplicate keys are an
@@ -122,6 +128,8 @@ struct FaultPlan {
   Nanos swap_retry_backoff_ns = 0;
   std::array<double, kMaxFaultHosts> migrate_fail_p{};       // Indexed by host.
   std::array<Nanos, kMaxFaultHosts> migrate_fail_abort_ns{};  // Indexed by host.
+  std::array<double, kMaxFaultHosts> host_fail_p{};          // Indexed by host.
+  std::array<Nanos, kMaxFaultHosts> host_fail_down_ns{};     // Indexed by host.
 
   // True when the plan injects nothing at all (the default).
   bool empty() const;
@@ -176,6 +184,15 @@ class FaultInjector {
   // Cumulative pre-copy work after which an armed abort fires for
   // migrations leaving `host`.
   Nanos MigrationAbortAfter(int host) const;
+
+  // Bernoulli draw for the whole-host fail-stop site on `host`'s private
+  // stream (the cluster draws once per barrier per up host); counts an
+  // injection when it fires. Hosts with a zero-probability plan return
+  // false without drawing.
+  bool ShouldFailHost(int host);
+
+  // How long `host` stays dark once a fail-stop fires.
+  Nanos HostFailDuration(int host) const;
 
   // Stall/crash windows: window k covers [k*period, k*period + duration)
   // for k >= 1. Pure functions of virtual time.

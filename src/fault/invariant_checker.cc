@@ -51,6 +51,48 @@ void InvariantChecker::CheckCommitmentConservation(const std::vector<CommitmentE
   }
 }
 
+void InvariantChecker::CheckHostFencing(const std::vector<bool>& down,
+                                        const std::vector<int>& active_vms,
+                                        const std::vector<RouteEntry>& routes,
+                                        const std::vector<CommitmentEntry>& ledger,
+                                        InvariantReport* report) {
+  for (size_t h = 0; h < down.size(); ++h) {
+    if (!down[h]) {
+      continue;
+    }
+    const std::string host = "host" + std::to_string(h);
+    if (h < active_vms.size() && active_vms[h] > 0) {
+      report->violations.push_back(host + ": down but still runs " +
+                                   std::to_string(active_vms[h]) + " active VM(s)");
+    }
+    for (const RouteEntry& route : routes) {
+      if (route.src_host == static_cast<int>(h) || route.dst_host == static_cast<int>(h)) {
+        report->violations.push_back(host + ": down but an in-flight migration routes " +
+                                     std::to_string(route.src_host) + " -> " +
+                                     std::to_string(route.dst_host));
+      }
+    }
+    for (const CommitmentEntry& held : ledger) {
+      if (held.dst_host == static_cast<int>(h) && (held.fmem_pages > 0 || held.far_pages > 0)) {
+        report->violations.push_back(host + ": down but the commitment ledger holds {fmem " +
+                                     std::to_string(held.fmem_pages) + ", far " +
+                                     std::to_string(held.far_pages) + "} against it");
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckRestartConservation(uint64_t killed, uint64_t restarted,
+                                                uint64_t queued, uint64_t lost,
+                                                InvariantReport* report) {
+  if (killed != restarted + queued + lost) {
+    report->violations.push_back(
+        "restart ledger: killed " + std::to_string(killed) + " != restarted " +
+        std::to_string(restarted) + " + queued " + std::to_string(queued) + " + lost " +
+        std::to_string(lost));
+  }
+}
+
 std::string InvariantReport::Join(size_t max_items) const {
   std::string joined;
   for (size_t i = 0; i < violations.size() && i < max_items; ++i) {

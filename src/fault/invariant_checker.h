@@ -34,6 +34,13 @@
 //      release (aborted migration left on the books) or a double release
 //      shows up as a mismatch — including the degenerate leak of a nonzero
 //      ledger with nothing in flight.
+//  10. Down-host fencing (fleet-level, CheckHostFencing): a fail-stopped
+//      host holds nothing the control plane could act on — zero active VMs,
+//      zero in-flight migration routes touching it (either endpoint), and
+//      zero commitment residue in the destination ledger.
+//  11. Restart-ledger conservation (fleet-level,
+//      CheckRestartConservation): every VM kill resolves to exactly one
+//      recovery outcome, killed == restarted + queued + lost.
 //
 // The audit is strictly read-only (const page-table walks; never the
 // A/D-clearing scan) and runs between events, so it cannot perturb the
@@ -92,6 +99,29 @@ class InvariantChecker {
   static void CheckCommitmentConservation(const std::vector<CommitmentEntry>& inflight,
                                           const std::vector<CommitmentEntry>& ledger,
                                           InvariantReport* report);
+
+  // One in-flight migration route for invariant 10 (dst_vm omitted — the
+  // destination index exists only after stop-and-copy).
+  struct RouteEntry {
+    int src_host = -1;
+    int dst_host = -1;
+  };
+
+  // Invariant 10: for every host flagged down in `down` (indexed by host),
+  // appends a violation when that host still has active VMs
+  // (`active_vms[host]` > 0), appears at either end of an in-flight
+  // `route`, or holds nonzero commitment residue in `ledger`.
+  static void CheckHostFencing(const std::vector<bool>& down,
+                               const std::vector<int>& active_vms,
+                               const std::vector<RouteEntry>& routes,
+                               const std::vector<CommitmentEntry>& ledger,
+                               InvariantReport* report);
+
+  // Invariant 11: killed == restarted + queued + lost, where `queued` is
+  // the restart queue's current depth. Violated either way the ledger
+  // leaks (a kill with no recorded outcome, or an outcome with no kill).
+  static void CheckRestartConservation(uint64_t killed, uint64_t restarted, uint64_t queued,
+                                       uint64_t lost, InvariantReport* report);
 };
 
 }  // namespace demeter

@@ -593,6 +593,22 @@ void Machine::RemoveVm(int i, Nanos now) {
   MaybeAuditInvariants("post-remove");
 }
 
+uint64_t Machine::KillVm(int i, Nanos now) {
+  VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
+  DEMETER_CHECK(rt.booted && !rt.finished) << "killing inactive vm " << i;
+  // A kill is a fail-stop: the transactions completed so far are the work
+  // the fleet loses (the restart, if any, begins from zero).
+  const uint64_t lost = rt.transactions;
+  ++rt.lifecycle.killed;
+  rt.lifecycle.transactions_lost += lost;
+  if (tracer_.enabled()) {
+    tracer_.Instant("lifecycle", "kill", now, i, 0,
+                    TraceArgs().Add("transactions_lost", lost).str());
+  }
+  RemoveVm(i, now);
+  return lost;
+}
+
 void Machine::BootVm(int i, Nanos at) {
   VmRuntime& rt = runtimes_[static_cast<size_t>(i)];
   DEMETER_CHECK(!rt.booted) << "vm " << i << " booted twice";
@@ -885,11 +901,17 @@ void Machine::RegisterVmMetricsFor(int i) {
   life.RegisterCounter("reclaimed_ept_pages", &ls.reclaimed_ept_pages);
   life.RegisterCounter("migrated_in", &ls.migrated_in);
   life.RegisterCounter("migrated_out", &ls.migrated_out);
+  life.RegisterCounter("killed", &ls.killed);
+  life.RegisterCounter("restarts", &ls.restarts);
+  life.RegisterCounter("transactions_lost", &ls.transactions_lost);
 }
 
-int Machine::AdmitVm(const VmSetup& setup, Nanos at) {
+int Machine::AdmitVm(const VmSetup& setup, Nanos at, bool restarted) {
   DEMETER_CHECK(ran_) << "AdmitVm before StartRun (use AddVm)";
   const int i = AddVmInternal(setup);
+  if (restarted) {
+    ++runtimes_[static_cast<size_t>(i)].lifecycle.restarts;
+  }
   // Policy metrics are registered by BootVm (policies attach there); the
   // registration order for this VM therefore matches the deferred-boot path.
   RegisterVmMetricsFor(i);

@@ -196,6 +196,13 @@ class Machine {
   // land on valid memory — but holds nothing.
   void RemoveVm(int i, Nanos now);
 
+  // Fail-stop teardown of a running VM at `now` (its host died): every
+  // in-progress transaction and all accumulated progress is lost, counted
+  // in `vm<i>/lifecycle/killed` / `transactions_lost`, then the VM is torn
+  // down like RemoveVm. Returns the transactions discarded — the cluster's
+  // restart ledger charges them against the fleet.
+  uint64_t KillVm(int i, Nanos now);
+
   // Replaces VM i's policy with a caller-provided instance (e.g. a custom
   // TmmPolicy subclass, or a built-in with bespoke configuration). Call
   // between AddVm and Run; the machine attaches it at run start.
@@ -236,8 +243,9 @@ class Machine {
   // ---- live migration -----------------------------------------------------
   // Adds a VM to a machine that is already running and boots it at `at`
   // (clamped forward to the event horizon like any mid-run boot). Returns
-  // the new VM's index.
-  int AdmitVm(const VmSetup& setup, Nanos at);
+  // the new VM's index. `restarted` marks the admission as a post-failure
+  // reincarnation in `vm<i>/lifecycle/restarts`.
+  int AdmitVm(const VmSetup& setup, Nanos at, bool restarted = false);
   // Stop-and-copy extraction of a running VM at virtual time `now`: captures
   // its memory image and execution progress, then drains every resource it
   // held on this host (ReclaimVm — the departed-VM emptiness audit applies
@@ -301,6 +309,9 @@ class Machine {
     uint64_t reclaimed_ept_pages = 0;
     uint64_t migrated_in = 0;   // VM arrived here via live migration.
     uint64_t migrated_out = 0;  // VM left this host via live migration.
+    uint64_t killed = 0;        // VM died with its host (fail-stop).
+    uint64_t restarts = 0;      // VM is a post-host-failure reincarnation.
+    uint64_t transactions_lost = 0;  // Progress discarded by kills.
   };
 
   struct VmRuntime {

@@ -118,6 +118,20 @@ void HashClusterSetup(HashStream& h, const ClusterSetup& cluster) {
       .F64(m.wire_ns_per_page)
       .I32(m.max_inflight)
       .I32(m.cooldown_epochs);
+  // Retry and HA knobs postdate the first cluster baselines: hash them only
+  // when changed so every pre-existing fleet spec keeps its seed.
+  if (m.max_retries != MigrationConfig{}.max_retries ||
+      m.retry_backoff_epochs != MigrationConfig{}.retry_backoff_epochs) {
+    h.I32(m.max_retries).I32(m.retry_backoff_epochs);
+  }
+  if (!(cluster.ha == HaConfig{})) {
+    const HaConfig& ha = cluster.ha;
+    h.Bool(ha.restart)
+        .I32(ha.restart_queue_limit)
+        .I32(ha.restart_backoff_epochs)
+        .I32(ha.restart_max_attempts)
+        .I32(ha.quarantine_epochs);
+  }
   h.U64(cluster.host_faults.size());
   for (const FaultPlan& plan : cluster.host_faults) {
     h.Str(plan.ToSpec());

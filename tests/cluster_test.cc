@@ -11,6 +11,7 @@
 #include "src/cluster/cluster.h"
 #include "src/cluster/placement.h"
 #include "src/fault/fault.h"
+#include "src/fault/invariant_checker.h"
 #include "src/harness/machine.h"
 #include "src/runner/experiment.h"
 #include "src/telemetry/metrics.h"
@@ -387,6 +388,288 @@ TEST(ClusterTest, DepartedMidMigrationIsCancelledCleanly) {
   ExpectNoResidualCommitments(cluster);
 }
 
+// ------------------------------------------------ Host-failure recovery
+
+TEST(PlacementTest, FallbackPrefersHealthyThenShrinkingThenQuarantined) {
+  // Tiered last-resort ordering: healthy beats shrinking beats quarantined,
+  // roomiest within a tier, lowest index on ties — and down/excluded hosts
+  // are never eligible, even as a last resort.
+  std::vector<HostLoad> loads(4);
+  loads[0] = Roomy(9000);
+  loads[0].down = true;  // Roomiest of all, but fenced.
+  loads[1] = Roomy(5000);
+  loads[1].quarantined = true;
+  loads[2] = Roomy(3000);
+  loads[2].shrinking = true;
+  loads[3] = Roomy(10);  // Tiny but healthy: still wins.
+  EXPECT_EQ(PlacementController::PickFallbackHost(loads), 3);
+
+  loads[3].excluded = true;  // No healthy host: shrinking beats quarantined.
+  EXPECT_EQ(PlacementController::PickFallbackHost(loads), 2);
+
+  loads[2].down = true;  // Only the quarantined host is live.
+  EXPECT_EQ(PlacementController::PickFallbackHost(loads), 1);
+
+  loads[1].down = true;  // Everything fenced: defer the boot.
+  EXPECT_EQ(PlacementController::PickFallbackHost(loads), -1);
+
+  // Within a tier the roomiest host wins; equal room breaks to the lowest
+  // index.
+  std::vector<HostLoad> tiered = {Roomy(100), Roomy(300), Roomy(300)};
+  EXPECT_EQ(PlacementController::PickFallbackHost(tiered), 1);
+}
+
+TEST(PlacementTest, DownAndQuarantinedHostsAreIneligible) {
+  PlacementController placer(PlacementPolicy::kFirstFit);
+  std::vector<HostLoad> loads = {Roomy(5000), Roomy(5000), Roomy(5000)};
+  loads[0].down = true;
+  loads[1].quarantined = true;
+  EXPECT_EQ(placer.PickHost(loads, 100), 2);
+}
+
+TEST(PlacementTest, FailureHistoryLosesTiebreaks) {
+  // A host that has crashed (or whose migrations keep aborting) scores
+  // below an identical clean host, so strict placement steers around it.
+  HostLoad crashed = Roomy(1000);
+  crashed.failures = 1;
+  EXPECT_LT(PlacementController::Score(crashed), PlacementController::Score(Roomy(1000)));
+  HostLoad flaky = Roomy(1000);
+  flaky.migration_aborts = 3;
+  EXPECT_LT(PlacementController::Score(flaky), PlacementController::Score(Roomy(1000)));
+  // Whole-host failures dominate abort history.
+  EXPECT_LT(PlacementController::Score(crashed), PlacementController::Score(flaky));
+}
+
+TEST(HaInvariantTest, HostFencingCatchesResidue) {
+  // Family 10 over plain data: a down host must hold no active VMs, touch
+  // no in-flight route at either end, and keep no commitment residue.
+  const std::vector<bool> down = {true, false};
+  InvariantReport clean;
+  InvariantChecker::CheckHostFencing(down, {0, 3}, {{1, 1}}, {{0, 0, 0}, {1, 5, 5}}, &clean);
+  EXPECT_TRUE(clean.ok()) << clean.Join();
+
+  InvariantReport residents;
+  InvariantChecker::CheckHostFencing(down, {2, 3}, {}, {}, &residents);
+  EXPECT_FALSE(residents.ok());
+
+  InvariantReport route_src;
+  InvariantChecker::CheckHostFencing(down, {0, 3}, {{0, 1}}, {}, &route_src);
+  EXPECT_FALSE(route_src.ok());
+  InvariantReport route_dst;
+  InvariantChecker::CheckHostFencing(down, {0, 3}, {{1, 0}}, {}, &route_dst);
+  EXPECT_FALSE(route_dst.ok());
+
+  InvariantReport residue;
+  InvariantChecker::CheckHostFencing(down, {0, 3}, {}, {{0, 4, 0}, {1, 0, 0}}, &residue);
+  EXPECT_FALSE(residue.ok());
+}
+
+TEST(HaInvariantTest, RestartConservationBalances) {
+  // Family 11: killed == restarted + queued + lost, violated either way.
+  InvariantReport balanced;
+  InvariantChecker::CheckRestartConservation(5, 3, 1, 1, &balanced);
+  EXPECT_TRUE(balanced.ok()) << balanced.Join();
+  InvariantReport leaked;
+  InvariantChecker::CheckRestartConservation(5, 3, 0, 1, &leaked);
+  EXPECT_FALSE(leaked.ok());
+  InvariantReport conjured;
+  InvariantChecker::CheckRestartConservation(2, 3, 0, 0, &conjured);
+  EXPECT_FALSE(conjured.ok());
+}
+
+TEST(ClusterHaTest, HostFailureKillsFencesAndRestarts) {
+  // hostfail=1.0 fells host 0 at the first barrier: every resident VM is
+  // killed, re-placed on host 1 through the restart queue, and reruns to
+  // its full target from zero. check_invariants audits fencing and restart
+  // conservation at every barrier. Run twice: HA recovery must be
+  // deterministic.
+  std::string json[2];
+  for (int run = 0; run < 2; ++run) {
+    MachineConfig config = FleetHost(4);
+    config.faults = MustParse("hostfail=1.0/8ms@0");
+    ClusterSetup setup;
+    setup.num_hosts = 2;
+    Cluster cluster(config, setup);
+    for (int i = 0; i < 4; ++i) {
+      cluster.AddVm(FleetVm());
+    }
+    cluster.Run();
+
+    EXPECT_GE(cluster.hosts_failed(), 1u);
+    EXPECT_GE(cluster.vms_killed(), 1u);
+    EXPECT_EQ(cluster.vms_restarted(), cluster.vms_killed());
+    EXPECT_EQ(cluster.vms_lost(), 0u);
+    EXPECT_EQ(cluster.restart_queue_depth(), 0u);
+    EXPECT_GT(cluster.restart_latency_ns_total(), 0u);
+    uint64_t restarts = 0;
+    for (int i = 0; i < cluster.num_vms(); ++i) {
+      const VmRunResult& result = cluster.result(i);
+      EXPECT_GE(result.transactions, 150000u) << "vm " << i;
+      // Every survivor lives on host 1 — host 0 re-fails every time it
+      // resurrects, and nothing may be placed on a down host.
+      EXPECT_EQ(cluster.location(i).host, 1) << "vm " << i;
+      restarts += result.metrics.CounterValue("lifecycle/restarts");
+    }
+    EXPECT_EQ(restarts, cluster.vms_restarted());
+    const MetricSnapshot snapshot = cluster.SnapshotMetrics();
+    EXPECT_EQ(snapshot.CounterValue("cluster/ha/vms_killed"), cluster.vms_killed());
+    EXPECT_EQ(snapshot.CounterValue("cluster/ha/vms_restarted"), cluster.vms_restarted());
+    EXPECT_GT(snapshot.CounterValue("cluster/fault/host_fail_injected"), 0u);
+    ExpectNoResidualCommitments(cluster);
+    json[run] = snapshot.ToJson();
+  }
+  EXPECT_EQ(json[0], json[1]);
+}
+
+TEST(ClusterHaTest, NoRecoveryAblationLosesEveryKill) {
+  MachineConfig config = FleetHost(4);
+  config.faults = MustParse("hostfail=1.0/8ms@0");
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.ha.restart = false;
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddVm(FleetVm());
+  }
+  cluster.Run();
+
+  EXPECT_GE(cluster.vms_killed(), 1u);
+  EXPECT_EQ(cluster.vms_restarted(), 0u);
+  EXPECT_EQ(cluster.vms_lost(), cluster.vms_killed());
+  EXPECT_EQ(cluster.restart_queue_depth(), 0u);
+  // A lost VM committed nothing (its kill predates any real progress here);
+  // the survivors on host 1 still run to target.
+  uint64_t finished = 0;
+  for (int i = 0; i < cluster.num_vms(); ++i) {
+    if (cluster.result(i).transactions >= 150000u) {
+      ++finished;
+    }
+  }
+  EXPECT_EQ(finished, static_cast<uint64_t>(cluster.num_vms()) - cluster.vms_lost());
+  ExpectNoResidualCommitments(cluster);
+}
+
+TEST(ClusterHaTest, RestartAdmissionControlBoundsAttemptsThenGivesUp) {
+  // A 90% placement headroom reserve makes strict placement reject every
+  // host, so boot-time placement goes through the fallback while restarts
+  // (strict by design — no fallback) back off and are abandoned after
+  // restart_max_attempts. The ledger must still balance.
+  MachineConfig config = FleetHost(4);
+  config.faults = MustParse("hostfail=1.0/8ms@0");
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.placement_headroom = 0.9;
+  setup.ha.restart_max_attempts = 2;
+  setup.ha.restart_backoff_epochs = 1;
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddVm(FleetVm());
+  }
+  cluster.Run();
+
+  EXPECT_GE(cluster.vms_killed(), 1u);
+  EXPECT_EQ(cluster.vms_restarted(), 0u);  // Strict placement never admits.
+  EXPECT_EQ(cluster.vms_lost(), cluster.vms_killed());
+  EXPECT_EQ(cluster.restart_queue_depth(), 0u);
+}
+
+TEST(ClusterHaTest, MigrationRetriesAccumulateAndExhaust) {
+  // Every migration aborts in its round-0 copy (1us budget), so each
+  // retry re-aborts immediately: attempts must accumulate across re-launches
+  // (not reset), hitting retry_exhausted instead of retrying forever.
+  MachineConfig config = FleetHost(2);
+  config.faults = MustParse("migratefail=1.0/1us@0,migratefail=1.0/1us@1");
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.host_faults = {MustParse(kShrinkSpec), FaultPlan{}};
+  setup.migration.max_retries = 2;
+  setup.migration.retry_backoff_epochs = 1;
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddVm(FleetVm(400000));
+  }
+  cluster.Run();
+
+  const LiveMigrator::Stats& stats = cluster.migration_stats();
+  EXPECT_GE(stats.started, 1u);
+  EXPECT_EQ(stats.aborted, stats.started);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_GE(cluster.migration_retries(), 1u);
+  EXPECT_GE(cluster.migration_retries_exhausted(), 1u);
+  for (int i = 0; i < cluster.num_vms(); ++i) {
+    EXPECT_GE(cluster.result(i).transactions, 400000u) << "vm " << i;
+  }
+  ExpectNoResidualCommitments(cluster);
+}
+
+TEST(ClusterHaTest, FencedDestinationIsReplannedToFreshHost) {
+  // Three hosts: host 0 evacuates under shrink, host 1 (the first-fit
+  // destination) fail-stops intermittently, host 2 never fails. Migrations
+  // in flight toward host 1 when it dies must be fenced — commitment
+  // released, counted as fenced, never aborted — and re-planned through
+  // the retry queue toward host 2.
+  MachineConfig config = FleetHost(4);
+  // Low per-barrier probability: host 1 survives long enough to be picked
+  // as the first-fit destination, then dies during the endless pre-copy.
+  config.faults = MustParse("hostfail=0.1/8ms@1");
+  ClusterSetup setup;
+  setup.num_hosts = 3;
+  setup.host_faults = {MustParse(kShrinkSpec), FaultPlan{}, FaultPlan{}};
+  // Never-converging pre-copy: migrations stay in flight until fenced or
+  // cancelled, maximizing exposure to the destination's failure window.
+  setup.migration.stop_copy_pages = 0;
+  setup.migration.max_precopy_rounds = 1 << 20;
+  setup.migration.max_retries = 3;
+  setup.migration.retry_backoff_epochs = 1;
+  // Short quarantine keeps host 1 cycling back into the destination pool,
+  // so migrations keep landing on it right before its next failure draw.
+  setup.ha.quarantine_epochs = 1;
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 6; ++i) {
+    cluster.AddVm(FleetVm(400000));
+  }
+  cluster.Run();
+
+  const LiveMigrator::Stats& stats = cluster.migration_stats();
+  EXPECT_GE(stats.fenced, 1u);
+  EXPECT_GE(cluster.migration_retries(), 1u);
+  EXPECT_EQ(stats.started, stats.completed + stats.aborted + stats.cancelled + stats.fenced);
+  EXPECT_EQ(cluster.SnapshotMetrics().CounterValue("cluster/migration/fenced"), stats.fenced);
+  // Every VM that survived (host 1's residents may die and restart) ran to
+  // target; conservation across kill/restart is audited every barrier.
+  EXPECT_EQ(cluster.vms_killed(), cluster.vms_restarted() + cluster.vms_lost());
+  ExpectNoResidualCommitments(cluster);
+}
+
+TEST(ClusterTest, BlockedEvacuationReattemptsAfterCooldown) {
+  // max_inflight=1 with several VMs on the shrinking host: the first
+  // barrier in the window starts one evacuation and the rest are blocked by
+  // the inflight cap — NOT counted as "no destination". After the inflight
+  // migration completes and the source's cooldown expires, evacuation must
+  // re-attempt and move another VM.
+  MachineConfig config = FleetHost(4);
+  ClusterSetup setup;
+  setup.num_hosts = 2;
+  setup.host_faults = {MustParse(kShrinkSpec), FaultPlan{}};
+  setup.migration.stop_copy_pages = 1u << 30;  // Complete on first Advance.
+  setup.migration.max_inflight = 1;
+  setup.migration.cooldown_epochs = 1;
+  Cluster cluster(config, setup);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddVm(FleetVm(400000));
+  }
+  cluster.Run();
+
+  const LiveMigrator::Stats& stats = cluster.migration_stats();
+  EXPECT_GE(stats.started, 2u) << "capped evacuation never re-attempted";
+  EXPECT_EQ(cluster.evacuations_without_destination(), 0u);
+  EXPECT_EQ(stats.started, stats.completed + stats.aborted + stats.cancelled);
+  for (int i = 0; i < cluster.num_vms(); ++i) {
+    EXPECT_GE(cluster.result(i).transactions, 400000u) << "vm " << i;
+  }
+  ExpectNoResidualCommitments(cluster);
+}
+
 // ----------------------------------------------------- Spec hash gating
 
 ExperimentSpec ClusterSpec(int num_hosts) {
@@ -434,6 +717,37 @@ TEST(ClusterSpecHashTest, DistinctTopologiesReseedDistinctly) {
   ExperimentSpec spread = ClusterSpec(2);
   spread.cluster.placement = PlacementPolicy::kSpread;
   EXPECT_NE(SpecContentHash(spread), two);
+}
+
+TEST(ClusterSpecHashTest, RetryAndHaKnobsGateTheHash) {
+  // Default retry/HA knobs must contribute nothing to the hash (so every
+  // pre-HA experiment keeps its seed), while any non-default value reseeds.
+  const ExperimentSpec base = ClusterSpec(2);
+  ExperimentSpec explicit_defaults = base;
+  explicit_defaults.cluster.migration.max_retries = MigrationConfig{}.max_retries;
+  explicit_defaults.cluster.ha = HaConfig{};
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(explicit_defaults));
+
+  ExperimentSpec retried = base;
+  retried.cluster.migration.max_retries = 3;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(retried));
+  ExperimentSpec backoff = base;
+  backoff.cluster.migration.retry_backoff_epochs += 1;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(backoff));
+
+  ExperimentSpec norec = base;
+  norec.cluster.ha.restart = false;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(norec));
+  ExperimentSpec quarantine = base;
+  quarantine.cluster.ha.quarantine_epochs += 4;
+  EXPECT_NE(SpecContentHash(base), SpecContentHash(quarantine));
+  EXPECT_NE(SpecContentHash(norec), SpecContentHash(quarantine));
+
+  // Restoring defaults restores the original seed bit-for-bit.
+  retried.cluster.migration.max_retries = 0;
+  norec.cluster.ha = HaConfig{};
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(retried));
+  EXPECT_EQ(SpecContentHash(base), SpecContentHash(norec));
 }
 
 // ------------------------------------------------- RunExperiment plumbing

@@ -109,6 +109,24 @@ TEST(FaultPlanTest, MigrateFailRoundTrips) {
   EXPECT_EQ(again->ToSpec(), plan->ToSpec());
 }
 
+TEST(FaultPlanTest, HostFailRoundTrips) {
+  std::string error;
+  const auto plan = FaultPlan::Parse("hostfail=0.5/8ms@0,hostfail=0.25/40ms@2", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_FALSE(plan->empty());
+  EXPECT_DOUBLE_EQ(plan->host_fail_p[0], 0.5);
+  EXPECT_EQ(plan->host_fail_down_ns[0], 8 * kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->host_fail_p[2], 0.25);
+  EXPECT_EQ(plan->host_fail_down_ns[2], 40 * kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->host_fail_p[1], 0.0);
+  // Per-host site: the flat per-site probability accessor stays zero.
+  EXPECT_DOUBLE_EQ(plan->probability(FaultSite::kHostFail), 0.0);
+  const auto again = FaultPlan::Parse(plan->ToSpec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *plan);
+  EXPECT_EQ(again->ToSpec(), plan->ToSpec());
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   const char* bad[] = {
       "nonsense",            // No key=value shape.
@@ -140,6 +158,12 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
       "migratefail=0.5@0",           // Missing the /abort-threshold half.
       "migratefail=0.5/0@0",         // Zero abort threshold.
       "migratefail=1.5/1ms@0",       // Probability out of range.
+      "hostfail=0.5/1ms",            // Hosted key without @host.
+      "hostfail=0.5/1ms@8",          // Host out of range.
+      "hostfail=0.5/1ms@x",          // Host not an integer.
+      "hostfail=0.5@0",              // Missing the /down-duration half.
+      "hostfail=0.5/0@0",            // Zero down duration.
+      "hostfail=1.5/1ms@0",          // Probability out of range.
   };
   for (const char* spec : bad) {
     std::string error;
@@ -176,6 +200,11 @@ TEST(FaultPlanTest, ErrorsNameTheOffendingToken) {
       {"migratefail=0.5/1ms@9", "migratefail=0.5/1ms@9", "host must be an integer in [0,7]"},
       {"migratefail=0.5/0@1", "migratefail=0.5/0@1",
        "migratefail needs a non-zero abort threshold"},
+      {"hostfail=0.1/1ms@0,hostfail=0.2/1ms@0", "hostfail=0.2/1ms@0",
+       "duplicate fault key 'hostfail@0'"},
+      {"hostfail=0.5/1ms", "hostfail=0.5/1ms", "needs an @host suffix"},
+      {"hostfail=0.5/1ms@9", "hostfail=0.5/1ms@9", "host must be an integer in [0,7]"},
+      {"hostfail=0.5/0@1", "hostfail=0.5/0@1", "hostfail needs a non-zero down duration"},
   };
   for (const Case& c : cases) {
     std::string error;
@@ -190,6 +219,13 @@ TEST(FaultPlanTest, ErrorsNameTheOffendingToken) {
   EXPECT_TRUE(FaultPlan::Parse("poison=0.1@0,poison=0.2@1", &error).has_value()) << error;
   EXPECT_TRUE(FaultPlan::Parse("migratefail=0.1/1ms@0,migratefail=0.2/1ms@1", &error)
                   .has_value())
+      << error;
+  EXPECT_TRUE(
+      FaultPlan::Parse("hostfail=0.1/1ms@0,hostfail=0.2/1ms@1", &error).has_value())
+      << error;
+  // hostfail and migratefail share the host namespace without colliding.
+  EXPECT_TRUE(
+      FaultPlan::Parse("migratefail=0.1/1ms@0,hostfail=0.2/1ms@0", &error).has_value())
       << error;
 }
 
@@ -247,6 +283,67 @@ TEST(FaultInjectorTest, MigrationFailuresDrawPerHost) {
   EXPECT_TRUE(armed.ShouldFailMigration(0));
   EXPECT_FALSE(armed.ShouldFailMigration(1));
   EXPECT_EQ(armed.MigrationAbortAfter(1), 0u);
+}
+
+TEST(FaultInjectorTest, HostFailuresDrawPerHost) {
+  const auto plan = FaultPlan::Parse("hostfail=0.5/8ms@0,hostfail=0.5/8ms@1");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector a(*plan, 42);
+  FaultInjector b(*plan, 42);
+  std::vector<bool> h0a, h0b, h1a;
+  for (int i = 0; i < 64; ++i) {
+    h0a.push_back(a.ShouldFailHost(0));
+    h1a.push_back(a.ShouldFailHost(1));
+    h0b.push_back(b.ShouldFailHost(0));
+  }
+  EXPECT_EQ(h0a, h0b);  // Same seed, same per-host decision stream.
+  EXPECT_NE(h0a, h1a);  // Hosts draw from independent streams.
+  EXPECT_EQ(a.HostFailDuration(0), 8 * kMillisecond);
+  EXPECT_GT(a.total_injected(FaultSite::kHostFail), 0u);
+  // A host with no armed plan never fires and burns no RNG state.
+  const auto one = FaultPlan::Parse("hostfail=1.0/1ms@0");
+  ASSERT_TRUE(one.has_value());
+  FaultInjector armed(*one, 7);
+  EXPECT_TRUE(armed.ShouldFailHost(0));
+  EXPECT_FALSE(armed.ShouldFailHost(1));
+  EXPECT_EQ(armed.HostFailDuration(1), 0u);
+}
+
+TEST(FaultInjectorTest, PreExistingStreamsSurviveSiteTableGrowth) {
+  // Golden decision streams captured before the kHostFail site existed.
+  // Growing the site enum must never reshuffle the per-(site, id) RNG
+  // lanes of earlier sites: every pre-existing fault schedule anywhere
+  // (pinned bench baselines included) replays through these streams. If
+  // this test fails, a site was added without extending the lane formula
+  // in FaultInjector::state() compatibly — fix the formula, don't re-pin.
+  const auto plan = FaultPlan::Parse(
+      "bdrop=0.37,migratefail=0.41/3ms@0,migratefail=0.41/3ms@1,"
+      "migratefail=0.41/3ms@2,migratefail=0.41/3ms@3");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector injector(*plan, 0xd5eedULL);
+  struct Golden {
+    FaultSite site;
+    int id;  // Host for migratefail, VM for bdrop.
+    const char* bits;
+  };
+  const Golden golden[] = {
+      {FaultSite::kLiveMigrateFail, 0, "0000011000000000"},
+      {FaultSite::kLiveMigrateFail, 1, "0100101010001100"},
+      {FaultSite::kLiveMigrateFail, 2, "0111011100001100"},
+      {FaultSite::kLiveMigrateFail, 3, "0000110100101100"},
+      {FaultSite::kBalloonDrop, 0, "0111001110001100"},
+      {FaultSite::kBalloonDrop, 1, "0001010111100111"},
+  };
+  for (const Golden& g : golden) {
+    std::string bits;
+    for (int i = 0; i < 16; ++i) {
+      const bool fired = g.site == FaultSite::kLiveMigrateFail
+                             ? injector.ShouldFailMigration(g.id)
+                             : injector.ShouldInject(g.site, g.id);
+      bits += fired ? '1' : '0';
+    }
+    EXPECT_EQ(bits, g.bits) << FaultSiteName(g.site) << " id " << g.id;
+  }
 }
 
 TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
